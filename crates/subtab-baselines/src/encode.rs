@@ -1,0 +1,130 @@
+//! One-hot / numeric encoding of raw tables for the naive-clustering
+//! baseline (`NC` in the paper: "transform the categorical and textual
+//! columns to continuous values using one-hot encoding").
+
+use subtab_data::{ColumnType, Table};
+
+/// Encodes every row of `table` as a dense vector:
+///
+/// * numeric columns contribute one min–max-normalised dimension (nulls → 0),
+/// * categorical columns contribute one 0/1 dimension per distinct value
+///   (nulls → all zeros).
+pub fn encode_rows(table: &Table) -> Vec<Vec<f32>> {
+    let n = table.num_rows();
+    let mut features: Vec<Vec<f32>> = vec![Vec::new(); n];
+    for col in table.columns() {
+        match col.column_type() {
+            ColumnType::Int | ColumnType::Float | ColumnType::Bool => {
+                let (lo, hi) = col.min_max().unwrap_or((0.0, 1.0));
+                let span = if hi > lo { hi - lo } else { 1.0 };
+                for (r, row_features) in features.iter_mut().enumerate() {
+                    let v = col.get_f64(r).map(|x| (x - lo) / span).unwrap_or(0.0);
+                    row_features.push(v as f32);
+                }
+            }
+            ColumnType::Str => {
+                let dict = col.dictionary().to_vec();
+                for (r, row_features) in features.iter_mut().enumerate() {
+                    let code = col.get_code(r);
+                    for (d, _) in dict.iter().enumerate() {
+                        row_features.push(if code == Some(d as u32) { 1.0 } else { 0.0 });
+                    }
+                }
+            }
+        }
+    }
+    features
+}
+
+/// Encodes every column of `table` as a dense vector of length `num_rows`:
+/// numeric columns use min–max-normalised values, categorical columns use
+/// their dictionary code scaled to `[0, 1]`, nulls use `-1` so that columns
+/// with the same missingness pattern cluster together.
+pub fn encode_columns(table: &Table) -> Vec<Vec<f32>> {
+    let n = table.num_rows();
+    table
+        .columns()
+        .iter()
+        .map(|col| {
+            let mut v = Vec::with_capacity(n);
+            match col.column_type() {
+                ColumnType::Int | ColumnType::Float | ColumnType::Bool => {
+                    let (lo, hi) = col.min_max().unwrap_or((0.0, 1.0));
+                    let span = if hi > lo { hi - lo } else { 1.0 };
+                    for r in 0..n {
+                        v.push(match col.get_f64(r) {
+                            Some(x) => ((x - lo) / span) as f32,
+                            None => -1.0,
+                        });
+                    }
+                }
+                ColumnType::Str => {
+                    let dict_len = col.dictionary().len().max(1) as f32;
+                    for r in 0..n {
+                        v.push(match col.get_code(r) {
+                            Some(c) => c as f32 / dict_len,
+                            None => -1.0,
+                        });
+                    }
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::builder()
+            .column_f64("x", vec![Some(0.0), Some(5.0), Some(10.0), None])
+            .column_str("c", vec![Some("a"), Some("b"), Some("a"), Some("b")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn row_encoding_dimensions_and_normalisation() {
+        let rows = encode_rows(&table());
+        assert_eq!(rows.len(), 4);
+        // 1 numeric + 2 one-hot dims.
+        assert!(rows.iter().all(|r| r.len() == 3));
+        assert_eq!(rows[0][0], 0.0);
+        assert_eq!(rows[1][0], 0.5);
+        assert_eq!(rows[2][0], 1.0);
+        assert_eq!(rows[3][0], 0.0); // null
+        assert_eq!(rows[0][1..], [1.0, 0.0]);
+        assert_eq!(rows[1][1..], [0.0, 1.0]);
+    }
+
+    #[test]
+    fn column_encoding_length_matches_rows() {
+        let cols = encode_columns(&table());
+        assert_eq!(cols.len(), 2);
+        assert!(cols.iter().all(|c| c.len() == 4));
+        // Null is marked distinctly.
+        assert_eq!(cols[0][3], -1.0);
+    }
+
+    #[test]
+    fn constant_columns_do_not_divide_by_zero() {
+        let t = Table::builder()
+            .column_f64("k", vec![Some(3.0), Some(3.0)])
+            .build()
+            .unwrap();
+        let rows = encode_rows(&t);
+        assert!(rows.iter().flatten().all(|v| v.is_finite()));
+        let cols = encode_columns(&t);
+        assert!(cols.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::builder().column_i64("x", Vec::new()).build().unwrap();
+        assert!(encode_rows(&t).is_empty());
+        assert_eq!(encode_columns(&t).len(), 1);
+        assert!(encode_columns(&t)[0].is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # subtab-baselines
+//!
+//! The baseline sub-table selection algorithms the paper compares SubTab
+//! against (Section 6.1):
+//!
+//! * [`random`] — `RAN`: repeated uniform random selection within a time
+//!   budget, keeping the best-scoring sub-table,
+//! * [`naive_clustering`] — `NC`: one-hot encode the raw table and k-means
+//!   rows and columns directly, without any embedding,
+//! * [`greedy`] — Algorithm 1: exhaustive column enumeration with greedy
+//!   row selection (the `(1 − 1/e)`-approximate coverage maximiser), plus the
+//!   "semi-greedy" budgeted variant that visits column combinations in random
+//!   order,
+//! * [`mab`] — a Multi-Armed-Bandit (UCB1) sampler over rows and columns,
+//! * [`graph_embed`] — an EmbDI-style baseline: node embeddings from random
+//!   walks over the row/column/value graph, fed into the same centroid
+//!   selection as SubTab.
+//!
+//! All baselines return a [`Selection`] (row indices + column indices into
+//! the full table), so they can be scored by `subtab_metrics::Evaluator`
+//! exactly like SubTab's own output.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod encode;
+pub mod graph_embed;
+pub mod greedy;
+pub mod mab;
+pub mod naive_clustering;
+pub mod random;
+pub mod selection;
+
+pub use graph_embed::{graph_embedding_select, GraphEmbedConfig};
+pub use greedy::{greedy_select, GreedyConfig};
+pub use mab::{mab_select, MabConfig};
+pub use naive_clustering::naive_clustering_select;
+pub use random::{random_select, RandomConfig};
+pub use selection::Selection;

@@ -1,0 +1,257 @@
+//! The Multi-Armed-Bandit baseline (`MAB`).
+//!
+//! Following Section 6.1, each row and each column is an arm. In every
+//! iteration the sampler assembles a candidate sub-table from the `k` rows
+//! and `l` columns with the highest Upper-Confidence-Bound scores (plus
+//! ε-greedy exploration), evaluates it with the combined metric, and
+//! distributes the observed reward to all participating arms. The best
+//! sub-table seen across all iterations is returned.
+
+use crate::selection::Selection;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use subtab_metrics::Evaluator;
+
+/// Configuration of the MAB baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MabConfig {
+    /// Number of sampling iterations.
+    pub iterations: usize,
+    /// UCB exploration coefficient (√(c · ln T / n)).
+    pub exploration: f64,
+    /// Probability of picking a uniformly random arm instead of the UCB-best
+    /// one (keeps the sampler from collapsing too early on small budgets).
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MabConfig {
+    fn default() -> Self {
+        MabConfig {
+            iterations: 500,
+            exploration: 2.0,
+            epsilon: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ArmStats {
+    pulls: Vec<f64>,
+    rewards: Vec<f64>,
+}
+
+impl ArmStats {
+    fn new(n: usize) -> Self {
+        ArmStats {
+            pulls: vec![0.0; n],
+            rewards: vec![0.0; n],
+        }
+    }
+
+    fn ucb(&self, arm: usize, t: f64, exploration: f64) -> f64 {
+        if self.pulls[arm] == 0.0 {
+            return f64::INFINITY;
+        }
+        let mean = self.rewards[arm] / self.pulls[arm];
+        mean + (exploration * t.ln() / self.pulls[arm]).sqrt()
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        self.pulls[arm] += 1.0;
+        self.rewards[arm] += reward;
+    }
+}
+
+/// Runs the UCB sampler and returns the best selection found.
+pub fn mab_select(
+    evaluator: &Evaluator,
+    k: usize,
+    l: usize,
+    target_columns: &[usize],
+    config: &MabConfig,
+) -> Selection {
+    let binned = evaluator.binned();
+    let n = binned.num_rows();
+    let m = binned.num_columns();
+    if n == 0 || m == 0 || k == 0 || l == 0 {
+        return Selection::default();
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut row_stats = ArmStats::new(n);
+    let mut col_stats = ArmStats::new(m);
+    let free_cols: Vec<usize> = (0..m).filter(|c| !target_columns.contains(c)).collect();
+    let l_free = l.saturating_sub(target_columns.len()).min(free_cols.len());
+
+    let mut best: Option<(f64, Selection)> = None;
+    for t in 1..=config.iterations.max(1) {
+        // Pick rows by UCB with ε-greedy noise.
+        let rows = pick_arms(
+            &(0..n).collect::<Vec<_>>(),
+            k.min(n),
+            &row_stats,
+            t as f64,
+            config,
+            &mut rng,
+        );
+        let mut cols: Vec<usize> = target_columns.to_vec();
+        cols.extend(pick_arms(&free_cols, l_free, &col_stats, t as f64, config, &mut rng));
+
+        let candidate = Selection::new(rows.clone(), cols.clone());
+        let reward = evaluator.score(&candidate.rows, &candidate.cols).combined;
+        for &r in &rows {
+            row_stats.update(r, reward);
+        }
+        for &c in &cols {
+            col_stats.update(c, reward);
+        }
+        if best.as_ref().is_none_or(|(b, _)| reward > *b) {
+            best = Some((reward, candidate));
+        }
+    }
+    best.map(|(_, s)| s).unwrap_or_default()
+}
+
+fn pick_arms(
+    arms: &[usize],
+    count: usize,
+    stats: &ArmStats,
+    t: f64,
+    config: &MabConfig,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    if count >= arms.len() {
+        return arms.to_vec();
+    }
+    let mut scored: Vec<(f64, usize)> = arms
+        .iter()
+        .map(|&a| (stats.ucb(a, t, config.exploration), a))
+        .collect();
+    // Shuffle first so ties (e.g. all-infinite UCBs early on) break randomly.
+    scored.shuffle(rng);
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut chosen: Vec<usize> = scored.iter().take(count).map(|&(_, a)| a).collect();
+    // ε-greedy: replace a few picks with uniformly random arms.
+    for slot in chosen.iter_mut() {
+        if rng.gen::<f64>() < config.epsilon {
+            *slot = arms[rng.gen_range(0..arms.len())];
+        }
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+    // Refill if ε-greedy created duplicates.
+    let mut i = 0usize;
+    while chosen.len() < count && i < arms.len() {
+        if !chosen.contains(&arms[i]) {
+            chosen.push(arms[i]);
+        }
+        i += 1;
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subtab_binning::{Binner, BinningConfig};
+    use subtab_data::Table;
+    use subtab_rules::{MiningConfig, RuleMiner};
+
+    fn evaluator() -> Evaluator {
+        let t = Table::builder()
+            .column_i64(
+                "cancelled",
+                (0..40).map(|i| Some(i64::from(i % 4 == 0))).collect(),
+            )
+            .column_str(
+                "dep",
+                (0..40)
+                    .map(|i| if i % 4 == 0 { None } else { Some("m") })
+                    .collect(),
+            )
+            .column_i64("year", (0..40).map(|i| Some(2015 + (i % 2) as i64)).collect())
+            .column_f64("noise", (0..40).map(|i| Some((i * 37 % 17) as f64)).collect())
+            .build()
+            .unwrap();
+        let binner = Binner::fit(&t, &BinningConfig::default()).unwrap();
+        let binned = binner.apply(&t).unwrap();
+        let rules = RuleMiner::new(MiningConfig {
+            min_rule_size: 2,
+            ..Default::default()
+        })
+        .mine(&binned);
+        Evaluator::new(binned, &rules, 0.5)
+    }
+
+    #[test]
+    fn produces_valid_selection() {
+        let ev = evaluator();
+        let cfg = MabConfig {
+            iterations: 50,
+            ..Default::default()
+        };
+        let s = mab_select(&ev, 5, 3, &[], &cfg);
+        assert!(s.is_valid(5, 3, 40, 4));
+    }
+
+    #[test]
+    fn respects_targets_and_determinism() {
+        let ev = evaluator();
+        let cfg = MabConfig {
+            iterations: 40,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = mab_select(&ev, 4, 2, &[0], &cfg);
+        let b = mab_select(&ev, 4, 2, &[0], &cfg);
+        assert_eq!(a, b);
+        assert!(a.cols.contains(&0));
+    }
+
+    #[test]
+    fn more_iterations_do_not_reduce_quality() {
+        let ev = evaluator();
+        let few = mab_select(
+            &ev,
+            5,
+            3,
+            &[],
+            &MabConfig {
+                iterations: 3,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let many = mab_select(
+            &ev,
+            5,
+            3,
+            &[],
+            &MabConfig {
+                iterations: 300,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let s_few = ev.score(&few.rows, &few.cols).combined;
+        let s_many = ev.score(&many.rows, &many.cols).combined;
+        assert!(s_many >= s_few - 1e-9);
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        let ev = evaluator();
+        let cfg = MabConfig {
+            iterations: 5,
+            ..Default::default()
+        };
+        assert_eq!(mab_select(&ev, 0, 2, &[], &cfg), Selection::default());
+        assert_eq!(mab_select(&ev, 2, 0, &[], &cfg), Selection::default());
+        let s = mab_select(&ev, 100, 100, &[], &cfg);
+        assert_eq!(s.rows.len(), 40);
+        assert_eq!(s.cols.len(), 4);
+    }
+}

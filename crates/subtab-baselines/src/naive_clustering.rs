@@ -1,0 +1,117 @@
+//! The `NC` baseline: k-means directly on one-hot-encoded data.
+//!
+//! The paper's naive-clustering baseline skips the embedding entirely:
+//! categorical columns are one-hot encoded, each row becomes a vector, rows
+//! are clustered with k-means and the cluster centroids' nearest members form
+//! the sub-table rows; columns are selected analogously. The paper shows this
+//! captures the underlying patterns much worse than the embedding-based
+//! pipeline.
+
+use crate::encode::{encode_columns, encode_rows};
+use crate::selection::Selection;
+use subtab_cluster::select_k_representatives;
+use subtab_data::Table;
+
+/// Selects a `k × l` sub-table by clustering one-hot encoded rows and
+/// columns. Target columns are excluded from the column clustering and always
+/// included in the result.
+pub fn naive_clustering_select(
+    table: &Table,
+    k: usize,
+    l: usize,
+    target_columns: &[usize],
+    seed: u64,
+) -> Selection {
+    let n = table.num_rows();
+    let m = table.num_columns();
+    if n == 0 || m == 0 || k == 0 || l == 0 {
+        return Selection::default();
+    }
+
+    // Rows.
+    let row_vectors = encode_rows(table);
+    let rows = select_k_representatives(&row_vectors, k.min(n), seed);
+
+    // Columns: cluster the non-target columns, then add the targets.
+    let col_vectors = encode_columns(table);
+    let free: Vec<usize> = (0..m).filter(|c| !target_columns.contains(c)).collect();
+    let free_vectors: Vec<Vec<f32>> = free.iter().map(|&c| col_vectors[c].clone()).collect();
+    let l_free = l.saturating_sub(target_columns.len()).min(free.len());
+    let mut cols: Vec<usize> = target_columns.to_vec();
+    if l_free > 0 {
+        let reps = select_k_representatives(&free_vectors, l_free, seed.wrapping_add(1));
+        cols.extend(reps.into_iter().map(|p| free[p]));
+    }
+    Selection::new(rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: usize) -> Table {
+        Table::builder()
+            .column_f64(
+                "x",
+                (0..rows)
+                    .map(|i| Some(if i % 2 == 0 { 1.0 } else { 1000.0 } + i as f64))
+                    .collect(),
+            )
+            .column_str(
+                "c",
+                (0..rows)
+                    .map(|i| Some(if i % 2 == 0 { "a" } else { "b" }))
+                    .collect(),
+            )
+            .column_i64("flag", (0..rows).map(|i| Some((i % 2) as i64)).collect())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn selects_requested_dimensions() {
+        let t = table(40);
+        let s = naive_clustering_select(&t, 6, 2, &[], 1);
+        assert!(s.is_valid(6, 2, 40, 3));
+    }
+
+    #[test]
+    fn covers_both_row_groups() {
+        let t = table(40);
+        let s = naive_clustering_select(&t, 4, 3, &[], 2);
+        let values: Vec<String> = s
+            .rows
+            .iter()
+            .map(|&r| t.value(r, "c").unwrap().render())
+            .collect();
+        assert!(values.iter().any(|v| v == "a"));
+        assert!(values.iter().any(|v| v == "b"));
+    }
+
+    #[test]
+    fn target_columns_included() {
+        let t = table(20);
+        let s = naive_clustering_select(&t, 3, 2, &[2], 3);
+        assert!(s.cols.contains(&2));
+        assert_eq!(s.cols.len(), 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let t = table(5);
+        assert_eq!(naive_clustering_select(&t, 0, 2, &[], 0), Selection::default());
+        assert_eq!(naive_clustering_select(&t, 2, 0, &[], 0), Selection::default());
+        let s = naive_clustering_select(&t, 50, 50, &[], 0);
+        assert_eq!(s.rows.len(), 5);
+        assert_eq!(s.cols.len(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = table(30);
+        assert_eq!(
+            naive_clustering_select(&t, 5, 2, &[], 7),
+            naive_clustering_select(&t, 5, 2, &[], 7)
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! The `RAN` baseline: repeated uniform random selection under a time budget.
+//!
+//! The paper strengthens plain random selection by "iteratively repeating the
+//! random selection for one minute and returning the sub-table with highest
+//! score among all the randomly drawn sub-tables". The time budget and an
+//! iteration cap are both configurable so the experiment harness can scale
+//! the budget with the (scaled-down) dataset sizes.
+
+use crate::selection::Selection;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use subtab_metrics::Evaluator;
+
+/// Configuration of the random baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomConfig {
+    /// Wall-clock budget for the search (the paper uses one minute).
+    pub time_budget: Duration,
+    /// Hard cap on the number of random draws (keeps tests deterministic in
+    /// duration; the budget usually binds first on large tables).
+    pub max_iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            time_budget: Duration::from_secs(60),
+            max_iterations: 10_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Draws random `k × l` sub-tables and keeps the best one under the combined
+/// score. Target columns are always included in the column sample.
+pub fn random_select(
+    evaluator: &Evaluator,
+    k: usize,
+    l: usize,
+    target_columns: &[usize],
+    config: &RandomConfig,
+) -> Selection {
+    let binned = evaluator.binned();
+    let n = binned.num_rows();
+    let m = binned.num_columns();
+    if n == 0 || m == 0 || k == 0 || l == 0 {
+        return Selection::default();
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let all_rows: Vec<usize> = (0..n).collect();
+    let free_cols: Vec<usize> = (0..m).filter(|c| !target_columns.contains(c)).collect();
+    let l_free = l.saturating_sub(target_columns.len()).min(free_cols.len());
+
+    let start = Instant::now();
+    let mut best: Option<(f64, Selection)> = None;
+    let mut iterations = 0usize;
+    while iterations < config.max_iterations.max(1)
+        && (iterations == 0 || start.elapsed() < config.time_budget)
+    {
+        iterations += 1;
+        let rows: Vec<usize> = all_rows
+            .choose_multiple(&mut rng, k.min(n))
+            .copied()
+            .collect();
+        let mut cols: Vec<usize> = target_columns.to_vec();
+        cols.extend(free_cols.choose_multiple(&mut rng, l_free).copied());
+        let candidate = Selection::new(rows, cols);
+        let score = evaluator.score(&candidate.rows, &candidate.cols).combined;
+        if best.as_ref().is_none_or(|(b, _)| score > *b) {
+            best = Some((score, candidate));
+        }
+    }
+    best.map(|(_, s)| s).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subtab_binning::{Binner, BinningConfig};
+    use subtab_data::Table;
+    use subtab_rules::{MiningConfig, RuleMiner};
+
+    fn evaluator() -> Evaluator {
+        let t = Table::builder()
+            .column_i64(
+                "cancelled",
+                (0..60).map(|i| Some(i64::from(i % 3 == 0))).collect(),
+            )
+            .column_str(
+                "dep",
+                (0..60)
+                    .map(|i| if i % 3 == 0 { None } else { Some("morning") })
+                    .collect(),
+            )
+            .column_i64("year", (0..60).map(|i| Some(2015 + (i % 2) as i64)).collect(),
+            )
+            .column_f64("noise", (0..60).map(|i| Some(i as f64)).collect())
+            .build()
+            .unwrap();
+        let binner = Binner::fit(&t, &BinningConfig::default()).unwrap();
+        let binned = binner.apply(&t).unwrap();
+        let rules = RuleMiner::new(MiningConfig {
+            min_rule_size: 2,
+            ..Default::default()
+        })
+        .mine(&binned);
+        Evaluator::new(binned, &rules, 0.5)
+    }
+
+    fn quick(seed: u64, iters: usize) -> RandomConfig {
+        RandomConfig {
+            time_budget: Duration::from_millis(200),
+            max_iterations: iters,
+            seed,
+        }
+    }
+
+    #[test]
+    fn produces_valid_selection() {
+        let ev = evaluator();
+        let s = random_select(&ev, 5, 3, &[], &quick(1, 50));
+        assert!(s.is_valid(5, 3, 60, 4));
+    }
+
+    #[test]
+    fn respects_target_columns() {
+        let ev = evaluator();
+        let s = random_select(&ev, 5, 2, &[0], &quick(2, 50));
+        assert!(s.cols.contains(&0));
+        assert_eq!(s.cols.len(), 2);
+    }
+
+    #[test]
+    fn more_iterations_never_hurt_the_score() {
+        let ev = evaluator();
+        let few = random_select(&ev, 6, 3, &[], &quick(3, 2));
+        let many = random_select(&ev, 6, 3, &[], &quick(3, 200));
+        let score_few = ev.score(&few.rows, &few.cols).combined;
+        let score_many = ev.score(&many.rows, &many.cols).combined;
+        assert!(score_many >= score_few - 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_iterations() {
+        let ev = evaluator();
+        let a = random_select(&ev, 4, 3, &[], &quick(9, 40));
+        let b = random_select(&ev, 4, 3, &[], &quick(9, 40));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        let ev = evaluator();
+        assert_eq!(random_select(&ev, 0, 3, &[], &quick(1, 5)), Selection::default());
+        assert_eq!(random_select(&ev, 3, 0, &[], &quick(1, 5)), Selection::default());
+    }
+}

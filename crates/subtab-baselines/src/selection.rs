@@ -1,0 +1,54 @@
+//! The common output type of all selection algorithms.
+
+/// A candidate sub-table identified by row and column indices into the full
+/// table. Produced by every baseline (and convertible from SubTab's own
+/// output), consumed by `subtab_metrics::Evaluator::score`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Selection {
+    /// Selected row indices (distinct, ascending).
+    pub rows: Vec<usize>,
+    /// Selected column indices (distinct, ascending).
+    pub cols: Vec<usize>,
+}
+
+impl Selection {
+    /// Creates a selection, sorting and deduplicating the indices.
+    pub fn new(mut rows: Vec<usize>, mut cols: Vec<usize>) -> Self {
+        rows.sort_unstable();
+        rows.dedup();
+        cols.sort_unstable();
+        cols.dedup();
+        Selection { rows, cols }
+    }
+
+    /// Whether the selection is a valid `k × l` sub-table of an `n × m`
+    /// table.
+    pub fn is_valid(&self, k: usize, l: usize, n: usize, m: usize) -> bool {
+        self.rows.len() == k.min(n)
+            && self.cols.len() == l.min(m)
+            && self.rows.iter().all(|&r| r < n)
+            && self.cols.iter().all(|&c| c < m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = Selection::new(vec![3, 1, 3, 2], vec![5, 5, 0]);
+        assert_eq!(s.rows, vec![1, 2, 3]);
+        assert_eq!(s.cols, vec![0, 5]);
+    }
+
+    #[test]
+    fn validity() {
+        let s = Selection::new(vec![0, 1, 2], vec![0, 1]);
+        assert!(s.is_valid(3, 2, 10, 5));
+        assert!(!s.is_valid(4, 2, 10, 5));
+        assert!(!s.is_valid(3, 2, 2, 5)); // row 2 out of range for n=2... and k.min(n)=2 != 3
+        let clamped = Selection::new(vec![0, 1], vec![0, 1]);
+        assert!(clamped.is_valid(5, 2, 2, 5));
+    }
+}

@@ -1,0 +1,176 @@
+//! Criterion benchmarks wrapping the building blocks behind each paper
+//! artefact. One benchmark group per table/figure (plus ablations), so that
+//! `cargo bench` regenerates timing series for everything the evaluation
+//! reports. The quality numbers themselves are produced by the `experiments`
+//! binary; these benches track how long each reproduced pipeline takes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use subtab_bench::experiments::{
+    common::{run_nc, run_ran, run_subtab, ExperimentContext},
+    phases, quality, simulation, slow_baselines, tuning, user_study,
+};
+use subtab_bench::ExperimentScale;
+use subtab_core::{SelectionParams, SubTab};
+use subtab_datasets::DatasetKind;
+
+fn configure(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+/// Table 1 / Figure 5: the simulated user study end to end.
+fn bench_user_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_user_study");
+    group.sample_size(10);
+    group.bench_function("simulated_user_study_quick", |b| {
+        b.iter(|| black_box(user_study::run(ExperimentScale::Quick)))
+    });
+    group.finish();
+}
+
+/// Figure 6: session replay with fragment capture.
+fn bench_session_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_session_replay");
+    group.sample_size(10);
+    group.bench_function("simulation_quick", |b| {
+        b.iter(|| black_box(simulation::run(ExperimentScale::Quick)))
+    });
+    group.finish();
+}
+
+/// Figure 7: slow-baseline comparison.
+fn bench_slow_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_slow_baselines");
+    group.sample_size(10);
+    group.bench_function("slow_baselines_quick", |b| {
+        b.iter(|| black_box(slow_baselines::run(ExperimentScale::Quick)))
+    });
+    group.finish();
+}
+
+/// Figure 8: per-method quality metrics (selection + scoring only; the
+/// context is built once outside the timed loop).
+fn bench_quality_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8_quality");
+    group.sample_size(10);
+    for kind in [DatasetKind::Cyber, DatasetKind::Spotify] {
+        let ctx = ExperimentContext::build(kind, ExperimentScale::Quick, 5);
+        group.bench_with_input(
+            BenchmarkId::new("subtab_select_and_score", kind.label()),
+            &ctx,
+            |b, ctx| b.iter(|| black_box(run_subtab(ctx, 10, 10, &[]))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ran_select_and_score", kind.label()),
+            &ctx,
+            |b, ctx| b.iter(|| black_box(run_ran(ctx, 10, 10, &[], ExperimentScale::Quick, 3))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nc_select_and_score", kind.label()),
+            &ctx,
+            |b, ctx| b.iter(|| black_box(run_nc(ctx, 10, 10, &[], 3))),
+        );
+    }
+    group.bench_function("full_figure8_quick", |b| {
+        b.iter(|| black_box(quality::run_on(&[DatasetKind::Cyber], ExperimentScale::Quick)))
+    });
+    group.finish();
+}
+
+/// Figure 9: the two phases, benchmarked separately per dataset.
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9_phases");
+    group.sample_size(10);
+    for kind in [DatasetKind::Cyber, DatasetKind::Spotify, DatasetKind::CreditCard] {
+        let dataset = kind.build(ExperimentScale::Quick.dataset_size(), 31);
+        group.bench_with_input(
+            BenchmarkId::new("preprocess", kind.label()),
+            &dataset.table,
+            |b, table| {
+                b.iter(|| {
+                    black_box(
+                        SubTab::preprocess(table.clone(), ExperimentScale::Quick.subtab_config())
+                            .expect("preprocess"),
+                    )
+                })
+            },
+        );
+        let subtab = SubTab::preprocess(
+            dataset.table.clone(),
+            ExperimentScale::Quick.subtab_config(),
+        )
+        .expect("preprocess");
+        group.bench_with_input(
+            BenchmarkId::new("centroid_selection", kind.label()),
+            &subtab,
+            |b, subtab| {
+                b.iter(|| black_box(subtab.select(&SelectionParams::new(10, 10)).expect("select")))
+            },
+        );
+    }
+    group.bench_function("full_figure9_quick", |b| {
+        b.iter(|| {
+            black_box(phases::run_on(
+                &[DatasetKind::Cyber],
+                ExperimentScale::Quick,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Figure 10: rule mining + re-evaluation under varying parameters.
+fn bench_parameter_tuning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure10_tuning");
+    group.sample_size(10);
+    group.bench_function("tuning_quick", |b| {
+        b.iter(|| black_box(tuning::run(ExperimentScale::Quick)))
+    });
+    group.finish();
+}
+
+/// Ablations: binning strategy is the most interesting knob to track over
+/// time, so it gets its own measured series.
+fn bench_ablation_binning(c: &mut Criterion) {
+    use subtab_binning::{Binner, BinningConfig, BinningStrategy};
+    let mut group = c.benchmark_group("ablation_binning");
+    group.sample_size(10);
+    let dataset = DatasetKind::CreditCard.build(ExperimentScale::Quick.dataset_size(), 3);
+    for strategy in [
+        BinningStrategy::Kde,
+        BinningStrategy::Quantile,
+        BinningStrategy::EqualWidth,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("fit_apply", format!("{strategy:?}")),
+            &dataset.table,
+            |b, table| {
+                b.iter(|| {
+                    let binner =
+                        Binner::fit(table, &BinningConfig::default().strategy(strategy)).unwrap();
+                    black_box(binner.apply(table).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(&mut Criterion::default());
+    targets =
+        bench_user_study,
+        bench_session_replay,
+        bench_slow_baselines,
+        bench_quality_metrics,
+        bench_phases,
+        bench_parameter_tuning,
+        bench_ablation_binning
+}
+criterion_main!(benches);

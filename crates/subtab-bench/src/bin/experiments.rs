@@ -1,0 +1,104 @@
+//! The experiment runner: regenerates every table and figure of the paper's
+//! evaluation on the synthetic stand-in datasets.
+//!
+//! ```bash
+//! cargo run --release -p subtab-bench --bin experiments -- all
+//! cargo run --release -p subtab-bench --bin experiments -- figure8 figure9
+//! cargo run --release -p subtab-bench --bin experiments -- --quick table1
+//! ```
+
+use subtab_bench::experiments::{
+    ablation, phases, quality, simulation, slow_baselines, tuning, user_study,
+};
+use subtab_bench::ExperimentScale;
+
+const USAGE: &str = "\
+usage: experiments [--quick] <experiment>...
+
+experiments:
+  table1     Table 1  — simulated user study (insight discovery)
+  figure5    Figure 5 — questionnaire-rating proxies
+  figure6    Figure 6 — captured next-query fragments vs sub-table width
+  figure7    Figure 7 — quality & time vs MAB / Greedy / EmbDI-style
+  figure8    Figure 8 — diversity / cell coverage / combined per dataset
+  figure9    Figure 9 — pre-processing vs centroid-selection time
+  figure10   Figure 10 — sensitivity to #bins / support / confidence
+  ablation   design-choice ablations (binning, corpus, dim, alpha)
+  all        everything above
+
+flags:
+  --quick    tiny datasets and small budgets (seconds instead of minutes)";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick {
+        ExperimentScale::Quick
+    } else {
+        ExperimentScale::Paper
+    };
+    let mut requested: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if requested.iter().any(|a| a == "all") {
+        requested = vec![
+            "table1".into(),
+            "figure6".into(),
+            "figure7".into(),
+            "figure8".into(),
+            "figure9".into(),
+            "figure10".into(),
+            "ablation".into(),
+        ];
+    }
+    if requested.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    for experiment in requested {
+        let start = std::time::Instant::now();
+        println!("\n=============================================================");
+        match experiment.as_str() {
+            "table1" | "figure5" => {
+                let report = user_study::run(scale);
+                println!("{}", user_study::render(&report));
+            }
+            "figure6" => {
+                let report = simulation::run(scale);
+                println!("{}", simulation::render(&report));
+            }
+            "figure7" => {
+                let report = slow_baselines::run(scale);
+                println!("{}", slow_baselines::render(&report));
+            }
+            "figure8" => {
+                let report = quality::run(scale);
+                println!("{}", quality::render(&report));
+            }
+            "figure9" => {
+                let report = phases::run(scale);
+                println!("{}", phases::render(&report));
+            }
+            "figure10" => {
+                let report = tuning::run(scale);
+                println!("{}", tuning::render(&report));
+            }
+            "ablation" => {
+                let report = ablation::run(scale);
+                println!("{}", ablation::render(&report));
+            }
+            other => {
+                eprintln!("unknown experiment {other:?}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        println!("[{experiment} finished in {:.2?}]", start.elapsed());
+    }
+}

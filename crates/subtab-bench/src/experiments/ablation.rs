@@ -1,0 +1,171 @@
+//! Ablations of SubTab's own design choices (the list called out at the end
+//! of DESIGN.md): binning strategy, corpus composition, embedding size and
+//! the α trade-off of the combined score.
+
+use crate::experiments::common::{format_table, ExperimentScale};
+use subtab_binning::{BinningConfig, BinningStrategy};
+use subtab_core::{SelectionParams, SubTab, SubTabConfig};
+use subtab_datasets::DatasetKind;
+use subtab_embed::EmbeddingConfig;
+use subtab_metrics::Evaluator;
+use subtab_rules::{MiningConfig, RuleMiner};
+
+/// One ablation row: a configuration label and the resulting metrics.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Which knob was varied and to what.
+    pub variant: String,
+    /// Cell coverage of the selected sub-table.
+    pub cell_coverage: f64,
+    /// Diversity of the selected sub-table.
+    pub diversity: f64,
+    /// Combined score (α = 0.5).
+    pub combined: f64,
+}
+
+/// The ablation report.
+#[derive(Debug, Clone)]
+pub struct AblationReport {
+    /// All ablation rows, grouped by the knob name prefix.
+    pub rows: Vec<AblationRow>,
+}
+
+/// Runs the ablations on the Spotify stand-in (mid-sized, mixed types).
+pub fn run(scale: ExperimentScale) -> AblationReport {
+    let kind = DatasetKind::Spotify;
+    let dataset = kind.build(scale.dataset_size(), 13);
+    let (k, l) = (10usize, 10usize);
+
+    // A single reference rule set evaluates every variant.
+    let reference_binner =
+        subtab_binning::Binner::fit(&dataset.table, &BinningConfig::default()).expect("binning");
+    let reference_binned = reference_binner.apply(&dataset.table).expect("binning");
+    let rules = RuleMiner::new(MiningConfig::default()).mine(&reference_binned);
+    let evaluator = Evaluator::new(reference_binned, &rules, 0.5);
+
+    let mut rows = Vec::new();
+    let mut eval_variant = |label: String, config: SubTabConfig| {
+        let subtab =
+            SubTab::preprocess(dataset.table.clone(), config).expect("pre-processing succeeds");
+        let view = subtab
+            .select(&SelectionParams::new(k, l))
+            .expect("selection succeeds");
+        let cols = view.column_indices(&dataset.table);
+        let score = evaluator.score(&view.row_indices, &cols);
+        rows.push(AblationRow {
+            variant: label,
+            cell_coverage: score.cell_coverage,
+            diversity: score.diversity,
+            combined: score.combined,
+        });
+    };
+
+    // Binning strategy.
+    for strategy in [
+        BinningStrategy::Kde,
+        BinningStrategy::Quantile,
+        BinningStrategy::EqualWidth,
+    ] {
+        let mut cfg = scale.subtab_config();
+        cfg.binning = BinningConfig::default().strategy(strategy);
+        eval_variant(format!("binning = {strategy:?}"), cfg);
+    }
+
+    // Corpus composition: with vs without column sentences.
+    for include in [true, false] {
+        let mut cfg = scale.subtab_config();
+        cfg.embedding.include_column_sentences = include;
+        eval_variant(
+            format!(
+                "corpus = {}",
+                if include { "rows + columns" } else { "rows only" }
+            ),
+            cfg,
+        );
+    }
+
+    // Embedding dimensionality.
+    for dim in [8usize, 32, 64] {
+        let mut cfg = scale.subtab_config();
+        cfg.embedding = EmbeddingConfig {
+            dim,
+            ..cfg.embedding
+        };
+        eval_variant(format!("embedding dim = {dim}"), cfg);
+    }
+
+    // α sweep of the combined score (evaluation-side only: the selection is
+    // fixed, the trade-off changes).
+    let base = SubTab::preprocess(dataset.table.clone(), scale.subtab_config())
+        .expect("pre-processing");
+    let view = base.select(&SelectionParams::new(k, l)).expect("selection");
+    let cols = view.column_indices(&dataset.table);
+    for alpha in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let eval_alpha = Evaluator::new(evaluator.binned().clone(), &rules, alpha);
+        let score = eval_alpha.score(&view.row_indices, &cols);
+        rows.push(AblationRow {
+            variant: format!("alpha = {alpha}"),
+            cell_coverage: score.cell_coverage,
+            diversity: score.diversity,
+            combined: score.combined,
+        });
+    }
+
+    AblationReport { rows }
+}
+
+/// Renders the ablation table.
+pub fn render(report: &AblationReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                format!("{:.3}", r.cell_coverage),
+                format!("{:.3}", r.diversity),
+                format!("{:.3}", r.combined),
+            ]
+        })
+        .collect();
+    format!(
+        "Ablations (SP dataset, 10x10 sub-tables)\n{}",
+        format_table(&["variant", "cell coverage", "diversity", "combined"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_covers_every_knob() {
+        let report = run(ExperimentScale::Quick);
+        let variants: Vec<&str> = report.rows.iter().map(|r| r.variant.as_str()).collect();
+        assert!(variants.iter().any(|v| v.starts_with("binning")));
+        assert!(variants.iter().any(|v| v.starts_with("corpus")));
+        assert!(variants.iter().any(|v| v.starts_with("embedding dim")));
+        assert!(variants.iter().any(|v| v.starts_with("alpha")));
+        for r in &report.rows {
+            assert!((0.0..=1.0).contains(&r.combined));
+        }
+        assert!(render(&report).contains("variant"));
+    }
+
+    #[test]
+    fn alpha_extremes_match_their_single_metric() {
+        let report = run(ExperimentScale::Quick);
+        let alpha0 = report
+            .rows
+            .iter()
+            .find(|r| r.variant == "alpha = 0")
+            .expect("alpha 0 present");
+        assert!((alpha0.combined - alpha0.diversity).abs() < 1e-9);
+        let alpha1 = report
+            .rows
+            .iter()
+            .find(|r| r.variant == "alpha = 1")
+            .expect("alpha 1 present");
+        assert!((alpha1.combined - alpha1.cell_coverage).abs() < 1e-9);
+    }
+}

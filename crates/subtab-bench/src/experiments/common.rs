@@ -1,0 +1,285 @@
+//! Shared machinery: building evaluators, running each method, formatting.
+
+use std::time::{Duration, Instant};
+use subtab_baselines::{
+    naive_clustering_select, random_select, RandomConfig, Selection,
+};
+use subtab_core::{SelectionParams, SubTab, SubTabConfig};
+use subtab_data::Table;
+use subtab_datasets::{DatasetKind, DatasetSize, PlantedDataset};
+use subtab_metrics::{Evaluator, SubTableScore};
+use subtab_rules::{MiningConfig, RuleMiner, RuleSet};
+
+/// How large the experiment datasets are and how generous the baselines'
+/// budgets are. `Quick` keeps every experiment under a few seconds (used by
+/// the Criterion benches and the test suite); `Paper` is the scale used by
+/// the `experiments` binary for the numbers recorded in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Tiny datasets, minimal budgets.
+    Quick,
+    /// Scaled-down paper setting (the default of the `experiments` binary).
+    Paper,
+}
+
+impl ExperimentScale {
+    /// The dataset size to generate at this scale.
+    pub fn dataset_size(self) -> DatasetSize {
+        match self {
+            ExperimentScale::Quick => DatasetSize::Tiny,
+            ExperimentScale::Paper => DatasetSize::Small,
+        }
+    }
+
+    /// Wall-clock budget given to the RAN baseline (the paper gives 1 min).
+    pub fn ran_budget(self) -> Duration {
+        match self {
+            ExperimentScale::Quick => Duration::from_millis(150),
+            ExperimentScale::Paper => Duration::from_secs(5),
+        }
+    }
+
+    /// Iteration cap for the RAN baseline.
+    ///
+    /// The paper gives RAN one minute on the full-size datasets; because a
+    /// single combined-score evaluation there scans millions of rows, that
+    /// budget amounts to at most a few hundred random draws. On our
+    /// scaled-down tables each evaluation is orders of magnitude cheaper, so
+    /// the draw count — not the wall-clock — is what must be kept
+    /// proportional for a faithful comparison.
+    pub fn ran_iterations(self) -> usize {
+        match self {
+            ExperimentScale::Quick => 60,
+            ExperimentScale::Paper => 250,
+        }
+    }
+
+    /// Iteration budget for the MAB baseline.
+    pub fn mab_iterations(self) -> usize {
+        match self {
+            ExperimentScale::Quick => 60,
+            ExperimentScale::Paper => 1_500,
+        }
+    }
+
+    /// Number of column subsets visited by the semi-greedy baseline.
+    pub fn greedy_subsets(self) -> usize {
+        match self {
+            ExperimentScale::Quick => 3,
+            ExperimentScale::Paper => 8,
+        }
+    }
+
+    /// SubTab configuration at this scale.
+    pub fn subtab_config(self) -> SubTabConfig {
+        match self {
+            ExperimentScale::Quick => SubTabConfig::fast(),
+            ExperimentScale::Paper => SubTabConfig::default(),
+        }
+    }
+}
+
+/// Everything needed to evaluate selections over one dataset.
+pub struct ExperimentContext {
+    /// The generated dataset (table + planted structure).
+    pub dataset: PlantedDataset,
+    /// The pre-processed SubTab model for the dataset's table.
+    pub subtab: SubTab,
+    /// Rules mined with the paper's default parameters.
+    pub rules: RuleSet,
+    /// Evaluator with α = 0.5.
+    pub evaluator: Evaluator,
+    /// Wall-clock time of the pre-processing phase.
+    pub preprocess_time: Duration,
+}
+
+impl ExperimentContext {
+    /// Builds the context for one dataset at one scale.
+    pub fn build(kind: DatasetKind, scale: ExperimentScale, seed: u64) -> Self {
+        Self::build_with_mining(kind, scale, seed, &MiningConfig::default())
+    }
+
+    /// Builds the context with a custom rule-mining configuration (used by the
+    /// parameter-tuning experiment).
+    pub fn build_with_mining(
+        kind: DatasetKind,
+        scale: ExperimentScale,
+        seed: u64,
+        mining: &MiningConfig,
+    ) -> Self {
+        let dataset = kind.build(scale.dataset_size(), seed);
+        let start = Instant::now();
+        let subtab = SubTab::preprocess(dataset.table.clone(), scale.subtab_config())
+            .expect("pre-processing succeeds on generated data");
+        let preprocess_time = start.elapsed();
+        let binned = subtab.preprocessed().binned().clone();
+        let rules = RuleMiner::new(mining.clone()).mine(&binned);
+        let evaluator = Evaluator::new(binned, &rules, 0.5);
+        ExperimentContext {
+            dataset,
+            subtab,
+            rules,
+            evaluator,
+            preprocess_time,
+        }
+    }
+
+    /// The dataset's table.
+    pub fn table(&self) -> &Table {
+        &self.dataset.table
+    }
+
+    /// Scores a selection with the paper's metrics (α = 0.5).
+    pub fn score(&self, selection: &Selection) -> SubTableScore {
+        self.evaluator.score(&selection.rows, &selection.cols)
+    }
+}
+
+/// The outcome of running one method once: its selection, score and time.
+#[derive(Debug, Clone)]
+pub struct MethodRun {
+    /// Method label as used in the paper ("SubTab", "RAN", "NC", …).
+    pub method: String,
+    /// The selected sub-table.
+    pub selection: Selection,
+    /// Quality under the combined metric.
+    pub score: SubTableScore,
+    /// Wall-clock time of the selection (excluding shared pre-processing
+    /// unless noted by the experiment).
+    pub time: Duration,
+}
+
+/// Runs SubTab's centroid selection and converts the result to a [`Selection`].
+pub fn run_subtab(ctx: &ExperimentContext, k: usize, l: usize, targets: &[&str]) -> MethodRun {
+    let start = Instant::now();
+    let params = SelectionParams::new(k, l).with_targets(targets);
+    let view = ctx.subtab.select(&params).expect("selection succeeds");
+    let time = start.elapsed();
+    let cols = view.column_indices(ctx.table());
+    let selection = Selection::new(view.row_indices.clone(), cols);
+    MethodRun {
+        method: "SubTab".into(),
+        score: ctx.score(&selection),
+        selection,
+        time,
+    }
+}
+
+/// Runs the time-budgeted random baseline.
+pub fn run_ran(
+    ctx: &ExperimentContext,
+    k: usize,
+    l: usize,
+    targets: &[usize],
+    scale: ExperimentScale,
+    seed: u64,
+) -> MethodRun {
+    let start = Instant::now();
+    let selection = random_select(
+        &ctx.evaluator,
+        k,
+        l,
+        targets,
+        &RandomConfig {
+            time_budget: scale.ran_budget(),
+            max_iterations: scale.ran_iterations(),
+            seed,
+        },
+    );
+    MethodRun {
+        method: "RAN".into(),
+        score: ctx.score(&selection),
+        selection,
+        time: start.elapsed(),
+    }
+}
+
+/// Runs the naive-clustering baseline.
+pub fn run_nc(ctx: &ExperimentContext, k: usize, l: usize, targets: &[usize], seed: u64) -> MethodRun {
+    let start = Instant::now();
+    let selection = naive_clustering_select(ctx.table(), k, l, targets, seed);
+    MethodRun {
+        method: "NC".into(),
+        score: ctx.score(&selection),
+        selection,
+        time: start.elapsed(),
+    }
+}
+
+/// Column indices of the named target columns.
+pub fn target_indices(table: &Table, targets: &[&str]) -> Vec<usize> {
+    targets
+        .iter()
+        .filter_map(|t| table.schema().index_of(t))
+        .collect()
+}
+
+/// Formats a header + rows as an aligned text table for the binary's output.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in header.iter().enumerate() {
+        out.push_str(&format!("{:<width$}  ", h, width = widths[i]));
+    }
+    out.push('\n');
+    for (i, _) in header.iter().enumerate() {
+        out.push_str(&format!("{}  ", "-".repeat(widths[i])));
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_and_methods_run() {
+        let ctx = ExperimentContext::build(DatasetKind::Cyber, ExperimentScale::Quick, 1);
+        // Rules may be few at tiny scale; the context must still build.
+        assert!(ctx.table().num_rows() > 0);
+        let st = run_subtab(&ctx, 6, 5, &[]);
+        assert_eq!(st.selection.rows.len(), 6);
+        assert_eq!(st.selection.cols.len(), 5);
+        let ran = run_ran(&ctx, 6, 5, &[], ExperimentScale::Quick, 2);
+        assert_eq!(ran.selection.rows.len(), 6);
+        let nc = run_nc(&ctx, 6, 5, &[], 3);
+        assert_eq!(nc.selection.cols.len(), 5);
+        for run in [&st, &ran, &nc] {
+            assert!((0.0..=1.0).contains(&run.score.combined));
+        }
+    }
+
+    #[test]
+    fn format_table_aligns_columns() {
+        let s = format_table(
+            &["method", "score"],
+            &[
+                vec!["SubTab".into(), "0.61".into()],
+                vec!["RAN".into(), "0.5".into()],
+            ],
+        );
+        assert!(s.contains("method"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn target_indices_lookup() {
+        let ctx = ExperimentContext::build(DatasetKind::Cyber, ExperimentScale::Quick, 1);
+        let idx = target_indices(ctx.table(), &["flagged", "does-not-exist"]);
+        assert_eq!(idx.len(), 1);
+    }
+}

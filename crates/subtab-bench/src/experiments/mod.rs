@@ -1,0 +1,10 @@
+//! One module per reproduced table / figure, plus shared helpers.
+
+pub mod ablation;
+pub mod common;
+pub mod phases;
+pub mod quality;
+pub mod simulation;
+pub mod slow_baselines;
+pub mod tuning;
+pub mod user_study;

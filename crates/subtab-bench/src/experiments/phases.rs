@@ -1,0 +1,153 @@
+//! Figure 9: running time of SubTab's two phases (pre-processing vs centroid
+//! selection) per dataset, demonstrating that the expensive work happens once
+//! and query-time selection stays interactive.
+
+use crate::experiments::common::{format_table, ExperimentScale};
+use std::time::{Duration, Instant};
+use subtab_core::{SelectionParams, SubTab};
+use subtab_data::{Predicate, Query, Value};
+use subtab_datasets::DatasetKind;
+
+/// Phase timings for one dataset.
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Dataset label.
+    pub dataset: String,
+    /// Number of rows of the generated stand-in.
+    pub rows: usize,
+    /// Pre-processing time (binning + corpus + embedding).
+    pub preprocess: Duration,
+    /// Average centroid-selection time over the full table and a few queries.
+    pub selection: Duration,
+}
+
+/// The Figure 9 report.
+#[derive(Debug, Clone)]
+pub struct PhasesReport {
+    /// One row per dataset (FL, CC, SP, CY).
+    pub rows: Vec<PhaseRow>,
+}
+
+/// Runs the phase-timing experiment on the four datasets of Figure 9.
+pub fn run(scale: ExperimentScale) -> PhasesReport {
+    run_on(
+        &[
+            DatasetKind::Flights,
+            DatasetKind::CreditCard,
+            DatasetKind::Spotify,
+            DatasetKind::Cyber,
+        ],
+        scale,
+    )
+}
+
+/// Runs the experiment on an explicit dataset list.
+pub fn run_on(datasets: &[DatasetKind], scale: ExperimentScale) -> PhasesReport {
+    let params = SelectionParams::new(10, 10);
+    let mut rows = Vec::new();
+    for &kind in datasets {
+        let dataset = kind.build(scale.dataset_size(), 31);
+        let start = Instant::now();
+        let subtab = SubTab::preprocess(dataset.table.clone(), scale.subtab_config())
+            .expect("pre-processing");
+        let preprocess = start.elapsed();
+
+        // Selection over the full table plus a few representative queries,
+        // averaged — this is what happens repeatedly during an EDA session.
+        let mut selections: Vec<Duration> = Vec::new();
+        let start = Instant::now();
+        let _ = subtab.select(&params).expect("selection");
+        selections.push(start.elapsed());
+        for query in sample_queries(kind) {
+            let start = Instant::now();
+            match subtab.select_for_query(&query, &params) {
+                Ok(_) | Err(subtab_core::CoreError::EmptyQueryResult) => {
+                    selections.push(start.elapsed());
+                }
+                Err(e) => panic!("unexpected selection failure: {e}"),
+            }
+        }
+        let avg = selections.iter().sum::<Duration>() / selections.len() as u32;
+        rows.push(PhaseRow {
+            dataset: kind.label().to_string(),
+            rows: dataset.table.num_rows(),
+            preprocess,
+            selection: avg,
+        });
+    }
+    PhasesReport { rows }
+}
+
+/// A couple of dataset-appropriate SP queries used to average the selection
+/// phase (mirrors "we have tested the computation time for various sub-table
+/// sizes / query results").
+fn sample_queries(kind: DatasetKind) -> Vec<Query> {
+    match kind {
+        DatasetKind::Flights => vec![
+            Query::new().filter(Predicate::eq("CANCELLED", Value::Int(1))),
+            Query::new().filter(Predicate::between("DISTANCE", 1000.0, 3000.0)),
+        ],
+        DatasetKind::CreditCard => vec![
+            Query::new().filter(Predicate::eq("Class", Value::Int(1))),
+            Query::new().filter(Predicate::between("Amount", 100.0, 2000.0)),
+        ],
+        DatasetKind::Spotify => vec![
+            Query::new().filter(Predicate::eq("genre", Value::from("pop"))),
+            Query::new().filter(Predicate::between("danceability", 0.5, 1.0)),
+        ],
+        DatasetKind::Cyber => vec![
+            Query::new().filter(Predicate::eq("flagged", Value::Int(1))),
+            Query::new().filter(Predicate::eq("protocol", Value::from("tcp"))),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+/// Renders the report in the layout of Figure 9.
+pub fn render(report: &PhasesReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} ({} rows)", r.dataset, r.rows),
+                format!("{:.2?}", r.preprocess),
+                format!("{:.2?}", r.selection),
+            ]
+        })
+        .collect();
+    format!(
+        "Figure 9: average running time of SubTab's phases\n{}",
+        format_table(&["dataset", "pre-processing", "centroid selection"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_timed_for_each_dataset() {
+        let report = run_on(&[DatasetKind::Cyber, DatasetKind::Spotify], ExperimentScale::Quick);
+        assert_eq!(report.rows.len(), 2);
+        for r in &report.rows {
+            assert!(r.preprocess > Duration::ZERO);
+            assert!(r.selection > Duration::ZERO);
+        }
+        assert!(render(&report).contains("pre-processing"));
+    }
+
+    #[test]
+    fn selection_is_cheaper_than_preprocessing() {
+        // The whole point of the two-phase design (Figure 9): per-display
+        // selection costs a fraction of the one-off pre-processing.
+        let report = run_on(&[DatasetKind::Spotify], ExperimentScale::Quick);
+        let row = &report.rows[0];
+        assert!(
+            row.selection < row.preprocess,
+            "selection {:?} should be cheaper than pre-processing {:?}",
+            row.selection,
+            row.preprocess
+        );
+    }
+}

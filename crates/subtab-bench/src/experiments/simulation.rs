@@ -1,0 +1,250 @@
+//! Figure 6: the simulation-based study — % of next-query fragments captured
+//! by the previous query's sub-table, as the sub-table width varies from 3 to
+//! 7 columns, over replayed EDA sessions on the cyber-security dataset.
+
+use crate::experiments::common::{ExperimentContext, ExperimentScale};
+use subtab_baselines::{naive_clustering_select, random_select, RandomConfig, Selection};
+use subtab_core::SelectionParams;
+use subtab_data::{Query, Table};
+use subtab_datasets::{generate_sessions, DatasetKind, Session, SessionConfig};
+
+/// One series of Figure 6: captured-fragment percentage per width.
+#[derive(Debug, Clone)]
+pub struct SimulationSeries {
+    /// Method label.
+    pub method: String,
+    /// (width, % of captured fragments) pairs for widths 3..=7.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// The full Figure 6 report.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// One series per method.
+    pub series: Vec<SimulationSeries>,
+    /// Number of (query, next-query) pairs evaluated.
+    pub pairs: usize,
+}
+
+/// Runs the simulation-based study on the CY dataset.
+pub fn run(scale: ExperimentScale) -> SimulationReport {
+    let ctx = ExperimentContext::build(DatasetKind::Cyber, scale, 7);
+    let sessions = generate_sessions(
+        &ctx.dataset,
+        &SessionConfig {
+            num_sessions: match scale {
+                ExperimentScale::Quick => 12,
+                ExperimentScale::Paper => 122,
+            },
+            min_queries: 3,
+            max_queries: 6,
+            seed: 23,
+        },
+    );
+    let widths: Vec<usize> = (3..=7).collect();
+    let k = 10usize;
+
+    let mut series: Vec<SimulationSeries> = ["SubTab", "RAN", "NC"]
+        .iter()
+        .map(|m| SimulationSeries {
+            method: m.to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+    let mut pair_count = 0usize;
+
+    for &width in &widths {
+        let mut captured = [0usize; 3];
+        let mut total = [0usize; 3];
+        for session in &sessions {
+            for pair in consecutive_pairs(session) {
+                let (query, next) = pair;
+                let result_rows = match query.matching_rows(ctx.table()) {
+                    Ok(rows) if !rows.is_empty() => rows,
+                    _ => continue,
+                };
+                if width == widths[0] {
+                    pair_count += 1;
+                }
+                // SubTab.
+                if let Ok(view) = ctx
+                    .subtab
+                    .select_for_query(query, &SelectionParams::new(k, width))
+                {
+                    let cols = view.column_indices(ctx.table());
+                    let sel = Selection::new(view.row_indices.clone(), cols);
+                    let (c, t) = fragments_captured(ctx.table(), &sel, next);
+                    captured[0] += c;
+                    total[0] += t;
+                }
+                // RAN over the query result: random rows from the result.
+                let ran = random_from_result(&ctx, &result_rows, k, width, 11 + width as u64);
+                let (c, t) = fragments_captured(ctx.table(), &ran, next);
+                captured[1] += c;
+                total[1] += t;
+                // NC over the query result table (indices mapped back).
+                let nc = nc_from_result(ctx.table(), &result_rows, k, width, 13 + width as u64);
+                let (c, t) = fragments_captured(ctx.table(), &nc, next);
+                captured[2] += c;
+                total[2] += t;
+            }
+        }
+        for (i, s) in series.iter_mut().enumerate() {
+            let pct = if total[i] == 0 {
+                0.0
+            } else {
+                100.0 * captured[i] as f64 / total[i] as f64
+            };
+            s.points.push((width, pct));
+        }
+    }
+    SimulationReport {
+        series,
+        pairs: pair_count,
+    }
+}
+
+fn consecutive_pairs(session: &Session) -> impl Iterator<Item = (&Query, &Query)> {
+    session.queries.windows(2).map(|w| (&w[0], &w[1]))
+}
+
+fn random_from_result(
+    ctx: &ExperimentContext,
+    result_rows: &[usize],
+    k: usize,
+    width: usize,
+    seed: u64,
+) -> Selection {
+    // The RAN baseline in the sessions study gets a short budget per query.
+    let sel = random_select(
+        &ctx.evaluator,
+        k,
+        width,
+        &[],
+        &RandomConfig {
+            time_budget: std::time::Duration::from_millis(20),
+            max_iterations: 10,
+            seed,
+        },
+    );
+    // Restrict its rows to the query result (random rows of the result).
+    let rows: Vec<usize> = result_rows.iter().copied().take(k).collect();
+    Selection::new(rows, sel.cols)
+}
+
+fn nc_from_result(table: &Table, result_rows: &[usize], k: usize, width: usize, seed: u64) -> Selection {
+    let result = table.take(result_rows).expect("rows valid");
+    let local = naive_clustering_select(&result, k, width, &[], seed);
+    let rows = local.rows.iter().map(|&r| result_rows[r]).collect();
+    Selection::new(rows, local.cols)
+}
+
+/// Counts the fragments of `next` that appear in the displayed sub-table.
+///
+/// Fragments are (a) every referenced column — captured when the column is
+/// among the sub-table's columns — and (b) every selection term (column,
+/// value/range) — captured when the column is displayed and some displayed
+/// row satisfies the term.
+pub fn fragments_captured(table: &Table, selection: &Selection, next: &Query) -> (usize, usize) {
+    let selected_names: Vec<String> = selection
+        .cols
+        .iter()
+        .filter_map(|&c| table.schema().field_at(c).map(|f| f.name.clone()))
+        .collect();
+    let mut captured = 0usize;
+    let mut total = 0usize;
+
+    for col in next.referenced_columns() {
+        total += 1;
+        if selected_names.contains(&col) {
+            captured += 1;
+        }
+    }
+    for pred in &next.predicates {
+        total += 1;
+        let col = pred.column().to_string();
+        if !selected_names.contains(&col) {
+            continue;
+        }
+        let hit = selection
+            .rows
+            .iter()
+            .any(|&r| pred.matches(table, r).unwrap_or(false));
+        // `IS NULL`-style predicates and equality terms are value fragments;
+        // they count as captured only when a displayed row exhibits them.
+        if hit {
+            captured += 1;
+        }
+    }
+    (captured, total)
+}
+
+/// Renders the report as the Figure 6 series.
+pub fn render(report: &SimulationReport) -> String {
+    let widths: Vec<usize> = report
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|&(w, _)| w).collect())
+        .unwrap_or_default();
+    let header: Vec<String> = std::iter::once("method".to_string())
+        .chain(widths.iter().map(|w| format!("width={w}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = report
+        .series
+        .iter()
+        .map(|s| {
+            std::iter::once(s.method.clone())
+                .chain(s.points.iter().map(|&(_, pct)| format!("{pct:.1}%")))
+                .collect()
+        })
+        .collect();
+    format!(
+        "Figure 6 (CY, {} query pairs): % of captured next-query fragments\n{}",
+        report.pairs,
+        crate::experiments::common::format_table(&header_refs, &rows)
+    )
+}
+
+/// Convenience used by tests: the captured percentage of one method at one
+/// width.
+pub fn percentage(report: &SimulationReport, method: &str, width: usize) -> Option<f64> {
+    report
+        .series
+        .iter()
+        .find(|s| s.method == method)?
+        .points
+        .iter()
+        .find(|&&(w, _)| w == width)
+        .map(|&(_, p)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_produces_three_series_over_five_widths() {
+        let report = run(ExperimentScale::Quick);
+        assert_eq!(report.series.len(), 3);
+        assert!(report.pairs > 0);
+        for s in &report.series {
+            assert_eq!(s.points.len(), 5);
+            for &(w, pct) in &s.points {
+                assert!((3..=7).contains(&w));
+                assert!((0.0..=100.0).contains(&pct));
+            }
+        }
+        assert!(render(&report).contains("width=3"));
+    }
+
+    #[test]
+    fn wider_subtables_capture_at_least_as_much_for_subtab() {
+        let report = run(ExperimentScale::Quick);
+        let narrow = percentage(&report, "SubTab", 3).unwrap();
+        let wide = percentage(&report, "SubTab", 7).unwrap();
+        // The paper observes the percentage growing with width; allow small
+        // noise at Quick scale.
+        assert!(wide + 10.0 >= narrow, "wide {wide} vs narrow {narrow}");
+    }
+}

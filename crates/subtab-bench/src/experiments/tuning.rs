@@ -1,0 +1,222 @@
+//! Figure 10: sensitivity of the cell-coverage evaluation to the rule-mining
+//! parameters — number of bins (10a), support threshold (10b) and confidence
+//! threshold (10c).
+//!
+//! As in the paper, the *sub-tables themselves do not change* across settings
+//! (none of the selection algorithms consume the rules); only the rule set
+//! they are evaluated against changes.
+
+use crate::experiments::common::{
+    format_table, run_nc, run_ran, run_subtab, target_indices, ExperimentContext, ExperimentScale,
+};
+use subtab_binning::BinningConfig;
+use subtab_datasets::DatasetKind;
+use subtab_metrics::Evaluator;
+use subtab_rules::{MiningConfig, RuleMiner};
+
+/// One parameter sweep: the varied value and the coverage of each method.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The value of the varied parameter.
+    pub value: f64,
+    /// (method, cell coverage) pairs.
+    pub coverage: Vec<(String, f64)>,
+}
+
+/// One panel of Figure 10.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Parameter name ("# bins", "support", "confidence").
+    pub parameter: String,
+    /// The sweep points.
+    pub points: Vec<SweepPoint>,
+}
+
+/// The full Figure 10 report.
+#[derive(Debug, Clone)]
+pub struct TuningReport {
+    /// The three panels.
+    pub sweeps: Vec<Sweep>,
+}
+
+/// Runs all three parameter sweeps, averaging over the FL and SP datasets as
+/// in the paper.
+pub fn run(scale: ExperimentScale) -> TuningReport {
+    let datasets = match scale {
+        ExperimentScale::Quick => vec![DatasetKind::Spotify],
+        ExperimentScale::Paper => vec![DatasetKind::Flights, DatasetKind::Spotify],
+    };
+    let mut sweeps = Vec::new();
+
+    // (a) number of bins: the binning (and hence the binned table and rule
+    // set) is re-fit per setting; the selections are re-evaluated against it.
+    let bin_counts = [5usize, 7, 10];
+    let mut bin_points = Vec::new();
+    for &bins in &bin_counts {
+        let coverage = average_coverage_with(&datasets, scale, |_| MiningConfig::default(), bins);
+        bin_points.push(SweepPoint {
+            value: bins as f64,
+            coverage,
+        });
+    }
+    sweeps.push(Sweep {
+        parameter: "# bins".into(),
+        points: bin_points,
+    });
+
+    // (b) support threshold.
+    let supports = [0.1f64, 0.2, 0.3];
+    let mut support_points = Vec::new();
+    for &s in &supports {
+        let coverage = average_coverage_with(
+            &datasets,
+            scale,
+            |_| MiningConfig {
+                min_support: s,
+                ..Default::default()
+            },
+            5,
+        );
+        support_points.push(SweepPoint {
+            value: s,
+            coverage,
+        });
+    }
+    sweeps.push(Sweep {
+        parameter: "support".into(),
+        points: support_points,
+    });
+
+    // (c) confidence threshold.
+    let confidences = [0.5f64, 0.6, 0.7, 0.8];
+    let mut confidence_points = Vec::new();
+    for &c in &confidences {
+        let coverage = average_coverage_with(
+            &datasets,
+            scale,
+            |_| MiningConfig {
+                min_confidence: c,
+                ..Default::default()
+            },
+            5,
+        );
+        confidence_points.push(SweepPoint {
+            value: c,
+            coverage,
+        });
+    }
+    sweeps.push(Sweep {
+        parameter: "confidence".into(),
+        points: confidence_points,
+    });
+
+    TuningReport { sweeps }
+}
+
+/// Average cell coverage of SubTab / RAN / NC over the given datasets, with
+/// the rule set mined under `mining(kind)` on a table binned with `bins`
+/// bins per column.
+fn average_coverage_with(
+    datasets: &[DatasetKind],
+    scale: ExperimentScale,
+    mining: impl Fn(DatasetKind) -> MiningConfig,
+    bins: usize,
+) -> Vec<(String, f64)> {
+    let (k, l) = (10usize, 10usize);
+    let mut sums: Vec<(String, f64)> = vec![
+        ("SubTab".into(), 0.0),
+        ("RAN".into(), 0.0),
+        ("NC".into(), 0.0),
+    ];
+    for &kind in datasets {
+        // Build the selections once with the standard context…
+        let ctx = ExperimentContext::build_with_mining(kind, scale, 5, &mining(kind));
+        let target = crate::experiments::user_study::default_target(kind);
+        let tidx = target_indices(ctx.table(), &[target]);
+        let subtab_sel = run_subtab(&ctx, k, l, &[target]).selection;
+        let ran_sel = run_ran(&ctx, k, l, &tidx, scale, 23).selection;
+        let nc_sel = run_nc(&ctx, k, l, &tidx, 23).selection;
+
+        // …then evaluate them against a rule set mined on the re-binned table.
+        let evaluator = if bins == ctx.subtab.config().binning.num_bins {
+            ctx.evaluator.clone()
+        } else {
+            let binning = BinningConfig {
+                num_bins: bins,
+                ..ctx.subtab.config().binning.clone()
+            };
+            let mut cfg = scale.subtab_config();
+            cfg.binning = binning;
+            // Re-bin only (cheap); reuse the mining config.
+            let binner =
+                subtab_binning::Binner::fit(ctx.table(), &cfg.binning).expect("binning fits");
+            let binned = binner.apply(ctx.table()).expect("binning applies");
+            let rules = RuleMiner::new(mining(kind)).mine(&binned);
+            Evaluator::new(binned, &rules, 0.5)
+        };
+        for (slot, sel) in sums
+            .iter_mut()
+            .zip([&subtab_sel, &ran_sel, &nc_sel])
+        {
+            slot.1 += evaluator.score(&sel.rows, &sel.cols).cell_coverage;
+        }
+    }
+    for slot in &mut sums {
+        slot.1 /= datasets.len() as f64;
+    }
+    sums
+}
+
+/// Renders the three panels.
+pub fn render(report: &TuningReport) -> String {
+    let mut out = String::from("Figure 10: cell coverage under varying rule-mining parameters\n");
+    for sweep in &report.sweeps {
+        let methods: Vec<String> = sweep
+            .points
+            .first()
+            .map(|p| p.coverage.iter().map(|(m, _)| m.clone()).collect())
+            .unwrap_or_default();
+        let header: Vec<String> = std::iter::once(sweep.parameter.clone())
+            .chain(methods.iter().cloned())
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = sweep
+            .points
+            .iter()
+            .map(|p| {
+                std::iter::once(format!("{}", p.value))
+                    .chain(p.coverage.iter().map(|(_, c)| format!("{c:.3}")))
+                    .collect()
+            })
+            .collect();
+        out.push_str(&format!(
+            "\n(Figure 10 — varying {})\n{}",
+            sweep.parameter,
+            format_table(&header_refs, &rows)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_sweeps_have_points_for_all_methods() {
+        let report = run(ExperimentScale::Quick);
+        assert_eq!(report.sweeps.len(), 3);
+        assert_eq!(report.sweeps[0].points.len(), 3);
+        assert_eq!(report.sweeps[1].points.len(), 3);
+        assert_eq!(report.sweeps[2].points.len(), 4);
+        for sweep in &report.sweeps {
+            for p in &sweep.points {
+                assert_eq!(p.coverage.len(), 3);
+                for (_, c) in &p.coverage {
+                    assert!((0.0..=1.0).contains(c));
+                }
+            }
+        }
+        assert!(render(&report).contains("confidence"));
+    }
+}

@@ -1,0 +1,354 @@
+//! Table 1 + Figure 5: the user study, reproduced with a simulated analyst.
+//!
+//! The paper's live study (15 participants, SP / FL / BL datasets, one method
+//! per participant group) cannot be reproduced offline, so we substitute a
+//! deterministic *insight-discovery oracle* (DESIGN.md, substitution 6):
+//!
+//! * for every planted archetype, the simulated analyst reports an insight
+//!   when the displayed sub-table shows at least two rows of that archetype
+//!   and at least two of its defining columns — i.e. the pattern is actually
+//!   visible in the display;
+//! * additionally, the analyst reports a *spurious* insight for every pair of
+//!   displayed columns whose values coincide on most displayed rows without
+//!   being part of a planted pattern — the "random, false correlations" the
+//!   paper observed users deriving from RAN/NC sub-tables;
+//! * an insight is *correct* when the corresponding pattern holds in the full
+//!   table with confidence ≥ 0.6 (archetype insights always do by
+//!   construction; spurious ones usually do not).
+//!
+//! Table 1's three rows (avg. correct insights, % of users with no insights,
+//! total insights) and Figure 5's four ratings are then computed per method,
+//! averaging over simulated users (= seeds) and the three datasets.
+
+use crate::experiments::common::{
+    run_nc, run_ran, run_subtab, target_indices, ExperimentContext, ExperimentScale,
+};
+use subtab_baselines::Selection;
+use subtab_datasets::{DatasetKind, PlantedDataset};
+
+/// The Table-1 numbers for one method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserStudyRow {
+    /// Method label.
+    pub method: String,
+    /// Average number of correct insights per user per dataset.
+    pub correct_insights: f64,
+    /// Fraction of correct insights among all reported insights.
+    pub correct_ratio: f64,
+    /// Fraction of simulated users who derived no insight at all.
+    pub users_with_no_insights: f64,
+    /// Average total number of insights per user per dataset.
+    pub total_insights: f64,
+    /// Figure 5 ratings (Q1 satisfaction, Q2 usefulness, Q3 column quality,
+    /// Q4 row quality), each in 1..=5.
+    pub ratings: [f64; 4],
+}
+
+/// Result of the whole experiment.
+#[derive(Debug, Clone)]
+pub struct UserStudyReport {
+    /// One row per method (SubTab, RAN, NC).
+    pub rows: Vec<UserStudyRow>,
+}
+
+/// Insights the oracle derives from one displayed sub-table.
+#[derive(Debug, Default, Clone, Copy)]
+struct InsightCounts {
+    correct: usize,
+    incorrect: usize,
+}
+
+/// Runs the simulated user study.
+pub fn run(scale: ExperimentScale) -> UserStudyReport {
+    let datasets = [DatasetKind::Spotify, DatasetKind::Flights, DatasetKind::BankLoans];
+    let users_per_method = match scale {
+        ExperimentScale::Quick => 2,
+        ExperimentScale::Paper => 5,
+    };
+    let (k, l) = (10usize, 10usize);
+
+    let mut rows = Vec::new();
+    for method in ["SubTab", "RAN", "NC"] {
+        let mut correct_sum = 0.0;
+        let mut total_sum = 0.0;
+        let mut no_insight_users = 0usize;
+        let mut user_count = 0usize;
+        let mut rating_sum = [0.0f64; 4];
+        for kind in datasets {
+            for user in 0..users_per_method {
+                let seed = 100 + user as u64;
+                let ctx = ExperimentContext::build(kind, scale, seed);
+                let target = default_target(kind);
+                let targets_idx = target_indices(ctx.table(), &[target]);
+                let selection = match method {
+                    "SubTab" => run_subtab(&ctx, k, l, &[target]).selection,
+                    "RAN" => run_ran(&ctx, k, l, &targets_idx, scale, seed).selection,
+                    _ => run_nc(&ctx, k, l, &targets_idx, seed).selection,
+                };
+                let insights = oracle_insights(&ctx.dataset, &selection);
+                let total = insights.correct + insights.incorrect;
+                correct_sum += insights.correct as f64;
+                total_sum += total as f64;
+                if total == 0 {
+                    no_insight_users += 1;
+                }
+                user_count += 1;
+
+                let score = ctx.score(&selection);
+                let col_quality = archetype_column_fraction(&ctx.dataset, &selection);
+                let row_quality = archetype_row_fraction(&ctx.dataset, &selection);
+                rating_sum[0] += 1.0 + 4.0 * score.combined;
+                rating_sum[1] += 1.0 + 4.0 * score.cell_coverage.max(score.combined * 0.8);
+                rating_sum[2] += 1.0 + 4.0 * col_quality;
+                rating_sum[3] += 1.0 + 4.0 * row_quality;
+            }
+        }
+        let n = user_count as f64;
+        rows.push(UserStudyRow {
+            method: method.to_string(),
+            correct_insights: correct_sum / n,
+            correct_ratio: if total_sum > 0.0 {
+                correct_sum / total_sum
+            } else {
+                0.0
+            },
+            users_with_no_insights: no_insight_users as f64 / n,
+            total_insights: total_sum / n,
+            ratings: rating_sum.map(|r| r / n),
+        });
+    }
+    UserStudyReport { rows }
+}
+
+/// The analysis-task target column of each dataset (the paper gives each
+/// dataset an exploration task, e.g. "what makes songs popular").
+pub fn default_target(kind: DatasetKind) -> &'static str {
+    match kind {
+        DatasetKind::Flights => "CANCELLED",
+        DatasetKind::Spotify => "popularity",
+        DatasetKind::BankLoans => "loan_status",
+        DatasetKind::Cyber => "flagged",
+        DatasetKind::CreditCard => "Class",
+        DatasetKind::UsFunds => "risk_rating",
+    }
+}
+
+/// The oracle described in the module docs.
+fn oracle_insights(dataset: &PlantedDataset, selection: &Selection) -> InsightCounts {
+    let mut counts = InsightCounts::default();
+    let table = &dataset.table;
+    let selected_names: Vec<&str> = selection
+        .cols
+        .iter()
+        .filter_map(|&c| table.schema().field_at(c).map(|f| f.name.as_str()))
+        .collect();
+
+    // Archetype insights: pattern visible => insight; always correct because
+    // planted rules hold with high confidence.
+    for (ai, arch) in dataset.archetypes.iter().enumerate() {
+        let rows_of_arch = selection
+            .rows
+            .iter()
+            .filter(|&&r| dataset.row_archetype[r] == Some(ai))
+            .count();
+        let visible_cols = arch
+            .columns()
+            .iter()
+            .filter(|c| selected_names.contains(c))
+            .count();
+        if rows_of_arch >= 2 && visible_cols >= 2 {
+            if dataset.archetype_confidence(ai) >= 0.6 {
+                counts.correct += 1;
+            } else {
+                counts.incorrect += 1;
+            }
+        }
+    }
+
+    // Spurious insights: pairs of displayed categorical-ish columns that look
+    // perfectly correlated in the displayed rows but are not planted.
+    let planted_pairs: Vec<(String, String)> = dataset
+        .archetypes
+        .iter()
+        .flat_map(|a| {
+            let cols = a.columns();
+            let mut pairs = Vec::new();
+            for i in 0..cols.len() {
+                for j in (i + 1)..cols.len() {
+                    pairs.push((cols[i].to_string(), cols[j].to_string()));
+                }
+            }
+            pairs
+        })
+        .collect();
+    for i in 0..selection.cols.len() {
+        for j in (i + 1)..selection.cols.len() {
+            let (ci, cj) = (selection.cols[i], selection.cols[j]);
+            let (ni, nj) = (
+                table.schema().field_at(ci).expect("valid").name.clone(),
+                table.schema().field_at(cj).expect("valid").name.clone(),
+            );
+            if planted_pairs
+                .iter()
+                .any(|(a, b)| (a == &ni && b == &nj) || (a == &nj && b == &ni))
+            {
+                continue;
+            }
+            // "Looks correlated" in the display: the displayed value pairs
+            // repeat (at most 2 distinct combinations over >= 4 rows).
+            if selection.rows.len() < 4 {
+                continue;
+            }
+            let combos: std::collections::HashSet<String> = selection
+                .rows
+                .iter()
+                .map(|&r| {
+                    format!(
+                        "{}|{}",
+                        table.value(r, &ni).map(|v| v.render()).unwrap_or_default(),
+                        table.value(r, &nj).map(|v| v.render()).unwrap_or_default()
+                    )
+                })
+                .collect();
+            if combos.len() <= 2 {
+                // The user "discovers" a dependency between ni and nj. Check
+                // whether it actually holds in the full table (it rarely does
+                // for unplanted pairs): confidence of the majority combo.
+                let mut combo_counts: std::collections::HashMap<String, usize> =
+                    std::collections::HashMap::new();
+                for r in 0..table.num_rows() {
+                    let key = format!(
+                        "{}|{}",
+                        table.value(r, &ni).map(|v| v.render()).unwrap_or_default(),
+                        table.value(r, &nj).map(|v| v.render()).unwrap_or_default()
+                    );
+                    *combo_counts.entry(key).or_insert(0) += 1;
+                }
+                let max = combo_counts.values().copied().max().unwrap_or(0);
+                if (max as f64) / (table.num_rows().max(1) as f64) >= 0.6 {
+                    counts.correct += 1;
+                } else {
+                    counts.incorrect += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Fraction of archetype-defining columns included in the selection,
+/// averaged over archetypes (Figure 5, Q3 proxy).
+fn archetype_column_fraction(dataset: &PlantedDataset, selection: &Selection) -> f64 {
+    let table = &dataset.table;
+    let selected_names: Vec<&str> = selection
+        .cols
+        .iter()
+        .filter_map(|&c| table.schema().field_at(c).map(|f| f.name.as_str()))
+        .collect();
+    if dataset.archetypes.is_empty() {
+        return 0.0;
+    }
+    dataset
+        .archetypes
+        .iter()
+        .map(|a| {
+            let cols = a.columns();
+            let hit = cols.iter().filter(|c| selected_names.contains(c)).count();
+            hit as f64 / cols.len().max(1) as f64
+        })
+        .sum::<f64>()
+        / dataset.archetypes.len() as f64
+}
+
+/// Fraction of archetypes represented by at least one selected row
+/// (Figure 5, Q4 proxy).
+fn archetype_row_fraction(dataset: &PlantedDataset, selection: &Selection) -> f64 {
+    if dataset.archetypes.is_empty() {
+        return 0.0;
+    }
+    let mut represented = vec![false; dataset.archetypes.len()];
+    for &r in &selection.rows {
+        if let Some(ai) = dataset.row_archetype[r] {
+            represented[ai] = true;
+        }
+    }
+    represented.iter().filter(|&&x| x).count() as f64 / dataset.archetypes.len() as f64
+}
+
+/// Renders the report in the layout of Table 1.
+pub fn render(report: &UserStudyReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.clone(),
+                format!("{:.1} ({:.0}%)", r.correct_insights, r.correct_ratio * 100.0),
+                format!("{:.0}%", r.users_with_no_insights * 100.0),
+                format!("{:.1}", r.total_insights),
+            ]
+        })
+        .collect();
+    let table1 = crate::experiments::common::format_table(
+        &["method", "# correct insights", "% users w/o insights", "# total insights"],
+        &rows,
+    );
+    let fig5_rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.clone(),
+                format!("{:.2}", r.ratings[0]),
+                format!("{:.2}", r.ratings[1]),
+                format!("{:.2}", r.ratings[2]),
+                format!("{:.2}", r.ratings[3]),
+            ]
+        })
+        .collect();
+    let fig5 = crate::experiments::common::format_table(
+        &["method", "Q1 satisfaction", "Q2 usefulness", "Q3 columns", "Q4 rows"],
+        &fig5_rows,
+    );
+    format!("Table 1 (simulated user study)\n{table1}\nFigure 5 (questionnaire proxies, 1-5)\n{fig5}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_produces_all_methods_and_sane_numbers() {
+        let report = run(ExperimentScale::Quick);
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            assert!(row.correct_insights >= 0.0);
+            assert!(row.total_insights >= row.correct_insights);
+            assert!((0.0..=1.0).contains(&row.users_with_no_insights));
+            for r in row.ratings {
+                assert!((1.0..=5.0).contains(&r), "rating {r} out of range");
+            }
+        }
+        let render = render(&report);
+        assert!(render.contains("SubTab"));
+        assert!(render.contains("Q1"));
+    }
+
+    #[test]
+    fn subtab_surfaces_mostly_correct_insights() {
+        // At Quick scale (few hundred rows) all methods expose the strongly
+        // planted patterns, so the paper's SubTab-vs-baseline gap is not
+        // asserted here (see EXPERIMENTS.md); what must always hold is that
+        // SubTab's displays lead the oracle to true patterns, not spurious
+        // correlations.
+        let report = run(ExperimentScale::Quick);
+        let subtab = report
+            .rows
+            .iter()
+            .find(|r| r.method == "SubTab")
+            .expect("SubTab row present");
+        assert!(subtab.correct_insights >= 1.0);
+        assert!(subtab.correct_ratio >= 0.5, "ratio {}", subtab.correct_ratio);
+        assert_eq!(subtab.users_with_no_insights, 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! The binned view of a table: every cell replaced by its bin id.
+
+use crate::strategy::{BinId, BinLabel};
+
+/// A table whose cells have been replaced by bin identifiers.
+///
+/// This is the representation consumed by association-rule mining, by the
+/// diversity metric and by the embedding corpus builder. It is deliberately
+/// small: per column, one `Vec<BinId>` plus the bin labels.
+#[derive(Debug, Clone)]
+pub struct BinnedTable {
+    column_names: Vec<String>,
+    labels: Vec<Vec<BinLabel>>,
+    codes: Vec<Vec<BinId>>,
+    num_rows: usize,
+}
+
+impl BinnedTable {
+    /// Assembles a binned table from per-column names, labels and codes.
+    ///
+    /// Panics if the per-column vectors have inconsistent lengths — this is an
+    /// internal constructor used by [`crate::Binner::apply`].
+    pub(crate) fn new(
+        column_names: Vec<String>,
+        labels: Vec<Vec<BinLabel>>,
+        codes: Vec<Vec<BinId>>,
+    ) -> Self {
+        assert_eq!(column_names.len(), labels.len());
+        assert_eq!(column_names.len(), codes.len());
+        let num_rows = codes.first().map_or(0, Vec::len);
+        for c in &codes {
+            assert_eq!(c.len(), num_rows, "ragged binned table");
+        }
+        BinnedTable {
+            column_names,
+            labels,
+            codes,
+            num_rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.column_names.len()
+    }
+
+    /// Column names, in order.
+    pub fn column_names(&self) -> &[String] {
+        &self.column_names
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.column_names.iter().position(|c| c == name)
+    }
+
+    /// Bin id of the cell at (`row`, `col`).
+    pub fn bin_id(&self, row: usize, col: usize) -> BinId {
+        self.codes[col][row]
+    }
+
+    /// Number of bins of column `col` (including the null bin).
+    pub fn num_bins(&self, col: usize) -> usize {
+        self.labels[col].len()
+    }
+
+    /// Label of bin `bin` of column `col`.
+    pub fn label(&self, col: usize, bin: BinId) -> &BinLabel {
+        &self.labels[col][bin as usize]
+    }
+
+    /// Whether the cell at (`row`, `col`) is in the null bin.
+    pub fn is_null(&self, row: usize, col: usize) -> bool {
+        self.label(col, self.bin_id(row, col)).is_null
+    }
+
+    /// The items (column index, bin id) of one row — the "transaction" used
+    /// by association-rule mining.
+    pub fn row_items(&self, row: usize) -> Vec<(usize, BinId)> {
+        (0..self.num_columns())
+            .map(|c| (c, self.bin_id(row, c)))
+            .collect()
+    }
+
+    /// A token uniquely identifying (column, bin), used as a "word" in the
+    /// embedding corpus, e.g. `"distance=[100.000, 550.000)"`.
+    pub fn token(&self, col: usize, bin: BinId) -> String {
+        format!("{}={}", self.column_names[col], self.labels[col][bin as usize])
+    }
+
+    /// Token of the cell at (`row`, `col`).
+    pub fn cell_token(&self, row: usize, col: usize) -> String {
+        self.token(col, self.bin_id(row, col))
+    }
+
+    /// Restricts the binned table to the given rows (in order).
+    pub fn take_rows(&self, rows: &[usize]) -> BinnedTable {
+        let codes = self
+            .codes
+            .iter()
+            .map(|col| rows.iter().map(|&r| col[r]).collect())
+            .collect();
+        BinnedTable::new(self.column_names.clone(), self.labels.clone(), codes)
+    }
+
+    /// Restricts the binned table to the given columns (by index, in order).
+    pub fn take_columns(&self, cols: &[usize]) -> BinnedTable {
+        BinnedTable::new(
+            cols.iter().map(|&c| self.column_names[c].clone()).collect(),
+            cols.iter().map(|&c| self.labels[c].clone()).collect(),
+            cols.iter().map(|&c| self.codes[c].clone()).collect(),
+        )
+    }
+
+    /// Frequency of each bin of column `col` over all rows.
+    pub fn bin_histogram(&self, col: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_bins(col)];
+        for &code in &self.codes[col] {
+            hist[code as usize] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Binner, BinningConfig};
+    use subtab_data::Table;
+
+    fn binned() -> BinnedTable {
+        let t = Table::builder()
+            .column_str("airline", vec![Some("AA"), Some("DL"), Some("AA"), None])
+            .column_i64("cancelled", vec![Some(0), Some(1), Some(0), Some(1)])
+            .build()
+            .unwrap();
+        let b = Binner::fit(&t, &BinningConfig::default()).unwrap();
+        b.apply(&t).unwrap()
+    }
+
+    #[test]
+    fn shape_and_lookup() {
+        let bt = binned();
+        assert_eq!(bt.num_rows(), 4);
+        assert_eq!(bt.num_columns(), 2);
+        assert_eq!(bt.column_index("cancelled"), Some(1));
+        assert_eq!(bt.column_index("nope"), None);
+        assert_eq!(bt.column_names()[0], "airline");
+    }
+
+    #[test]
+    fn same_category_same_bin() {
+        let bt = binned();
+        let a = bt.column_index("airline").unwrap();
+        assert_eq!(bt.bin_id(0, a), bt.bin_id(2, a));
+        assert_ne!(bt.bin_id(0, a), bt.bin_id(1, a));
+        assert!(bt.is_null(3, a));
+        assert!(!bt.is_null(0, a));
+    }
+
+    #[test]
+    fn tokens_include_column_and_label() {
+        let bt = binned();
+        let a = bt.column_index("airline").unwrap();
+        let tok = bt.cell_token(0, a);
+        assert!(tok.starts_with("airline="));
+        assert!(tok.contains("AA"));
+    }
+
+    #[test]
+    fn row_items_cover_all_columns() {
+        let bt = binned();
+        let items = bt.row_items(1);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].0, 0);
+        assert_eq!(items[1].0, 1);
+    }
+
+    #[test]
+    fn take_rows_and_columns() {
+        let bt = binned();
+        let rows = bt.take_rows(&[2, 0]);
+        assert_eq!(rows.num_rows(), 2);
+        assert_eq!(rows.bin_id(0, 0), bt.bin_id(2, 0));
+        let cols = bt.take_columns(&[1]);
+        assert_eq!(cols.num_columns(), 1);
+        assert_eq!(cols.column_names()[0], "cancelled");
+        assert_eq!(cols.bin_id(3, 0), bt.bin_id(3, 1));
+    }
+
+    #[test]
+    fn histogram_sums_to_row_count() {
+        let bt = binned();
+        for c in 0..bt.num_columns() {
+            let hist = bt.bin_histogram(c);
+            assert_eq!(hist.iter().sum::<usize>(), bt.num_rows());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Grouping of categorical columns into a bounded number of bins.
+//!
+//! The paper (Example 3.3) groups high-cardinality categorical columns (e.g.
+//! airlines grouped by continent) so that each column ends up with a small
+//! number of bins. Without domain knowledge, the standard equivalent is
+//! frequency grouping: the most frequent `max_categories − 1` categories keep
+//! their own bin and the rest are merged into an `OTHER` bin.
+
+use std::collections::HashMap;
+
+/// The grouping decision for a categorical column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategoryGrouping {
+    /// Categories that keep their own bin, most frequent first.
+    pub kept: Vec<String>,
+    /// Whether infrequent categories are mapped to an `OTHER` bin.
+    pub has_other: bool,
+}
+
+impl CategoryGrouping {
+    /// Number of bins produced by this grouping (excluding the null bin).
+    pub fn num_bins(&self) -> usize {
+        self.kept.len() + usize::from(self.has_other)
+    }
+}
+
+/// Computes the frequency grouping of the given category occurrences.
+///
+/// `counts` maps category → number of occurrences. At most `max_categories`
+/// bins are produced; ties are broken alphabetically for determinism.
+pub fn group_categories(counts: &HashMap<String, usize>, max_categories: usize) -> CategoryGrouping {
+    let max_categories = max_categories.max(1);
+    let mut by_freq: Vec<(&String, &usize)> = counts.iter().collect();
+    by_freq.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+    if by_freq.len() <= max_categories {
+        return CategoryGrouping {
+            kept: by_freq.into_iter().map(|(c, _)| c.clone()).collect(),
+            has_other: false,
+        };
+    }
+    let kept: Vec<String> = by_freq
+        .iter()
+        .take(max_categories - 1)
+        .map(|(c, _)| (*c).clone())
+        .collect();
+    CategoryGrouping {
+        kept,
+        has_other: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> HashMap<String, usize> {
+        pairs.iter().map(|(c, n)| (c.to_string(), *n)).collect()
+    }
+
+    #[test]
+    fn few_categories_kept_as_is() {
+        let g = group_categories(&counts(&[("AA", 10), ("DL", 5)]), 8);
+        assert_eq!(g.kept.len(), 2);
+        assert!(!g.has_other);
+        assert_eq!(g.num_bins(), 2);
+        // Most frequent first.
+        assert_eq!(g.kept[0], "AA");
+    }
+
+    #[test]
+    fn many_categories_get_other_bin() {
+        let g = group_categories(
+            &counts(&[("a", 100), ("b", 50), ("c", 10), ("d", 5), ("e", 1)]),
+            3,
+        );
+        assert_eq!(g.kept, vec!["a".to_string(), "b".to_string()]);
+        assert!(g.has_other);
+        assert_eq!(g.num_bins(), 3);
+    }
+
+    #[test]
+    fn ties_broken_alphabetically() {
+        let g = group_categories(&counts(&[("z", 5), ("a", 5), ("m", 5)]), 2);
+        assert_eq!(g.kept, vec!["a".to_string()]);
+        assert!(g.has_other);
+    }
+
+    #[test]
+    fn max_categories_of_one_means_everything_is_other() {
+        let g = group_categories(&counts(&[("a", 1), ("b", 2)]), 1);
+        assert!(g.kept.is_empty());
+        assert!(g.has_other);
+        assert_eq!(g.num_bins(), 1);
+    }
+
+    #[test]
+    fn empty_counts() {
+        let g = group_categories(&HashMap::new(), 4);
+        assert!(g.kept.is_empty());
+        assert!(!g.has_other);
+        assert_eq!(g.num_bins(), 0);
+    }
+}

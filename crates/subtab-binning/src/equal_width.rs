@@ -1,0 +1,51 @@
+//! Equal-width cut-point computation.
+
+/// Computes `num_bins - 1` interior cut points splitting `[min, max]` into
+/// equal-length intervals.
+///
+/// Returns an empty vector when the data has fewer than two distinct values
+/// or when `num_bins < 2` (a single bin needs no cuts).
+pub fn equal_width_cuts(values: &[f64], num_bins: usize) -> Vec<f64> {
+    if num_bins < 2 || values.is_empty() {
+        return Vec::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() || lo == hi {
+        return Vec::new();
+    }
+    let width = (hi - lo) / num_bins as f64;
+    (1..num_bins).map(|i| lo + width * i as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_range_evenly() {
+        let vals = vec![0.0, 10.0];
+        let cuts = equal_width_cuts(&vals, 5);
+        assert_eq!(cuts, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(equal_width_cuts(&[], 5).is_empty());
+        assert!(equal_width_cuts(&[3.0, 3.0, 3.0], 5).is_empty());
+        assert!(equal_width_cuts(&[1.0, 2.0], 1).is_empty());
+        assert!(equal_width_cuts(&[f64::NAN], 3).is_empty());
+    }
+
+    #[test]
+    fn ignores_non_finite_values() {
+        let vals = vec![0.0, f64::INFINITY, 10.0, f64::NAN];
+        let cuts = equal_width_cuts(&vals, 2);
+        assert_eq!(cuts, vec![5.0]);
+    }
+}

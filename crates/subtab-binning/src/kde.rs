@@ -1,0 +1,211 @@
+//! Kernel-density-estimation based cut-point computation.
+//!
+//! The paper's reference implementation bins continuous columns with a
+//! SciPy-based kernel density estimate: cut points are placed at the valleys
+//! (local minima) of the estimated density so that each bin corresponds to a
+//! "natural" mode of the distribution. This module reimplements that idea:
+//! a Gaussian KDE with Silverman's rule-of-thumb bandwidth is evaluated on a
+//! uniform grid, local minima of the density are detected, and the deepest
+//! `num_bins − 1` valleys become cut points. If the density has fewer valleys
+//! than requested (e.g. a unimodal column), the remaining cuts fall back to
+//! quantile cuts so the configured bin count is still honoured.
+
+use crate::quantile::quantile_cuts;
+
+/// A fitted one-dimensional Gaussian kernel density estimate.
+#[derive(Debug, Clone)]
+pub struct GaussianKde {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl GaussianKde {
+    /// Fits a KDE with Silverman's rule-of-thumb bandwidth.
+    ///
+    /// Returns `None` when there are fewer than two finite samples or the
+    /// data has zero spread (no density structure to exploit).
+    pub fn fit(values: &[f64]) -> Option<Self> {
+        let samples: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if samples.len() < 2 {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt();
+        let iqr = {
+            let mut s = samples.clone();
+            s.sort_by(f64::total_cmp);
+            let q75 = crate::quantile::quantile_of_sorted(&s, 0.75);
+            let q25 = crate::quantile::quantile_of_sorted(&s, 0.25);
+            q75 - q25
+        };
+        // Silverman's rule: 0.9 * min(std, IQR/1.34) * n^(-1/5).
+        let spread = if iqr > 0.0 {
+            std.min(iqr / 1.34)
+        } else {
+            std
+        };
+        if spread <= 0.0 {
+            return None;
+        }
+        let bandwidth = 0.9 * spread * n.powf(-0.2);
+        Some(GaussianKde { samples, bandwidth })
+    }
+
+    /// The bandwidth chosen by Silverman's rule.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * h * self.samples.len() as f64);
+        self.samples
+            .iter()
+            .map(|&s| (-0.5 * ((x - s) / h).powi(2)).exp())
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Evaluates the density on a uniform grid over the sample range
+    /// (slightly padded by one bandwidth on each side).
+    pub fn density_grid(&self, grid_size: usize) -> Vec<(f64, f64)> {
+        let lo = self
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            - self.bandwidth;
+        let hi = self
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            + self.bandwidth;
+        let n = grid_size.max(8);
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.density(x))
+            })
+            .collect()
+    }
+}
+
+/// Computes cut points at the deepest valleys of the KDE, topping up with
+/// quantile cuts when the density is not multi-modal enough.
+pub fn kde_cuts(values: &[f64], num_bins: usize, grid_size: usize) -> Vec<f64> {
+    if num_bins < 2 {
+        return Vec::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let Some(kde) = GaussianKde::fit(&finite) else {
+        return quantile_cuts(&finite, num_bins);
+    };
+    let grid = kde.density_grid(grid_size);
+    // A valley is a grid point whose density is a local minimum; its depth is
+    // the smaller of the two peak-to-valley drops around it.
+    let mut valleys: Vec<(f64, f64)> = Vec::new(); // (depth, x)
+    for i in 1..grid.len().saturating_sub(1) {
+        let (x, d) = grid[i];
+        if d <= grid[i - 1].1 && d <= grid[i + 1].1 && (d < grid[i - 1].1 || d < grid[i + 1].1) {
+            // Find surrounding peaks.
+            let left_peak = grid[..i]
+                .iter()
+                .map(|&(_, dd)| dd)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let right_peak = grid[i + 1..]
+                .iter()
+                .map(|&(_, dd)| dd)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let depth = (left_peak - d).min(right_peak - d);
+            if depth > 0.0 {
+                valleys.push((depth, x));
+            }
+        }
+    }
+    valleys.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut cuts: Vec<f64> = valleys
+        .into_iter()
+        .take(num_bins - 1)
+        .map(|(_, x)| x)
+        .collect();
+    if cuts.len() < num_bins - 1 {
+        // Top up with quantile cuts that do not duplicate existing ones.
+        for q in quantile_cuts(&finite, num_bins) {
+            if cuts.len() >= num_bins - 1 {
+                break;
+            }
+            if cuts.iter().all(|&c| (c - q).abs() > f64::EPSILON) {
+                cuts.push(q);
+            }
+        }
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_data_cut_between_modes() {
+        // Two clear modes around 0 and 100.
+        let mut vals: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        vals.extend((0..100).map(|i| 100.0 + (i % 10) as f64));
+        let cuts = kde_cuts(&vals, 2, 256);
+        assert_eq!(cuts.len(), 1);
+        assert!(cuts[0] > 15.0 && cuts[0] < 95.0, "cut at {}", cuts[0]);
+    }
+
+    #[test]
+    fn trimodal_data_gets_two_valley_cuts() {
+        let mut vals = Vec::new();
+        for center in [0.0, 50.0, 100.0] {
+            vals.extend((0..60).map(|i| center + (i % 6) as f64));
+        }
+        let cuts = kde_cuts(&vals, 3, 256);
+        assert_eq!(cuts.len(), 2);
+        assert!(cuts[0] > 10.0 && cuts[0] < 50.0);
+        assert!(cuts[1] > 60.0 && cuts[1] < 100.0);
+    }
+
+    #[test]
+    fn unimodal_data_falls_back_to_quantiles() {
+        let vals: Vec<f64> = (0..200).map(|i| i as f64 * 0.5).collect();
+        let cuts = kde_cuts(&vals, 4, 128);
+        assert_eq!(cuts.len(), 3);
+        // Cuts must be strictly increasing.
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn degenerate_data() {
+        assert!(kde_cuts(&[], 5, 64).is_empty());
+        assert!(kde_cuts(&[1.0], 5, 64).is_empty());
+        assert!(kde_cuts(&[2.0; 30], 5, 64).is_empty());
+        assert!(kde_cuts(&[1.0, 2.0, 3.0], 1, 64).is_empty());
+    }
+
+    #[test]
+    fn kde_density_integrates_roughly_to_one() {
+        let vals: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let kde = GaussianKde::fit(&vals).unwrap();
+        let grid = kde.density_grid(512);
+        let dx = grid[1].0 - grid[0].0;
+        let integral: f64 = grid.iter().map(|&(_, d)| d * dx).sum();
+        assert!((integral - 1.0).abs() < 0.1, "integral = {integral}");
+        assert!(kde.bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn kde_fit_requires_spread() {
+        assert!(GaussianKde::fit(&[5.0, 5.0, 5.0]).is_none());
+        assert!(GaussianKde::fit(&[1.0]).is_none());
+        assert!(GaussianKde::fit(&[f64::NAN, f64::NAN]).is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Quantile (equal-frequency) cut-point computation.
+
+/// Computes up to `num_bins - 1` interior cut points so that each interval
+/// receives roughly the same number of values.
+///
+/// Duplicate cut points (which happen for heavily repeated values) are
+/// collapsed, so fewer than `num_bins` bins may result.
+pub fn quantile_cuts(values: &[f64], num_bins: usize) -> Vec<f64> {
+    if num_bins < 2 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.len() < 2 {
+        return Vec::new();
+    }
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let mut cuts = Vec::with_capacity(num_bins - 1);
+    for i in 1..num_bins {
+        let q = i as f64 / num_bins as f64;
+        let cut = quantile_of_sorted(&sorted, q);
+        if cut > *sorted.first().expect("non-empty")
+            && cut < *sorted.last().expect("non-empty")
+            && cuts.last().is_none_or(|&last: &f64| cut > last)
+        {
+            cuts.push(cut);
+        }
+    }
+    let _ = n;
+    cuts
+}
+
+/// Linear-interpolation quantile of pre-sorted data, `q ∈ [0, 1]`.
+pub fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_gets_even_cuts() {
+        let vals: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let cuts = quantile_cuts(&vals, 4);
+        assert_eq!(cuts.len(), 3);
+        assert!((cuts[0] - 25.0).abs() < 1.0);
+        assert!((cuts[1] - 50.0).abs() < 1.0);
+        assert!((cuts[2] - 75.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn skewed_data_gets_denser_cuts_in_dense_region() {
+        // 90% of the mass near 0, 10% near 1000.
+        let mut vals: Vec<f64> = (0..90).map(|i| i as f64 / 100.0).collect();
+        vals.extend((0..10).map(|i| 1000.0 + i as f64));
+        let cuts = quantile_cuts(&vals, 5);
+        // Most cuts should be below 1.0 (dense region).
+        assert!(cuts.iter().filter(|&&c| c < 1.0).count() >= 3);
+    }
+
+    #[test]
+    fn repeated_values_collapse_cuts() {
+        let vals = vec![1.0; 50];
+        assert!(quantile_cuts(&vals, 5).is_empty());
+        let mut vals = vec![1.0; 50];
+        vals.extend(vec![2.0; 50]);
+        let cuts = quantile_cuts(&vals, 4);
+        assert!(cuts.len() <= 1);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let sorted = vec![0.0, 10.0];
+        assert_eq!(quantile_of_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_of_sorted(&sorted, 0.5), 5.0);
+        assert_eq!(quantile_of_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        quantile_of_sorted(&[], 0.5);
+    }
+}

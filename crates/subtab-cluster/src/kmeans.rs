@@ -1,0 +1,261 @@
+//! Lloyd's k-means with k-means++ initialisation.
+
+use crate::distance::squared_euclidean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final cluster centroids (`k` vectors, possibly fewer if there were
+    /// fewer distinct points than clusters).
+    pub centroids: Vec<Vec<f32>>,
+    /// Cluster assignment of every input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f32,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// K-means clustering with deterministic seeding.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    max_iterations: usize,
+    seed: u64,
+}
+
+impl KMeans {
+    /// Creates a clusterer for `k` clusters with the given RNG seed.
+    pub fn new(k: usize, seed: u64) -> Self {
+        KMeans {
+            k,
+            max_iterations: 100,
+            seed,
+        }
+    }
+
+    /// Overrides the maximum number of Lloyd iterations (default 100).
+    pub fn max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters.max(1);
+        self
+    }
+
+    /// Runs k-means on the given points.
+    ///
+    /// Degenerate inputs are handled gracefully: with no points the result is
+    /// empty; with `k = 0` every point is assigned to a single implicit
+    /// cluster 0 and no centroids are returned; with `k >= n` every point
+    /// becomes its own centroid.
+    pub fn fit(&self, points: &[Vec<f32>]) -> KMeansResult {
+        let n = points.len();
+        if n == 0 || self.k == 0 {
+            return KMeansResult {
+                centroids: Vec::new(),
+                assignments: vec![0; n],
+                inertia: 0.0,
+                iterations: 0,
+            };
+        }
+        let k = self.k.min(n);
+        let dim = points[0].len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut centroids = kmeanspp_init(points, k, &mut rng);
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0usize;
+
+        for iter in 0..self.max_iterations {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let (best, _) = nearest_centroid(p, &centroids);
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0f32; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, p) in points.iter().enumerate() {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (s, x) in sums[c].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for (c, sum) in sums.iter_mut().enumerate() {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f32;
+                    for (dst, s) in centroids[c].iter_mut().zip(sum.iter()) {
+                        *dst = s * inv;
+                    }
+                } else {
+                    // Empty cluster: re-seed it at the point farthest from its
+                    // current centroid assignment.
+                    let far = points
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            let da = nearest_centroid(a, &centroids).1;
+                            let db = nearest_centroid(b, &centroids).1;
+                            da.total_cmp(&db)
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    centroids[c] = points[far].clone();
+                }
+            }
+            if !changed && iter > 0 {
+                break;
+            }
+        }
+
+        let inertia = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| squared_euclidean(p, &centroids[assignments[i]]))
+            .sum();
+        KMeansResult {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+        }
+    }
+}
+
+fn nearest_centroid(point: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = squared_euclidean(point, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ seeding: the first centroid is uniform, subsequent centroids are
+/// drawn with probability proportional to the squared distance to the nearest
+/// already-chosen centroid.
+fn kmeanspp_init(points: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    let n = points.len();
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    let mut dists: Vec<f32> = points
+        .iter()
+        .map(|p| squared_euclidean(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f32 = dists.iter().sum();
+        let next = if total <= f32::EPSILON {
+            // All remaining points coincide with existing centroids.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f32>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if target <= d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = squared_euclidean(p, centroids.last().expect("just pushed"));
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f32>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + (i % 5) as f32 * 0.01, 0.0]);
+            pts.push(vec![10.0 + (i % 5) as f32 * 0.01, 10.0]);
+            pts.push(vec![-10.0, 5.0 + (i % 5) as f32 * 0.01]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let pts = blobs();
+        let result = KMeans::new(3, 1).fit(&pts);
+        assert_eq!(result.centroids.len(), 3);
+        assert_eq!(result.assignments.len(), pts.len());
+        // Points in the same blob share an assignment.
+        assert_eq!(result.assignments[0], result.assignments[3]);
+        assert_eq!(result.assignments[1], result.assignments[4]);
+        assert_ne!(result.assignments[0], result.assignments[1]);
+        // Inertia should be tiny relative to blob separation.
+        assert!(result.inertia < 1.0, "inertia = {}", result.inertia);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs();
+        let a = KMeans::new(3, 9).fit(&pts);
+        let b = KMeans::new(3, 9).fit(&pts);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_greater_than_n() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let result = KMeans::new(5, 0).fit(&pts);
+        assert_eq!(result.centroids.len(), 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: Vec<Vec<f32>> = Vec::new();
+        let r = KMeans::new(3, 0).fit(&empty);
+        assert!(r.centroids.is_empty());
+        assert!(r.assignments.is_empty());
+
+        let r = KMeans::new(0, 0).fit(&[vec![1.0], vec![2.0]]);
+        assert!(r.centroids.is_empty());
+        assert_eq!(r.assignments, vec![0, 0]);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let pts = vec![vec![2.0, 2.0]; 12];
+        let r = KMeans::new(3, 4).fit(&pts);
+        assert_eq!(r.assignments.len(), 12);
+        assert!(r.inertia < 1e-6);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let r = KMeans::new(1, 0).fit(&pts);
+        assert_eq!(r.centroids.len(), 1);
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_iterations_is_respected() {
+        let pts = blobs();
+        let r = KMeans::new(3, 1).max_iterations(1).fit(&pts);
+        assert_eq!(r.iterations, 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # subtab-cluster
+//!
+//! K-means clustering and centroid-representative selection, the "Selecting
+//! step" machinery of the SubTab algorithm (Algorithm 2, lines 11–17) and of
+//! the naive-clustering baseline.
+//!
+//! The crate is deliberately generic: it operates on plain `&[Vec<f32>]`
+//! point sets so that the same code clusters embedding row-vectors,
+//! embedding column-vectors and one-hot-encoded rows.
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ initialisation, empty
+//!   cluster repair and deterministic seeding,
+//! * [`representative`] — mapping centroids back to *actual* data points
+//!   (the sub-table must contain real rows of the table, so the row nearest
+//!   to each centroid is selected, with duplicates resolved to the next
+//!   nearest unused point),
+//! * [`distance`] — the Euclidean distance helpers shared by both.
+//!
+//! ```
+//! use subtab_cluster::{kmeans::KMeans, representative::select_representatives};
+//!
+//! let points = vec![
+//!     vec![0.0, 0.0], vec![0.1, 0.0], vec![10.0, 10.0], vec![10.1, 9.9],
+//! ];
+//! let result = KMeans::new(2, 42).fit(&points);
+//! let reps = select_representatives(&points, &result);
+//! assert_eq!(reps.len(), 2);
+//! // One representative from each blob.
+//! assert_ne!(points[reps[0]][0] > 5.0, points[reps[1]][0] > 5.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod distance;
+pub mod kmeans;
+pub mod representative;
+
+pub use distance::{euclidean, squared_euclidean};
+pub use kmeans::{KMeans, KMeansResult};
+pub use representative::{select_k_representatives, select_representatives};

@@ -1,0 +1,128 @@
+//! Mapping cluster centroids back to actual data points.
+//!
+//! Sub-tables must contain real rows of the input table (Definition 3.1), so
+//! after clustering the row/column vectors, SubTab selects for each centroid
+//! the *data point nearest to it* (Algorithm 2: "select their centroids as
+//! the rows of T_sub", which in practice means the medoid-like nearest
+//! member). When two centroids would pick the same point, the later one takes
+//! its next-nearest unused point so that exactly `k` distinct indices are
+//! returned.
+
+use crate::distance::squared_euclidean;
+use crate::kmeans::{KMeans, KMeansResult};
+
+/// For each centroid of `result`, the index of the nearest point in `points`,
+/// with duplicates resolved to the next nearest unused point.
+pub fn select_representatives(points: &[Vec<f32>], result: &KMeansResult) -> Vec<usize> {
+    let mut chosen: Vec<usize> = Vec::with_capacity(result.centroids.len());
+    for centroid in &result.centroids {
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        order.sort_by(|&a, &b| {
+            squared_euclidean(&points[a], centroid)
+                .total_cmp(&squared_euclidean(&points[b], centroid))
+        });
+        if let Some(&idx) = order.iter().find(|i| !chosen.contains(i)) {
+            chosen.push(idx);
+        }
+    }
+    chosen
+}
+
+/// Clusters `points` into `k` clusters and returns the indices of the `k`
+/// representative points (fewer if there are fewer points than `k`).
+pub fn select_k_representatives(points: &[Vec<f32>], k: usize, seed: u64) -> Vec<usize> {
+    if k == 0 || points.is_empty() {
+        return Vec::new();
+    }
+    if points.len() <= k {
+        return (0..points.len()).collect();
+    }
+    let result = KMeans::new(k, seed).fit(points);
+    select_representatives(points, &result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representatives_are_distinct_and_one_per_cluster() {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(vec![0.0, i as f32 * 0.01]);
+            points.push(vec![100.0, i as f32 * 0.01]);
+            points.push(vec![-100.0, i as f32 * 0.01]);
+        }
+        let reps = select_k_representatives(&points, 3, 7);
+        assert_eq!(reps.len(), 3);
+        let mut sorted = reps.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "representatives must be distinct");
+        // One representative per blob.
+        let blobs: Vec<i32> = reps
+            .iter()
+            .map(|&i| {
+                if points[i][0] > 50.0 {
+                    1
+                } else if points[i][0] < -50.0 {
+                    -1
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let mut blob_set = blobs.clone();
+        blob_set.sort_unstable();
+        blob_set.dedup();
+        assert_eq!(blob_set.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_centroids_fall_back_to_unused_points() {
+        // All points identical: k-means centroids coincide, but the selected
+        // representatives must still be distinct indices.
+        let points = vec![vec![1.0, 1.0]; 6];
+        let reps = select_k_representatives(&points, 3, 0);
+        assert_eq!(reps.len(), 3);
+        let mut sorted = reps;
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn fewer_points_than_k_returns_all() {
+        let points = vec![vec![0.0], vec![1.0]];
+        let reps = select_k_representatives(&points, 10, 0);
+        assert_eq!(reps, vec![0, 1]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(select_k_representatives(&[], 3, 0).is_empty());
+        assert!(select_k_representatives(&[vec![1.0]], 0, 0).is_empty());
+    }
+
+    #[test]
+    fn representative_is_the_nearest_member() {
+        let points = vec![
+            vec![0.0],
+            vec![0.9],
+            vec![10.0],
+            vec![10.4],
+        ];
+        let result = KMeans::new(2, 3).fit(&points);
+        let reps = select_representatives(&points, &result);
+        // Each representative must belong to the cluster whose centroid it
+        // represents (i.e. be closest to that centroid among all points).
+        for (ci, &rep) in reps.iter().enumerate() {
+            let d_rep = squared_euclidean(&points[rep], &result.centroids[ci]);
+            for p in &points {
+                // Allow ties; the representative is at least as close as any
+                // unused point.
+                assert!(d_rep <= squared_euclidean(p, &result.centroids[ci]) + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the SubTab pipeline.
+
+use std::fmt;
+
+/// Errors produced while pre-processing a table or selecting a sub-table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The selection parameters were invalid (e.g. `k = 0`, or more target
+    /// columns than selected columns).
+    InvalidParams(String),
+    /// A referenced column does not exist in the table.
+    UnknownColumn(String),
+    /// An underlying table operation failed.
+    Data(subtab_data::DataError),
+    /// Binning failed.
+    Binning(subtab_binning::BinningError),
+    /// The query produced an empty result, so no sub-table can be selected.
+    EmptyQueryResult,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParams(msg) => write!(f, "invalid selection parameters: {msg}"),
+            CoreError::UnknownColumn(c) => write!(f, "unknown column: {c:?}"),
+            CoreError::Data(e) => write!(f, "table error: {e}"),
+            CoreError::Binning(e) => write!(f, "binning error: {e}"),
+            CoreError::EmptyQueryResult => write!(f, "the query returned no rows"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<subtab_data::DataError> for CoreError {
+    fn from(e: subtab_data::DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+impl From<subtab_binning::BinningError> for CoreError {
+    fn from(e: subtab_binning::BinningError) -> Self {
+        CoreError::Binning(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_conversions() {
+        let e = CoreError::InvalidParams("k = 0".into());
+        assert!(e.to_string().contains("k = 0"));
+        let e: CoreError = subtab_data::DataError::UnknownColumn("x".into()).into();
+        assert!(matches!(e, CoreError::Data(_)));
+        let e: CoreError =
+            subtab_binning::BinningError::UnknownColumn("y".into()).into();
+        assert!(matches!(e, CoreError::Binning(_)));
+        assert!(CoreError::EmptyQueryResult.to_string().contains("no rows"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-row association-rule highlighting (the optional UI extension of the
+//! paper, shown in Figures 1–3: in each displayed row, the cells that
+//! participate in one covered rule are coloured).
+
+use subtab_binning::BinnedTable;
+use subtab_rules::RuleSet;
+
+/// A rule highlighted for one sub-table row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleHighlight {
+    /// Columns participating in the rule (cells to colour).
+    pub columns: Vec<String>,
+    /// Human-readable rendering of the rule.
+    pub description: String,
+}
+
+/// For every selected row, picks at most one rule to highlight: among the
+/// rules whose columns are all selected and which hold for the row, the
+/// largest one (most cells highlighted), ties broken by support. This mirrors
+/// the paper's "to avoid visual clutter we only highlight one rule per row".
+pub fn highlight_rules(
+    binned_full: &BinnedTable,
+    rules: &RuleSet,
+    row_indices: &[usize],
+    selected_columns: &[String],
+) -> Vec<Option<RuleHighlight>> {
+    let selected_idx: Vec<usize> = selected_columns
+        .iter()
+        .filter_map(|c| binned_full.column_index(c))
+        .collect();
+    row_indices
+        .iter()
+        .map(|&row| {
+            let mut best: Option<(&subtab_rules::AssociationRule, usize)> = None;
+            for rule in rules.iter() {
+                let cols = rule.columns();
+                if !cols.iter().all(|c| selected_idx.contains(c)) {
+                    continue;
+                }
+                if !rule.holds_for_row(binned_full, row) {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((b, size)) => {
+                        cols.len() > size || (cols.len() == size && rule.support > b.support)
+                    }
+                };
+                if better {
+                    best = Some((rule, cols.len()));
+                }
+            }
+            best.map(|(rule, _)| RuleHighlight {
+                columns: rule
+                    .columns()
+                    .iter()
+                    .map(|&c| binned_full.column_names()[c].clone())
+                    .collect(),
+                description: rule.render(binned_full),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subtab_binning::{Binner, BinningConfig};
+    use subtab_data::Table;
+    use subtab_rules::{MiningConfig, RuleMiner};
+
+    fn setup() -> (BinnedTable, RuleSet) {
+        let t = Table::builder()
+            .column_i64(
+                "cancelled",
+                vec![Some(1), Some(1), Some(1), Some(0), Some(0), Some(0)],
+            )
+            .column_str("dep", vec![None, None, None, Some("m"), Some("m"), Some("e")])
+            .column_i64(
+                "year",
+                vec![Some(2015), Some(2015), Some(2015), Some(2015), Some(2016), Some(2015)],
+            )
+            .build()
+            .unwrap();
+        let binner = Binner::fit(&t, &BinningConfig::default()).unwrap();
+        let binned = binner.apply(&t).unwrap();
+        let rules = RuleMiner::new(MiningConfig {
+            min_rule_size: 2,
+            min_support: 0.2,
+            ..Default::default()
+        })
+        .mine(&binned);
+        (binned, rules)
+    }
+
+    #[test]
+    fn highlights_one_rule_per_matching_row() {
+        let (binned, rules) = setup();
+        let cols: Vec<String> = binned.column_names().to_vec();
+        let highlights = highlight_rules(&binned, &rules, &[0, 3], &cols);
+        assert_eq!(highlights.len(), 2);
+        // Row 0 is a cancelled row with NaN dep — a planted pattern, so a
+        // highlight must exist and mention at least two columns.
+        let h0 = highlights[0].as_ref().expect("row 0 should be highlighted");
+        assert!(h0.columns.len() >= 2);
+        assert!(h0.description.contains('→'));
+    }
+
+    #[test]
+    fn no_highlight_when_rule_columns_are_not_selected() {
+        let (binned, rules) = setup();
+        // Only one column selected: no rule of size >= 2 fits.
+        let highlights = highlight_rules(&binned, &rules, &[0], &["cancelled".to_string()]);
+        assert!(highlights[0].is_none());
+    }
+
+    #[test]
+    fn empty_rules_give_no_highlights() {
+        let (binned, _) = setup();
+        let cols: Vec<String> = binned.column_names().to_vec();
+        let highlights = highlight_rules(&binned, &RuleSet::default(), &[0, 1], &cols);
+        assert!(highlights.iter().all(Option::is_none));
+    }
+}

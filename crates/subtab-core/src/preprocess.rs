@@ -1,0 +1,135 @@
+//! The pre-processing phase: normalise, bin, embed (Algorithm 2, lines 1–4).
+
+use crate::config::SubTabConfig;
+use crate::Result;
+use parking_lot::RwLock;
+use subtab_binning::{BinnedTable, Binner};
+use subtab_data::Table;
+use subtab_embed::{train_embedding, CellEmbedding};
+
+/// The output of SubTab's pre-processing phase for one table.
+///
+/// Pre-processing is executed once, when the table is loaded; every
+/// subsequent sub-table selection (for the table itself or for query results
+/// over it) reuses the fitted [`Binner`], the binned table and the trained
+/// [`CellEmbedding`], which is what makes query-time selection interactive
+/// (Figure 9 of the paper).
+#[derive(Debug)]
+pub struct PreprocessedTable {
+    table: Table,
+    binner: Binner,
+    binned: BinnedTable,
+    embedding: CellEmbedding,
+    /// Lazily computed row vectors of the *full* table over all columns,
+    /// shared by selections that operate on the whole table.
+    full_row_vectors: RwLock<Option<Vec<Vec<f32>>>>,
+}
+
+impl PreprocessedTable {
+    /// Runs the pre-processing phase on `table`.
+    pub fn new(table: Table, config: &SubTabConfig) -> Result<Self> {
+        let binner = Binner::fit(&table, &config.binning)?;
+        let binned = binner.apply(&table)?;
+        let embedding = train_embedding(&binned, &config.embedding);
+        Ok(PreprocessedTable {
+            table,
+            binner,
+            binned,
+            embedding,
+            full_row_vectors: RwLock::new(None),
+        })
+    }
+
+    /// The original table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The fitted binning function.
+    pub fn binner(&self) -> &Binner {
+        &self.binner
+    }
+
+    /// The binned view of the full table.
+    pub fn binned(&self) -> &BinnedTable {
+        &self.binned
+    }
+
+    /// The trained cell embedding.
+    pub fn embedding(&self) -> &CellEmbedding {
+        &self.embedding
+    }
+
+    /// Row vectors of the full table over all columns (computed on first use
+    /// and cached; cloned out to keep the lock scope minimal).
+    pub fn full_row_vectors(&self) -> Vec<Vec<f32>> {
+        if let Some(v) = self.full_row_vectors.read().as_ref() {
+            return v.clone();
+        }
+        let cols: Vec<usize> = (0..self.binned.num_columns()).collect();
+        let vectors: Vec<Vec<f32>> = (0..self.binned.num_rows())
+            .map(|r| self.embedding.row_vector(&self.binned, r, &cols))
+            .collect();
+        *self.full_row_vectors.write() = Some(vectors.clone());
+        vectors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SubTabConfig;
+
+    fn table(rows: usize) -> Table {
+        Table::builder()
+            .column_f64(
+                "distance",
+                (0..rows)
+                    .map(|i| Some(if i % 2 == 0 { 100.0 } else { 2500.0 } + i as f64))
+                    .collect(),
+            )
+            .column_str(
+                "airline",
+                (0..rows)
+                    .map(|i| Some(if i % 2 == 0 { "WN" } else { "DL" }))
+                    .collect(),
+            )
+            .column_i64(
+                "cancelled",
+                (0..rows).map(|i| Some(i64::from(i % 5 == 0))).collect(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn preprocess_builds_all_artifacts() {
+        let pre = PreprocessedTable::new(table(60), &SubTabConfig::fast()).unwrap();
+        assert_eq!(pre.table().num_rows(), 60);
+        assert_eq!(pre.binned().num_rows(), 60);
+        assert_eq!(pre.binned().num_columns(), 3);
+        assert!(!pre.embedding().is_empty());
+        assert!(pre.binner().column("distance").is_some());
+    }
+
+    #[test]
+    fn full_row_vectors_are_cached_and_consistent() {
+        let pre = PreprocessedTable::new(table(30), &SubTabConfig::fast()).unwrap();
+        let a = pre.full_row_vectors();
+        let b = pre.full_row_vectors();
+        assert_eq!(a.len(), 30);
+        assert_eq!(a, b);
+        assert_eq!(a[0].len(), pre.embedding().dim());
+    }
+
+    #[test]
+    fn empty_table_preprocesses_without_panicking() {
+        let t = Table::builder()
+            .column_i64("x", Vec::new())
+            .build()
+            .unwrap();
+        let pre = PreprocessedTable::new(t, &SubTabConfig::fast()).unwrap();
+        assert_eq!(pre.full_row_vectors().len(), 0);
+        assert_eq!(pre.embedding().len(), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! The result of a sub-table selection.
+
+use crate::highlight::RuleHighlight;
+use subtab_data::Table;
+
+/// A selected sub-table plus the provenance needed to evaluate or display it.
+#[derive(Debug, Clone)]
+pub struct SubTableResult {
+    /// The `k × l` sub-table (actual rows of the source table, projected).
+    pub sub_table: Table,
+    /// Indices of the selected rows in the *original* table.
+    pub row_indices: Vec<usize>,
+    /// Names of the selected columns, in display order.
+    pub columns: Vec<String>,
+    /// Optional highlighted association rule per sub-table row (the paper's
+    /// UI colours the cells participating in one rule per row).
+    pub highlights: Vec<Option<RuleHighlight>>,
+}
+
+impl SubTableResult {
+    /// Indices of the selected columns within the original table's schema.
+    pub fn column_indices(&self, table: &Table) -> Vec<usize> {
+        self.columns
+            .iter()
+            .filter_map(|c| table.schema().index_of(c))
+            .collect()
+    }
+
+    /// Renders the sub-table with one optional rule annotation per row —
+    /// the textual analogue of the paper's highlighted display (Figure 2).
+    pub fn render_with_highlights(&self) -> String {
+        let mut out = self.sub_table.render(self.sub_table.num_rows());
+        for (i, h) in self.highlights.iter().enumerate() {
+            if let Some(h) = h {
+                out.push_str(&format!("row {i}: {}\n", h.description));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subtab_data::Table;
+
+    fn result() -> (SubTableResult, Table) {
+        let table = Table::builder()
+            .column_i64("a", vec![Some(1), Some(2), Some(3)])
+            .column_str("b", vec![Some("x"), Some("y"), Some("z")])
+            .build()
+            .unwrap();
+        let sub = table.sub_table(&[0, 2], &["b"]).unwrap();
+        (
+            SubTableResult {
+                sub_table: sub,
+                row_indices: vec![0, 2],
+                columns: vec!["b".to_string()],
+                highlights: vec![
+                    Some(RuleHighlight {
+                        columns: vec!["b".to_string()],
+                        description: "b=x → a=1".to_string(),
+                    }),
+                    None,
+                ],
+            },
+            table,
+        )
+    }
+
+    #[test]
+    fn column_indices_map_back_to_the_source_schema() {
+        let (r, t) = result();
+        assert_eq!(r.column_indices(&t), vec![1]);
+    }
+
+    #[test]
+    fn render_includes_highlight_descriptions() {
+        let (r, _) = result();
+        let s = r.render_with_highlights();
+        assert!(s.contains("b=x → a=1"));
+        assert!(s.contains('z'));
+    }
+}

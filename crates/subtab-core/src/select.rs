@@ -1,0 +1,287 @@
+//! Centroid-based sub-table selection (Algorithm 2, lines 5–19).
+
+use crate::config::SelectionParams;
+use crate::error::CoreError;
+use crate::preprocess::PreprocessedTable;
+use crate::result::SubTableResult;
+use crate::Result;
+use subtab_cluster::select_k_representatives;
+use subtab_data::Query;
+
+/// Selects a sub-table of the full table or of a query result over it.
+///
+/// `query = None` selects over the whole table (the initial display);
+/// `query = Some(q)` first evaluates the selection part of `q` against the
+/// table and restricts the candidate columns to `q`'s projection, then runs
+/// the same centroid selection over the restricted rows and columns — this is
+/// the cheap query-time path of the paper, which reuses the pre-processed
+/// binning and embedding.
+pub fn select_sub_table(
+    pre: &PreprocessedTable,
+    query: Option<&Query>,
+    params: &SelectionParams,
+    seed: u64,
+) -> Result<SubTableResult> {
+    if params.k == 0 || params.l == 0 {
+        return Err(CoreError::InvalidParams(
+            "k and l must both be at least 1".into(),
+        ));
+    }
+    if params.target_columns.len() > params.l {
+        return Err(CoreError::InvalidParams(format!(
+            "{} target columns do not fit into l = {}",
+            params.target_columns.len(),
+            params.l
+        )));
+    }
+    let table = pre.table();
+    let binned = pre.binned();
+    for t in &params.target_columns {
+        if table.schema().index_of(t).is_none() {
+            return Err(CoreError::UnknownColumn(t.clone()));
+        }
+    }
+
+    // Candidate rows: all rows, or the rows matching the query's predicates.
+    let candidate_rows: Vec<usize> = match query {
+        None => (0..table.num_rows()).collect(),
+        Some(q) => q.matching_rows(table)?,
+    };
+    if candidate_rows.is_empty() {
+        return Err(CoreError::EmptyQueryResult);
+    }
+
+    // Candidate columns: the query's projection if present, otherwise all.
+    let candidate_columns: Vec<usize> = match query.and_then(|q| q.projection.as_ref()) {
+        Some(proj) => {
+            let mut cols = Vec::with_capacity(proj.len());
+            for name in proj {
+                let idx = table
+                    .schema()
+                    .index_of(name)
+                    .ok_or_else(|| CoreError::UnknownColumn(name.clone()))?;
+                cols.push(idx);
+            }
+            // Target columns are always candidates even if the projection
+            // dropped them (the paper requires U* ⊆ U_sub).
+            for t in &params.target_columns {
+                let idx = table.schema().index_of(t).expect("validated above");
+                if !cols.contains(&idx) {
+                    cols.push(idx);
+                }
+            }
+            cols
+        }
+        None => (0..table.num_columns()).collect(),
+    };
+
+    // --- Row selection: tuple-vectors, k-means, centroid representatives.
+    let k = params.k.min(candidate_rows.len());
+    let embedding = pre.embedding();
+    let row_vectors: Vec<Vec<f32>> = if query.is_none()
+        && candidate_columns.len() == table.num_columns()
+    {
+        // Whole-table selection reuses the cached full row vectors.
+        let all = pre.full_row_vectors();
+        candidate_rows.iter().map(|&r| all[r].clone()).collect()
+    } else {
+        candidate_rows
+            .iter()
+            .map(|&r| embedding.row_vector(binned, r, &candidate_columns))
+            .collect()
+    };
+    let rep_positions = select_k_representatives(&row_vectors, k, seed);
+    let mut row_indices: Vec<usize> = rep_positions.iter().map(|&p| candidate_rows[p]).collect();
+    row_indices.sort_unstable();
+
+    // --- Column selection: column-vectors over the candidate rows, k-means
+    //     into l − |U*| clusters, representatives, plus the target columns.
+    let target_idx: Vec<usize> = params
+        .target_columns
+        .iter()
+        .map(|t| table.schema().index_of(t).expect("validated above"))
+        .collect();
+    let free_columns: Vec<usize> = candidate_columns
+        .iter()
+        .copied()
+        .filter(|c| !target_idx.contains(c))
+        .collect();
+    let l_free = params.l.saturating_sub(target_idx.len()).min(free_columns.len());
+    let mut selected_columns: Vec<usize> = target_idx.clone();
+    if l_free > 0 {
+        let col_vectors: Vec<Vec<f32>> = free_columns
+            .iter()
+            .map(|&c| embedding.column_vector(binned, c, &candidate_rows))
+            .collect();
+        let reps = select_k_representatives(&col_vectors, l_free, seed.wrapping_add(1));
+        selected_columns.extend(reps.into_iter().map(|p| free_columns[p]));
+    }
+    // Preserve the original schema order for display.
+    selected_columns.sort_unstable();
+    selected_columns.dedup();
+
+    let column_names: Vec<String> = selected_columns
+        .iter()
+        .map(|&c| table.schema().field_at(c).expect("index valid").name.clone())
+        .collect();
+    let column_refs: Vec<&str> = column_names.iter().map(String::as_str).collect();
+    let sub_table = table.sub_table(&row_indices, &column_refs)?;
+
+    Ok(SubTableResult {
+        sub_table,
+        row_indices,
+        columns: column_names,
+        highlights: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SubTabConfig;
+    use subtab_data::{Predicate, Table, Value};
+
+    fn preprocessed(rows: usize) -> PreprocessedTable {
+        // Two clear row archetypes: short WN flights never cancelled, long DL
+        // flights sometimes cancelled with missing dep_time.
+        let table = Table::builder()
+            .column_f64(
+                "distance",
+                (0..rows)
+                    .map(|i| Some(if i % 2 == 0 { 120.0 } else { 2400.0 } + (i % 7) as f64))
+                    .collect(),
+            )
+            .column_f64(
+                "dep_time",
+                (0..rows)
+                    .map(|i| if i % 10 == 1 { None } else { Some(900.0 + (i % 13) as f64 * 60.0) })
+                    .collect(),
+            )
+            .column_str(
+                "airline",
+                (0..rows)
+                    .map(|i| Some(if i % 2 == 0 { "WN" } else { "DL" }))
+                    .collect(),
+            )
+            .column_i64(
+                "cancelled",
+                (0..rows).map(|i| Some(i64::from(i % 10 == 1))).collect(),
+            )
+            .build()
+            .unwrap();
+        PreprocessedTable::new(table, &SubTabConfig::fast()).unwrap()
+    }
+
+    #[test]
+    fn selects_requested_dimensions() {
+        let pre = preprocessed(100);
+        let r = select_sub_table(&pre, None, &SelectionParams::new(8, 3), 1).unwrap();
+        assert_eq!(r.sub_table.num_rows(), 8);
+        assert_eq!(r.sub_table.num_columns(), 3);
+        assert_eq!(r.row_indices.len(), 8);
+        assert_eq!(r.columns.len(), 3);
+        // Selected rows are distinct and valid.
+        let mut rows = r.row_indices.clone();
+        rows.dedup();
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn target_columns_are_always_included() {
+        let pre = preprocessed(80);
+        let params = SelectionParams::new(5, 2).with_targets(&["cancelled"]);
+        let r = select_sub_table(&pre, None, &params, 3).unwrap();
+        assert!(r.columns.contains(&"cancelled".to_string()));
+        assert_eq!(r.sub_table.num_columns(), 2);
+    }
+
+    #[test]
+    fn row_selection_spans_both_archetypes() {
+        let pre = preprocessed(100);
+        let r = select_sub_table(&pre, None, &SelectionParams::new(6, 4), 5).unwrap();
+        // Both short-WN and long-DL rows should be represented among 6
+        // centroid representatives.
+        let airlines: Vec<String> = r
+            .row_indices
+            .iter()
+            .map(|&i| pre.table().value(i, "airline").unwrap().render())
+            .collect();
+        assert!(airlines.iter().any(|a| a == "WN"));
+        assert!(airlines.iter().any(|a| a == "DL"));
+    }
+
+    #[test]
+    fn query_restricts_rows_and_columns() {
+        let pre = preprocessed(100);
+        let q = Query::new()
+            .filter(Predicate::eq("airline", Value::from("DL")))
+            .select(&["distance", "dep_time", "airline"]);
+        let r = select_sub_table(&pre, Some(&q), &SelectionParams::new(4, 2), 2).unwrap();
+        assert_eq!(r.sub_table.num_rows(), 4);
+        assert!(r.sub_table.num_columns() <= 3);
+        for &row in &r.row_indices {
+            assert_eq!(pre.table().value(row, "airline").unwrap(), Value::from("DL"));
+        }
+        for c in &r.columns {
+            assert!(["distance", "dep_time", "airline"].contains(&c.as_str()));
+        }
+    }
+
+    #[test]
+    fn query_projection_still_includes_targets() {
+        let pre = preprocessed(60);
+        let q = Query::new()
+            .filter(Predicate::eq("airline", Value::from("WN")))
+            .select(&["distance"]);
+        let params = SelectionParams::new(3, 2).with_targets(&["cancelled"]);
+        let r = select_sub_table(&pre, Some(&q), &params, 0).unwrap();
+        assert!(r.columns.contains(&"cancelled".to_string()));
+    }
+
+    #[test]
+    fn dimensions_larger_than_data_are_clamped() {
+        let pre = preprocessed(6);
+        let r = select_sub_table(&pre, None, &SelectionParams::new(50, 50), 1).unwrap();
+        assert_eq!(r.sub_table.num_rows(), 6);
+        assert_eq!(r.sub_table.num_columns(), 4);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let pre = preprocessed(20);
+        assert!(matches!(
+            select_sub_table(&pre, None, &SelectionParams::new(0, 3), 0),
+            Err(CoreError::InvalidParams(_))
+        ));
+        let too_many_targets = SelectionParams::new(3, 1).with_targets(&["airline", "cancelled"]);
+        assert!(matches!(
+            select_sub_table(&pre, None, &too_many_targets, 0),
+            Err(CoreError::InvalidParams(_))
+        ));
+        let unknown = SelectionParams::new(3, 2).with_targets(&["nope"]);
+        assert!(matches!(
+            select_sub_table(&pre, None, &unknown, 0),
+            Err(CoreError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn empty_query_result_is_an_error() {
+        let pre = preprocessed(20);
+        let q = Query::new().filter(Predicate::eq("airline", Value::from("ZZ")));
+        assert!(matches!(
+            select_sub_table(&pre, Some(&q), &SelectionParams::new(3, 2), 0),
+            Err(CoreError::EmptyQueryResult)
+        ));
+    }
+
+    #[test]
+    fn selection_is_deterministic_for_a_seed() {
+        let pre = preprocessed(80);
+        let a = select_sub_table(&pre, None, &SelectionParams::new(5, 3), 11).unwrap();
+        let b = select_sub_table(&pre, None, &SelectionParams::new(5, 3), 11).unwrap();
+        assert_eq!(a.row_indices, b.row_indices);
+        assert_eq!(a.columns, b.columns);
+    }
+}

@@ -1,0 +1,139 @@
+//! The [`SubTab`] facade: preprocess once, select many times.
+
+use crate::config::{SelectionParams, SubTabConfig};
+use crate::highlight::highlight_rules;
+use crate::preprocess::PreprocessedTable;
+use crate::result::SubTableResult;
+use crate::select::select_sub_table;
+use crate::Result;
+use subtab_data::{Query, Table};
+use subtab_rules::RuleSet;
+
+/// The SubTab system for one loaded table.
+///
+/// Construction runs the (comparatively expensive) pre-processing phase;
+/// [`SubTab::select`] and [`SubTab::select_for_query`] then produce
+/// informative sub-tables in interactive time, for the table itself and for
+/// every exploratory query issued over it.
+#[derive(Debug)]
+pub struct SubTab {
+    pre: PreprocessedTable,
+    config: SubTabConfig,
+}
+
+impl SubTab {
+    /// Runs pre-processing (normalise, bin, embed) on `table`.
+    pub fn preprocess(table: Table, config: SubTabConfig) -> Result<Self> {
+        let pre = PreprocessedTable::new(table, &config)?;
+        Ok(SubTab { pre, config })
+    }
+
+    /// The pre-processed artefacts (binner, binned table, embedding).
+    pub fn preprocessed(&self) -> &PreprocessedTable {
+        &self.pre
+    }
+
+    /// The original table.
+    pub fn table(&self) -> &Table {
+        self.pre.table()
+    }
+
+    /// The configuration used at pre-processing time.
+    pub fn config(&self) -> &SubTabConfig {
+        &self.config
+    }
+
+    /// Selects a `k × l` sub-table of the full table.
+    pub fn select(&self, params: &SelectionParams) -> Result<SubTableResult> {
+        select_sub_table(&self.pre, None, params, self.config.seed)
+    }
+
+    /// Selects a `k × l` sub-table of the result of an SP query over the
+    /// table, reusing the pre-processed binning and embedding (the cheap
+    /// query-time path of Figure 1).
+    pub fn select_for_query(
+        &self,
+        query: &Query,
+        params: &SelectionParams,
+    ) -> Result<SubTableResult> {
+        select_sub_table(&self.pre, Some(query), params, self.config.seed)
+    }
+
+    /// Attaches per-row rule highlights to a selection result (the optional
+    /// coloured-pattern display of the paper's UI). The rules are typically
+    /// mined once per table with `subtab_rules::RuleMiner`.
+    pub fn with_highlights(&self, mut result: SubTableResult, rules: &RuleSet) -> SubTableResult {
+        result.highlights = highlight_rules(
+            self.pre.binned(),
+            rules,
+            &result.row_indices,
+            &result.columns,
+        );
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subtab_data::{Predicate, Value};
+    use subtab_datasets::{flights, DatasetSize};
+    use subtab_rules::{MiningConfig, RuleMiner};
+
+    fn flights_subtab() -> SubTab {
+        let ds = flights(DatasetSize::Tiny, 7);
+        SubTab::preprocess(ds.table, SubTabConfig::fast()).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_selection_on_the_flights_standin() {
+        let subtab = flights_subtab();
+        let params = SelectionParams::new(10, 10).with_targets(&["CANCELLED"]);
+        let r = subtab.select(&params).unwrap();
+        assert_eq!(r.sub_table.num_rows(), 10);
+        assert_eq!(r.sub_table.num_columns(), 10);
+        assert!(r.columns.contains(&"CANCELLED".to_string()));
+    }
+
+    #[test]
+    fn query_time_selection_reuses_preprocessing() {
+        let subtab = flights_subtab();
+        let q = Query::new().filter(Predicate::eq("CANCELLED", Value::Int(1)));
+        let r = subtab
+            .select_for_query(&q, &SelectionParams::new(5, 6))
+            .unwrap();
+        assert_eq!(r.sub_table.num_rows(), 5);
+        for &row in &r.row_indices {
+            assert_eq!(
+                subtab.table().value(row, "CANCELLED").unwrap(),
+                Value::Int(1)
+            );
+        }
+    }
+
+    #[test]
+    fn highlights_attach_rules_to_rows() {
+        let subtab = flights_subtab();
+        let binned = subtab.preprocessed().binned();
+        let rules = RuleMiner::new(MiningConfig {
+            min_rule_size: 2,
+            ..Default::default()
+        })
+        .mine(binned);
+        let params = SelectionParams::new(8, 10).with_targets(&["CANCELLED"]);
+        let r = subtab.select(&params).unwrap();
+        let r = subtab.with_highlights(r, &rules);
+        assert_eq!(r.highlights.len(), 8);
+        // At least one row of a planted dataset should carry a highlight.
+        assert!(r.highlights.iter().any(Option::is_some));
+        assert!(!r.render_with_highlights().is_empty());
+    }
+
+    #[test]
+    fn accessors() {
+        let subtab = flights_subtab();
+        assert_eq!(subtab.table().num_columns(), 31);
+        assert_eq!(subtab.config().seed, SubTabConfig::fast().seed);
+        assert!(!subtab.preprocessed().embedding().is_empty());
+    }
+}

@@ -1,0 +1,444 @@
+//! Typed, null-aware columnar storage.
+
+use crate::error::DataError;
+use crate::schema::ColumnType;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// Typed backing storage of a column.
+///
+/// Strings are dictionary-encoded: the `codes` vector stores indices into a
+/// deduplicated `dict` of distinct strings, which keeps memory proportional to
+/// the number of *distinct* categorical values — important for wide
+/// categorical datasets like the paper's US-Funds table (298 columns).
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Integer storage.
+    Int(Vec<Option<i64>>),
+    /// Float storage.
+    Float(Vec<Option<f64>>),
+    /// Dictionary-encoded string storage.
+    Str {
+        /// Per-row code into `dict` (`None` = null).
+        codes: Vec<Option<u32>>,
+        /// Distinct values.
+        dict: Vec<String>,
+        /// Reverse lookup from value to code.
+        lookup: HashMap<String, u32>,
+    },
+    /// Boolean storage.
+    Bool(Vec<Option<bool>>),
+}
+
+/// A single named column of a [`crate::Table`].
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+}
+
+impl Column {
+    /// Creates an integer column.
+    pub fn from_i64(name: impl Into<String>, values: Vec<Option<i64>>) -> Self {
+        Column {
+            name: name.into(),
+            data: ColumnData::Int(values),
+        }
+    }
+
+    /// Creates a float column.
+    pub fn from_f64(name: impl Into<String>, values: Vec<Option<f64>>) -> Self {
+        Column {
+            name: name.into(),
+            data: ColumnData::Float(values),
+        }
+    }
+
+    /// Creates a boolean column.
+    pub fn from_bool(name: impl Into<String>, values: Vec<Option<bool>>) -> Self {
+        Column {
+            name: name.into(),
+            data: ColumnData::Bool(values),
+        }
+    }
+
+    /// Creates a dictionary-encoded string column.
+    pub fn from_str_values<S: AsRef<str>>(
+        name: impl Into<String>,
+        values: Vec<Option<S>>,
+    ) -> Self {
+        let mut dict: Vec<String> = Vec::new();
+        let mut lookup: HashMap<String, u32> = HashMap::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            match v {
+                None => codes.push(None),
+                Some(s) => {
+                    let s = s.as_ref();
+                    let code = match lookup.get(s) {
+                        Some(&c) => c,
+                        None => {
+                            let c = dict.len() as u32;
+                            dict.push(s.to_string());
+                            lookup.insert(s.to_string(), c);
+                            c
+                        }
+                    };
+                    codes.push(Some(code));
+                }
+            }
+        }
+        Column {
+            name: name.into(),
+            data: ColumnData::Str {
+                codes,
+                dict,
+                lookup,
+            },
+        }
+    }
+
+    /// Creates an empty column of the given type.
+    pub fn empty(name: impl Into<String>, ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Int => Column::from_i64(name, Vec::new()),
+            ColumnType::Float => Column::from_f64(name, Vec::new()),
+            ColumnType::Bool => Column::from_bool(name, Vec::new()),
+            ColumnType::Str => Column::from_str_values::<&str>(name, Vec::new()),
+        }
+    }
+
+    /// The column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the column.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The column's type.
+    pub fn column_type(&self) -> ColumnType {
+        match &self.data {
+            ColumnData::Int(_) => ColumnType::Int,
+            ColumnData::Float(_) => ColumnType::Float,
+            ColumnData::Str { .. } => ColumnType::Str,
+            ColumnData::Bool(_) => ColumnType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at `row` (panics if out of bounds; use [`Column::try_get`] for a
+    /// checked variant).
+    pub fn get(&self, row: usize) -> Value {
+        match &self.data {
+            ColumnData::Int(v) => v[row].map_or(Value::Null, Value::Int),
+            ColumnData::Float(v) => v[row].map_or(Value::Null, Value::Float),
+            ColumnData::Str { codes, dict, .. } => codes[row]
+                .map_or(Value::Null, |c| Value::Str(dict[c as usize].clone())),
+            ColumnData::Bool(v) => v[row].map_or(Value::Null, Value::Bool),
+        }
+    }
+
+    /// Checked access to the value at `row`.
+    pub fn try_get(&self, row: usize) -> Result<Value> {
+        if row >= self.len() {
+            return Err(DataError::RowOutOfBounds {
+                index: row,
+                len: self.len(),
+            });
+        }
+        Ok(self.get(row))
+    }
+
+    /// Whether the value at `row` is null.
+    pub fn is_null(&self, row: usize) -> bool {
+        match &self.data {
+            ColumnData::Int(v) => v[row].is_none(),
+            ColumnData::Float(v) => v[row].is_none(),
+            ColumnData::Str { codes, .. } => codes[row].is_none(),
+            ColumnData::Bool(v) => v[row].is_none(),
+        }
+    }
+
+    /// Number of nulls in the column.
+    pub fn null_count(&self) -> usize {
+        (0..self.len()).filter(|&i| self.is_null(i)).count()
+    }
+
+    /// Numeric view of the value at `row` (nulls and strings yield `None`).
+    pub fn get_f64(&self, row: usize) -> Option<f64> {
+        match &self.data {
+            ColumnData::Int(v) => v[row].map(|x| x as f64),
+            ColumnData::Float(v) => v[row],
+            ColumnData::Bool(v) => v[row].map(|b| if b { 1.0 } else { 0.0 }),
+            ColumnData::Str { .. } => None,
+        }
+    }
+
+    /// Dictionary code at `row` for string columns (`None` for nulls or
+    /// non-string columns).
+    pub fn get_code(&self, row: usize) -> Option<u32> {
+        match &self.data {
+            ColumnData::Str { codes, .. } => codes[row],
+            _ => None,
+        }
+    }
+
+    /// The dictionary of a string column (empty slice otherwise).
+    pub fn dictionary(&self) -> &[String] {
+        match &self.data {
+            ColumnData::Str { dict, .. } => dict,
+            _ => &[],
+        }
+    }
+
+    /// Appends a value, checking its type against the column type.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        let type_err = |expected: &str, v: &Value| DataError::TypeMismatch {
+            column: self.name.clone(),
+            expected: expected.to_string(),
+            value: v.render(),
+        };
+        match (&mut self.data, value) {
+            (ColumnData::Int(v), Value::Null) => v.push(None),
+            (ColumnData::Int(v), Value::Int(x)) => v.push(Some(x)),
+            (ColumnData::Float(v), Value::Null) => v.push(None),
+            (ColumnData::Float(v), Value::Float(x)) => v.push(Some(x)),
+            (ColumnData::Float(v), Value::Int(x)) => v.push(Some(x as f64)),
+            (ColumnData::Bool(v), Value::Null) => v.push(None),
+            (ColumnData::Bool(v), Value::Bool(x)) => v.push(Some(x)),
+            (ColumnData::Str { codes, .. }, Value::Null) => codes.push(None),
+            (
+                ColumnData::Str {
+                    codes,
+                    dict,
+                    lookup,
+                },
+                Value::Str(s),
+            ) => {
+                let code = match lookup.get(&s) {
+                    Some(&c) => c,
+                    None => {
+                        let c = dict.len() as u32;
+                        dict.push(s.clone());
+                        lookup.insert(s, c);
+                        c
+                    }
+                };
+                codes.push(Some(code));
+            }
+            (ColumnData::Int(_), v) => return Err(type_err("int", &v)),
+            (ColumnData::Float(_), v) => return Err(type_err("float", &v)),
+            (ColumnData::Bool(_), v) => return Err(type_err("bool", &v)),
+            (ColumnData::Str { .. }, v) => return Err(type_err("str", &v)),
+        }
+        Ok(())
+    }
+
+    /// Returns a new column containing only the rows at `indices`
+    /// (in the given order; indices may repeat).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match &self.data {
+            ColumnData::Int(v) => Column::from_i64(
+                self.name.clone(),
+                indices.iter().map(|&i| v[i]).collect(),
+            ),
+            ColumnData::Float(v) => Column::from_f64(
+                self.name.clone(),
+                indices.iter().map(|&i| v[i]).collect(),
+            ),
+            ColumnData::Bool(v) => Column::from_bool(
+                self.name.clone(),
+                indices.iter().map(|&i| v[i]).collect(),
+            ),
+            ColumnData::Str { codes, dict, .. } => {
+                let values: Vec<Option<&str>> = indices
+                    .iter()
+                    .map(|&i| codes[i].map(|c| dict[c as usize].as_str()))
+                    .collect();
+                Column::from_str_values(self.name.clone(), values)
+            }
+        }
+    }
+
+    /// All distinct non-null values of the column.
+    pub fn distinct(&self) -> Vec<Value> {
+        match &self.data {
+            ColumnData::Str { dict, .. } => {
+                dict.iter().map(|s| Value::Str(s.clone())).collect()
+            }
+            _ => {
+                let mut seen: Vec<Value> = Vec::new();
+                for i in 0..self.len() {
+                    let v = self.get(i);
+                    if v.is_null() {
+                        continue;
+                    }
+                    if !seen.iter().any(|s| s.loose_eq(&v)) {
+                        seen.push(v);
+                    }
+                }
+                seen
+            }
+        }
+    }
+
+    /// Number of distinct non-null values.
+    pub fn distinct_count(&self) -> usize {
+        match &self.data {
+            ColumnData::Str { dict, codes, .. } => {
+                // dict may contain values that were fully removed by `take`;
+                // count codes actually in use.
+                let mut used = vec![false; dict.len()];
+                for c in codes.iter().flatten() {
+                    used[*c as usize] = true;
+                }
+                used.into_iter().filter(|&u| u).count()
+            }
+            _ => self.distinct().len(),
+        }
+    }
+
+    /// Iterator over all values (including nulls) as [`Value`]s.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Mean of the non-null numeric values (`None` for string columns or if
+    /// all values are null).
+    pub fn mean(&self) -> Option<f64> {
+        if !self.column_type().is_numeric() {
+            return None;
+        }
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for i in 0..self.len() {
+            if let Some(x) = self.get_f64(i) {
+                sum += x;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Minimum and maximum of the non-null numeric values.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        let mut out: Option<(f64, f64)> = None;
+        for i in 0..self.len() {
+            if let Some(x) = self.get_f64(i) {
+                out = Some(match out {
+                    None => (x, x),
+                    Some((lo, hi)) => (lo.min(x), hi.max(x)),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_dictionary_encoding_dedups() {
+        let c = Column::from_str_values(
+            "airline",
+            vec![Some("AA"), Some("DL"), Some("AA"), None, Some("AA")],
+        );
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.dictionary().len(), 2);
+        assert_eq!(c.get(0), Value::from("AA"));
+        assert!(c.get(3).is_null());
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.distinct_count(), 2);
+    }
+
+    #[test]
+    fn push_type_checking() {
+        let mut c = Column::from_i64("x", vec![Some(1)]);
+        c.push(Value::Int(2)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert!(c.push(Value::from("oops")).is_err());
+        assert_eq!(c.len(), 3);
+
+        // Ints are silently widened when pushed into float columns.
+        let mut f = Column::from_f64("y", vec![]);
+        f.push(Value::Int(3)).unwrap();
+        assert_eq!(f.get_f64(0), Some(3.0));
+    }
+
+    #[test]
+    fn take_reorders_and_repeats() {
+        let c = Column::from_i64("x", vec![Some(10), Some(20), Some(30)]);
+        let t = c.take(&[2, 0, 0]);
+        assert_eq!(t.get(0), Value::Int(30));
+        assert_eq!(t.get(1), Value::Int(10));
+        assert_eq!(t.get(2), Value::Int(10));
+    }
+
+    #[test]
+    fn take_string_column_rebuilds_dictionary() {
+        let c = Column::from_str_values("s", vec![Some("a"), Some("b"), Some("c")]);
+        let t = c.take(&[2]);
+        assert_eq!(t.dictionary(), &["c".to_string()]);
+        assert_eq!(t.get(0), Value::from("c"));
+    }
+
+    #[test]
+    fn statistics() {
+        let c = Column::from_f64("x", vec![Some(1.0), None, Some(3.0)]);
+        assert_eq!(c.mean(), Some(2.0));
+        assert_eq!(c.min_max(), Some((1.0, 3.0)));
+        let s = Column::from_str_values("s", vec![Some("a")]);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn distinct_numeric() {
+        let c = Column::from_i64("x", vec![Some(1), Some(1), Some(2), None]);
+        assert_eq!(c.distinct().len(), 2);
+    }
+
+    #[test]
+    fn try_get_bounds() {
+        let c = Column::from_i64("x", vec![Some(1)]);
+        assert!(c.try_get(0).is_ok());
+        assert!(c.try_get(1).is_err());
+    }
+
+    #[test]
+    fn empty_columns() {
+        for ty in [
+            ColumnType::Int,
+            ColumnType::Float,
+            ColumnType::Str,
+            ColumnType::Bool,
+        ] {
+            let c = Column::empty("e", ty);
+            assert!(c.is_empty());
+            assert_eq!(c.column_type(), ty);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Minimal CSV reader/writer with type inference.
+//!
+//! Supports quoted fields, embedded commas and quotes, and recognises empty
+//! fields / `NaN` / `null` as missing values. Column types are inferred from
+//! the data: a column is `Int` if every non-null value parses as an integer,
+//! `Float` if every non-null value parses as a number, `Bool` if every value
+//! is `true`/`false`, and `Str` otherwise.
+
+use crate::column::Column;
+use crate::error::DataError;
+use crate::table::Table;
+use crate::Result;
+use std::path::Path;
+
+/// Parses CSV text (first line = header) into a [`Table`].
+pub fn parse_csv(text: &str) -> Result<Table> {
+    let mut records = Vec::new();
+    let mut line_no = 0usize;
+    for line in split_records(text) {
+        line_no += 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push((line_no, parse_record(&line, line_no)?));
+    }
+    if records.is_empty() {
+        return Err(DataError::EmptyTable("CSV input has no header".into()));
+    }
+    let (_, header) = records.remove(0);
+    let ncols = header.len();
+    let mut cells: Vec<Vec<Option<String>>> = vec![Vec::with_capacity(records.len()); ncols];
+    for (line, rec) in &records {
+        if rec.len() != ncols {
+            return Err(DataError::CsvParse {
+                line: *line,
+                message: format!("expected {ncols} fields, found {}", rec.len()),
+            });
+        }
+        for (i, field) in rec.iter().enumerate() {
+            cells[i].push(normalize_missing(field));
+        }
+    }
+
+    let mut columns = Vec::with_capacity(ncols);
+    for (name, values) in header.iter().zip(cells) {
+        columns.push(infer_column(name, values));
+    }
+    Table::from_columns(columns)
+}
+
+/// Reads a CSV file from disk into a [`Table`].
+pub fn read_csv_file(path: impl AsRef<Path>) -> Result<Table> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| DataError::CsvParse {
+        line: 0,
+        message: format!("io error reading {}: {e}", path.as_ref().display()),
+    })?;
+    parse_csv(&text)
+}
+
+/// Serialises a [`Table`] to CSV text (header + rows).
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names = table.column_names();
+    out.push_str(
+        &names
+            .iter()
+            .map(|n| quote_field(n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for r in 0..table.num_rows() {
+        let row: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| {
+                let v = c.get(r);
+                if v.is_null() {
+                    String::new()
+                } else {
+                    quote_field(&v.render())
+                }
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a [`Table`] to a CSV file.
+pub fn write_csv_file(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path.as_ref(), to_csv(table)).map_err(|e| DataError::CsvParse {
+        line: 0,
+        message: format!("io error writing {}: {e}", path.as_ref().display()),
+    })
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn normalize_missing(field: &str) -> Option<String> {
+    let t = field.trim();
+    if t.is_empty() || t.eq_ignore_ascii_case("nan") || t.eq_ignore_ascii_case("null") {
+        None
+    } else {
+        Some(t.to_string())
+    }
+}
+
+/// Splits CSV text into logical records, respecting quoted newlines.
+fn split_records(text: &str) -> Vec<String> {
+    let mut records = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for ch in text.chars() {
+        match ch {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(ch);
+            }
+            '\n' if !in_quotes => {
+                records.push(std::mem::take(&mut current));
+            }
+            '\r' if !in_quotes => {}
+            _ => current.push(ch),
+        }
+    }
+    if !current.is_empty() {
+        records.push(current);
+    }
+    records
+}
+
+/// Parses one CSV record into fields.
+fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        field.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(ch),
+            }
+        } else {
+            match ch {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(DataError::CsvParse {
+                            line: line_no,
+                            message: "unexpected quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => fields.push(std::mem::take(&mut field)),
+                _ => field.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::CsvParse {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+fn infer_column(name: &str, values: Vec<Option<String>>) -> Column {
+    let non_null: Vec<&String> = values.iter().flatten().collect();
+    let all_bool = !non_null.is_empty()
+        && non_null
+            .iter()
+            .all(|v| v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("false"));
+    if all_bool {
+        return Column::from_bool(
+            name,
+            values
+                .iter()
+                .map(|v| v.as_ref().map(|s| s.eq_ignore_ascii_case("true")))
+                .collect(),
+        );
+    }
+    let all_int = !non_null.is_empty() && non_null.iter().all(|v| v.parse::<i64>().is_ok());
+    if all_int {
+        return Column::from_i64(
+            name,
+            values
+                .iter()
+                .map(|v| v.as_ref().and_then(|s| s.parse::<i64>().ok()))
+                .collect(),
+        );
+    }
+    let all_float = !non_null.is_empty() && non_null.iter().all(|v| v.parse::<f64>().is_ok());
+    if all_float {
+        return Column::from_f64(
+            name,
+            values
+                .iter()
+                .map(|v| v.as_ref().and_then(|s| s.parse::<f64>().ok()))
+                .collect(),
+        );
+    }
+    Column::from_str_values(name, values.iter().map(|v| v.as_deref()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use crate::value::Value;
+
+    #[test]
+    fn parse_with_type_inference() {
+        let csv = "airline,distance,cancelled,ontime\nAA,100.5,0,true\nDL,,1,false\nUA,300,0,true\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.schema().field("airline").unwrap().ty, ColumnType::Str);
+        assert_eq!(t.schema().field("distance").unwrap().ty, ColumnType::Float);
+        assert_eq!(t.schema().field("cancelled").unwrap().ty, ColumnType::Int);
+        assert_eq!(t.schema().field("ontime").unwrap().ty, ColumnType::Bool);
+        assert!(t.value(1, "distance").unwrap().is_null());
+        assert_eq!(t.value(2, "distance").unwrap(), Value::Float(300.0));
+    }
+
+    #[test]
+    fn nan_and_null_are_missing() {
+        let csv = "x\nNaN\nnull\n5\n";
+        let t = parse_csv(csv).unwrap();
+        assert!(t.value(0, "x").unwrap().is_null());
+        assert!(t.value(1, "x").unwrap().is_null());
+        assert_eq!(t.value(2, "x").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "name,note\n\"Smith, John\",\"said \"\"hi\"\"\"\nPlain,ok\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.value(0, "name").unwrap(), Value::from("Smith, John"));
+        assert_eq!(t.value(0, "note").unwrap(), Value::from("said \"hi\""));
+    }
+
+    #[test]
+    fn quoted_newline_inside_field() {
+        let csv = "a,b\n\"line1\nline2\",x\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.value(0, "a").unwrap(), Value::from("line1\nline2"));
+    }
+
+    #[test]
+    fn field_count_mismatch_is_error() {
+        let csv = "a,b\n1,2\n3\n";
+        let err = parse_csv(csv).unwrap_err();
+        assert!(matches!(err, DataError::CsvParse { line: 3, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let csv = "a\n\"oops\n";
+        assert!(parse_csv(csv).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(parse_csv("").is_err());
+        assert!(parse_csv("\n\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_csv() {
+        let csv = "airline,distance,cancelled\nAA,100.5,0\nDL,,1\n\"X,Y\",3.25,0\n";
+        let t = parse_csv(csv).unwrap();
+        let serialized = to_csv(&t);
+        let t2 = parse_csv(&serialized).unwrap();
+        assert_eq!(t2.num_rows(), t.num_rows());
+        assert_eq!(t2.num_columns(), t.num_columns());
+        for r in 0..t.num_rows() {
+            for c in t.column_names() {
+                assert_eq!(t.value(r, c).unwrap(), t2.value(r, c).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("subtab_data_csv_test.csv");
+        let csv = "a,b\n1,x\n2,y\n";
+        let t = parse_csv(csv).unwrap();
+        write_csv_file(&t, &path).unwrap();
+        let t2 = read_csv_file(&path).unwrap();
+        assert_eq!(t2.num_rows(), 2);
+        std::fs::remove_file(&path).ok();
+        assert!(read_csv_file(dir.join("does_not_exist_subtab.csv")).is_err());
+    }
+
+    #[test]
+    fn all_null_column_becomes_string() {
+        let csv = "x,y\n,1\n,2\n";
+        let t = parse_csv(csv).unwrap();
+        assert_eq!(t.schema().field("x").unwrap().ty, ColumnType::Str);
+        assert_eq!(t.column("x").unwrap().null_count(), 2);
+    }
+}

@@ -1,0 +1,703 @@
+//! Selection–projection (SP) queries with sorting and grouping.
+//!
+//! These are the exploratory operations the paper assumes an analyst issues
+//! during an EDA session: *select* rows by simple predicates, *project*
+//! columns, *sort*, and *group-by* with simple aggregates. A [`Query`] bundles
+//! them and executes against a [`Table`], producing a new [`Table`].
+
+use crate::column::Column;
+use crate::error::DataError;
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Comparison operator of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// A single row-selection predicate over one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Compare the column value with a constant.
+    Compare {
+        /// Column the predicate applies to.
+        column: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Constant to compare against.
+        value: Value,
+    },
+    /// The column value is null.
+    IsNull {
+        /// Column the predicate applies to.
+        column: String,
+    },
+    /// The column value is not null.
+    NotNull {
+        /// Column the predicate applies to.
+        column: String,
+    },
+    /// The column value is one of the given constants.
+    InSet {
+        /// Column the predicate applies to.
+        column: String,
+        /// Allowed values.
+        values: Vec<Value>,
+    },
+    /// The column value lies in `[low, high)` (numeric only).
+    Between {
+        /// Column the predicate applies to.
+        column: String,
+        /// Inclusive lower bound.
+        low: f64,
+        /// Exclusive upper bound.
+        high: f64,
+    },
+}
+
+impl Predicate {
+    /// Equality predicate.
+    pub fn eq(column: &str, value: Value) -> Self {
+        Predicate::Compare {
+            column: column.to_string(),
+            op: CompareOp::Eq,
+            value,
+        }
+    }
+
+    /// Inequality predicate.
+    pub fn ne(column: &str, value: Value) -> Self {
+        Predicate::Compare {
+            column: column.to_string(),
+            op: CompareOp::Ne,
+            value,
+        }
+    }
+
+    /// Strictly-less-than predicate.
+    pub fn lt(column: &str, value: Value) -> Self {
+        Predicate::Compare {
+            column: column.to_string(),
+            op: CompareOp::Lt,
+            value,
+        }
+    }
+
+    /// Strictly-greater-than predicate.
+    pub fn gt(column: &str, value: Value) -> Self {
+        Predicate::Compare {
+            column: column.to_string(),
+            op: CompareOp::Gt,
+            value,
+        }
+    }
+
+    /// Half-open numeric range predicate.
+    pub fn between(column: &str, low: f64, high: f64) -> Self {
+        Predicate::Between {
+            column: column.to_string(),
+            low,
+            high,
+        }
+    }
+
+    /// Null-test predicate.
+    pub fn is_null(column: &str) -> Self {
+        Predicate::IsNull {
+            column: column.to_string(),
+        }
+    }
+
+    /// Not-null predicate.
+    pub fn not_null(column: &str) -> Self {
+        Predicate::NotNull {
+            column: column.to_string(),
+        }
+    }
+
+    /// Membership predicate.
+    pub fn in_set(column: &str, values: Vec<Value>) -> Self {
+        Predicate::InSet {
+            column: column.to_string(),
+            values,
+        }
+    }
+
+    /// Name of the column this predicate touches.
+    pub fn column(&self) -> &str {
+        match self {
+            Predicate::Compare { column, .. }
+            | Predicate::IsNull { column }
+            | Predicate::NotNull { column }
+            | Predicate::InSet { column, .. }
+            | Predicate::Between { column, .. } => column,
+        }
+    }
+
+    /// The constant values referenced by the predicate (used by the
+    /// EDA-session study to check whether a query fragment appears in a
+    /// previously shown sub-table).
+    pub fn referenced_values(&self) -> Vec<Value> {
+        match self {
+            Predicate::Compare { value, .. } => vec![value.clone()],
+            Predicate::InSet { values, .. } => values.clone(),
+            Predicate::Between { low, high, .. } => {
+                vec![Value::Float(*low), Value::Float(*high)]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Evaluates the predicate for row `row` of `table`.
+    pub fn matches(&self, table: &Table, row: usize) -> Result<bool> {
+        let col = table
+            .column(self.column())
+            .ok_or_else(|| DataError::UnknownColumn(self.column().to_string()))?;
+        let v = col.try_get(row)?;
+        Ok(match self {
+            Predicate::IsNull { .. } => v.is_null(),
+            Predicate::NotNull { .. } => !v.is_null(),
+            Predicate::InSet { values, .. } => {
+                !v.is_null() && values.iter().any(|x| x.loose_eq(&v))
+            }
+            Predicate::Between { low, high, .. } => match v.as_f64() {
+                Some(x) => x >= *low && x < *high,
+                None => false,
+            },
+            Predicate::Compare { op, value, .. } => {
+                if v.is_null() || value.is_null() {
+                    // Three-valued-logic style: comparisons with null never match,
+                    // except Ne against a non-null constant which also does not
+                    // match (consistent with SQL semantics).
+                    false
+                } else {
+                    let ord = v.total_cmp(value);
+                    match op {
+                        CompareOp::Eq => v.loose_eq(value),
+                        CompareOp::Ne => !v.loose_eq(value),
+                        CompareOp::Lt => ord == std::cmp::Ordering::Less,
+                        CompareOp::Le => ord != std::cmp::Ordering::Greater,
+                        CompareOp::Gt => ord == std::cmp::Ordering::Greater,
+                        CompareOp::Ge => ord != std::cmp::Ordering::Less,
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SortOrder {
+    /// Ascending (nulls last).
+    Ascending,
+    /// Descending (nulls last).
+    Descending,
+}
+
+/// A sort key: column plus direction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortSpec {
+    /// Column to sort by.
+    pub column: String,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+/// Aggregate functions supported by group-by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// Number of rows in the group.
+    Count,
+    /// Sum of a numeric column.
+    Sum,
+    /// Mean of a numeric column.
+    Mean,
+    /// Minimum of a numeric column.
+    Min,
+    /// Maximum of a numeric column.
+    Max,
+}
+
+/// A group-by clause: grouping keys plus one aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupBy {
+    /// Columns to group on.
+    pub keys: Vec<String>,
+    /// Aggregate function.
+    pub agg: AggFunc,
+    /// Column the aggregate is computed over (ignored for `Count`).
+    pub agg_column: Option<String>,
+}
+
+/// A selection–projection query with optional sorting, grouping and limit.
+///
+/// Predicates are conjunctive (all must hold), matching the query model of the
+/// paper's EDA-session replay.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Conjunctive row predicates.
+    pub predicates: Vec<Predicate>,
+    /// Columns to project onto (`None` = all columns).
+    pub projection: Option<Vec<String>>,
+    /// Sort keys applied after selection.
+    pub sort: Vec<SortSpec>,
+    /// Optional group-by (applied after selection, before projection).
+    pub group_by: Option<GroupBy>,
+    /// Optional row limit applied last.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// Creates an empty query (matches all rows, keeps all columns).
+    pub fn new() -> Self {
+        Query::default()
+    }
+
+    /// Adds a predicate (conjunctive).
+    pub fn filter(mut self, p: Predicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Sets the projection columns.
+    pub fn select(mut self, columns: &[&str]) -> Self {
+        self.projection = Some(columns.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Adds a sort key.
+    pub fn sort_by(mut self, column: &str, order: SortOrder) -> Self {
+        self.sort.push(SortSpec {
+            column: column.to_string(),
+            order,
+        });
+        self
+    }
+
+    /// Sets a group-by clause.
+    pub fn group(mut self, keys: &[&str], agg: AggFunc, agg_column: Option<&str>) -> Self {
+        self.group_by = Some(GroupBy {
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+            agg,
+            agg_column: agg_column.map(|s| s.to_string()),
+        });
+        self
+    }
+
+    /// Sets a row limit.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Indices of the base-table rows that satisfy all predicates.
+    pub fn matching_rows(&self, table: &Table) -> Result<Vec<usize>> {
+        let mut out = Vec::new();
+        'rows: for r in 0..table.num_rows() {
+            for p in &self.predicates {
+                if !p.matches(table, r)? {
+                    continue 'rows;
+                }
+            }
+            out.push(r);
+        }
+        Ok(out)
+    }
+
+    /// All column names mentioned anywhere in the query (predicates,
+    /// projection, sort, group-by). Used by the EDA simulation study.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut cols: Vec<String> = Vec::new();
+        let mut push = |c: &str| {
+            if !cols.iter().any(|x| x == c) {
+                cols.push(c.to_string());
+            }
+        };
+        for p in &self.predicates {
+            push(p.column());
+        }
+        if let Some(proj) = &self.projection {
+            for c in proj {
+                push(c);
+            }
+        }
+        for s in &self.sort {
+            push(&s.column);
+        }
+        if let Some(g) = &self.group_by {
+            for k in &g.keys {
+                push(k);
+            }
+            if let Some(c) = &g.agg_column {
+                push(c);
+            }
+        }
+        cols
+    }
+
+    /// Constant values referenced by the query's predicates.
+    pub fn referenced_values(&self) -> Vec<Value> {
+        self.predicates
+            .iter()
+            .flat_map(|p| p.referenced_values())
+            .collect()
+    }
+
+    /// Executes the query against `table`, producing a new table.
+    pub fn execute(&self, table: &Table) -> Result<Table> {
+        // 1. Selection.
+        let rows = self.matching_rows(table)?;
+        let mut result = table.take(&rows)?;
+
+        // 2. Group-by (replaces the row set with one row per group).
+        if let Some(g) = &self.group_by {
+            result = execute_group_by(&result, g)?;
+        }
+
+        // 3. Sorting.
+        if !self.sort.is_empty() {
+            result = sort_table(&result, &self.sort)?;
+        }
+
+        // 4. Projection.
+        if let Some(proj) = &self.projection {
+            if self.group_by.is_none() {
+                let cols: Vec<&str> = proj.iter().map(String::as_str).collect();
+                result = result.project(&cols)?;
+            }
+        }
+
+        // 5. Limit.
+        if let Some(n) = self.limit {
+            result = result.head(n);
+        }
+        Ok(result)
+    }
+}
+
+fn sort_table(table: &Table, specs: &[SortSpec]) -> Result<Table> {
+    for s in specs {
+        if table.column(&s.column).is_none() {
+            return Err(DataError::UnknownColumn(s.column.clone()));
+        }
+    }
+    let mut indices: Vec<usize> = (0..table.num_rows()).collect();
+    indices.sort_by(|&a, &b| {
+        for s in specs {
+            let col = table.column(&s.column).expect("validated above");
+            let (va, vb) = (col.get(a), col.get(b));
+            // Nulls sort last irrespective of direction.
+            let ord = match (va.is_null(), vb.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => match s.order {
+                    SortOrder::Ascending => va.total_cmp(&vb),
+                    SortOrder::Descending => va.total_cmp(&vb).reverse(),
+                },
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    table.take(&indices)
+}
+
+fn execute_group_by(table: &Table, g: &GroupBy) -> Result<Table> {
+    for k in &g.keys {
+        if table.column(k).is_none() {
+            return Err(DataError::UnknownColumn(k.clone()));
+        }
+    }
+    let agg_col = match (&g.agg, &g.agg_column) {
+        (AggFunc::Count, _) => None,
+        (_, Some(c)) => {
+            if table.column(c).is_none() {
+                return Err(DataError::UnknownColumn(c.clone()));
+            }
+            Some(c.clone())
+        }
+        (_, None) => {
+            return Err(DataError::InvalidOperation(
+                "group-by aggregate other than count requires an aggregate column".into(),
+            ))
+        }
+    };
+
+    // Group rows by the rendered key tuple (deterministic, handles nulls).
+    let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for r in 0..table.num_rows() {
+        let key_vals: Vec<Value> = g
+            .keys
+            .iter()
+            .map(|k| table.column(k).expect("validated").get(r))
+            .collect();
+        let key_str = key_vals
+            .iter()
+            .map(Value::render)
+            .collect::<Vec<_>>()
+            .join("\u{1}");
+        match index.get(&key_str) {
+            Some(&gi) => groups[gi].1.push(r),
+            None => {
+                index.insert(key_str, groups.len());
+                groups.push((key_vals, vec![r]));
+            }
+        }
+    }
+
+    // Build result columns: one per key, plus the aggregate column.
+    let mut key_columns: Vec<Vec<Value>> = vec![Vec::with_capacity(groups.len()); g.keys.len()];
+    let mut agg_values: Vec<Option<f64>> = Vec::with_capacity(groups.len());
+    for (key_vals, rows) in &groups {
+        for (i, v) in key_vals.iter().enumerate() {
+            key_columns[i].push(v.clone());
+        }
+        let agg = match g.agg {
+            AggFunc::Count => Some(rows.len() as f64),
+            _ => {
+                let col = table
+                    .column(agg_col.as_deref().expect("validated"))
+                    .expect("validated");
+                let vals: Vec<f64> = rows.iter().filter_map(|&r| col.get_f64(r)).collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(match g.agg {
+                        AggFunc::Sum => vals.iter().sum(),
+                        AggFunc::Mean => vals.iter().sum::<f64>() / vals.len() as f64,
+                        AggFunc::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
+                        AggFunc::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                        AggFunc::Count => unreachable!(),
+                    })
+                }
+            }
+        };
+        agg_values.push(agg);
+    }
+
+    let mut columns: Vec<Column> = Vec::with_capacity(g.keys.len() + 1);
+    for (i, key) in g.keys.iter().enumerate() {
+        let source = table.column(key).expect("validated");
+        let mut col = Column::empty(key.clone(), source.column_type());
+        for v in &key_columns[i] {
+            col.push(v.clone())?;
+        }
+        columns.push(col);
+    }
+    let agg_name = match (&g.agg, &agg_col) {
+        (AggFunc::Count, _) => "count".to_string(),
+        (AggFunc::Sum, Some(c)) => format!("sum_{c}"),
+        (AggFunc::Mean, Some(c)) => format!("mean_{c}"),
+        (AggFunc::Min, Some(c)) => format!("min_{c}"),
+        (AggFunc::Max, Some(c)) => format!("max_{c}"),
+        _ => "agg".to_string(),
+    };
+    columns.push(Column::from_f64(agg_name, agg_values));
+    Table::from_columns(columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    fn table() -> Table {
+        Table::builder()
+            .column_str(
+                "airline",
+                vec![Some("AA"), Some("DL"), Some("AA"), Some("UA"), Some("DL")],
+            )
+            .column_f64(
+                "distance",
+                vec![Some(100.0), Some(2500.0), Some(700.0), None, Some(900.0)],
+            )
+            .column_i64("cancelled", vec![Some(0), Some(0), Some(1), Some(1), Some(0)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn filter_eq_and_projection() {
+        let t = table();
+        let q = Query::new()
+            .filter(Predicate::eq("airline", Value::from("AA")))
+            .select(&["airline", "cancelled"]);
+        let r = q.execute(&t).unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.num_columns(), 2);
+    }
+
+    #[test]
+    fn filter_numeric_comparisons() {
+        let t = table();
+        let gt = Query::new().filter(Predicate::gt("distance", Value::from(800.0)));
+        assert_eq!(gt.execute(&t).unwrap().num_rows(), 2);
+        let lt = Query::new().filter(Predicate::lt("distance", Value::from(800.0)));
+        assert_eq!(lt.execute(&t).unwrap().num_rows(), 2);
+        let between = Query::new().filter(Predicate::between("distance", 100.0, 900.0));
+        assert_eq!(between.execute(&t).unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn null_handling_in_predicates() {
+        let t = table();
+        let isnull = Query::new().filter(Predicate::is_null("distance"));
+        assert_eq!(isnull.execute(&t).unwrap().num_rows(), 1);
+        let notnull = Query::new().filter(Predicate::not_null("distance"));
+        assert_eq!(notnull.execute(&t).unwrap().num_rows(), 4);
+        // Comparisons never match nulls.
+        let gt = Query::new().filter(Predicate::gt("distance", Value::from(-1.0)));
+        assert_eq!(gt.execute(&t).unwrap().num_rows(), 4);
+        let ne = Query::new().filter(Predicate::ne("distance", Value::from(100.0)));
+        assert_eq!(ne.execute(&t).unwrap().num_rows(), 3);
+    }
+
+    #[test]
+    fn in_set_predicate() {
+        let t = table();
+        let q = Query::new().filter(Predicate::in_set(
+            "airline",
+            vec![Value::from("DL"), Value::from("UA")],
+        ));
+        assert_eq!(q.execute(&t).unwrap().num_rows(), 3);
+    }
+
+    #[test]
+    fn conjunctive_predicates() {
+        let t = table();
+        let q = Query::new()
+            .filter(Predicate::eq("airline", Value::from("DL")))
+            .filter(Predicate::eq("cancelled", Value::from(0i64)));
+        assert_eq!(q.execute(&t).unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn sorting_asc_desc_nulls_last() {
+        let t = table();
+        let asc = Query::new()
+            .sort_by("distance", SortOrder::Ascending)
+            .execute(&t)
+            .unwrap();
+        assert_eq!(asc.value(0, "distance").unwrap(), Value::Float(100.0));
+        assert!(asc.value(4, "distance").unwrap().is_null());
+        let desc = Query::new()
+            .sort_by("distance", SortOrder::Descending)
+            .execute(&t)
+            .unwrap();
+        assert_eq!(desc.value(0, "distance").unwrap(), Value::Float(2500.0));
+        let err = Query::new()
+            .sort_by("missing", SortOrder::Ascending)
+            .execute(&t);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn group_by_count_and_mean() {
+        let t = table();
+        let count = Query::new()
+            .group(&["airline"], AggFunc::Count, None)
+            .sort_by("count", SortOrder::Descending)
+            .execute(&t)
+            .unwrap();
+        assert_eq!(count.num_rows(), 3);
+        assert_eq!(count.column_names(), vec!["airline", "count"]);
+        assert_eq!(count.value(0, "count").unwrap(), Value::Float(2.0));
+
+        let mean = Query::new()
+            .group(&["cancelled"], AggFunc::Mean, Some("distance"))
+            .execute(&t)
+            .unwrap();
+        assert_eq!(mean.num_rows(), 2);
+        assert!(mean.column("mean_distance").is_some());
+    }
+
+    #[test]
+    fn group_by_requires_agg_column_for_non_count() {
+        let t = table();
+        let err = Query::new()
+            .group(&["airline"], AggFunc::Sum, None)
+            .execute(&t);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn group_by_sum_min_max() {
+        let t = table();
+        let sum = Query::new()
+            .group(&["airline"], AggFunc::Sum, Some("distance"))
+            .sort_by("airline", SortOrder::Ascending)
+            .execute(&t)
+            .unwrap();
+        // AA: 100 + 700 = 800
+        assert_eq!(sum.value(0, "sum_distance").unwrap(), Value::Float(800.0));
+        let min = Query::new()
+            .group(&["airline"], AggFunc::Min, Some("distance"))
+            .sort_by("airline", SortOrder::Ascending)
+            .execute(&t)
+            .unwrap();
+        assert_eq!(min.value(0, "min_distance").unwrap(), Value::Float(100.0));
+        let max = Query::new()
+            .group(&["airline"], AggFunc::Max, Some("distance"))
+            .sort_by("airline", SortOrder::Ascending)
+            .execute(&t)
+            .unwrap();
+        assert_eq!(max.value(0, "max_distance").unwrap(), Value::Float(700.0));
+    }
+
+    #[test]
+    fn limit_and_empty_query() {
+        let t = table();
+        let all = Query::new().execute(&t).unwrap();
+        assert_eq!(all.num_rows(), t.num_rows());
+        let limited = Query::new().limit(2).execute(&t).unwrap();
+        assert_eq!(limited.num_rows(), 2);
+    }
+
+    #[test]
+    fn referenced_columns_and_values() {
+        let q = Query::new()
+            .filter(Predicate::eq("airline", Value::from("AA")))
+            .filter(Predicate::between("distance", 0.0, 500.0))
+            .select(&["cancelled"])
+            .sort_by("distance", SortOrder::Ascending)
+            .group(&["airline"], AggFunc::Count, None);
+        let cols = q.referenced_columns();
+        assert!(cols.contains(&"airline".to_string()));
+        assert!(cols.contains(&"distance".to_string()));
+        assert!(cols.contains(&"cancelled".to_string()));
+        // No duplicates.
+        assert_eq!(
+            cols.len(),
+            cols.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+        let vals = q.referenced_values();
+        assert!(vals.contains(&Value::from("AA")));
+    }
+
+    #[test]
+    fn unknown_column_in_predicate_errors() {
+        let t = table();
+        let q = Query::new().filter(Predicate::eq("nope", Value::from(1i64)));
+        assert!(q.execute(&t).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Relational schema: column names and types.
+
+use crate::error::DataError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats (continuous data).
+    Float,
+    /// Strings (categorical/textual data).
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+impl ColumnType {
+    /// Whether the type is numeric (continuous or integral).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ColumnType::Int | ColumnType::Float | ColumnType::Bool)
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Int => "int",
+            ColumnType::Float => "float",
+            ColumnType::Str => "str",
+            ColumnType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl Field {
+    /// Creates a new field.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered collection of [`Field`]s with fast name lookup.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Creates a schema from an ordered list of fields.
+    ///
+    /// Returns an error if two fields share a name.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut index = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if index.insert(f.name.clone(), i).is_some() {
+                return Err(DataError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields, index })
+    }
+
+    /// The ordered fields of the schema.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Field by position.
+    pub fn field_at(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Column names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Returns a new schema containing only the named columns, in the given
+    /// order.
+    pub fn project(&self, columns: &[&str]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(columns.len());
+        for &name in columns {
+            let f = self
+                .field(name)
+                .ok_or_else(|| DataError::UnknownColumn(name.to_string()))?;
+            fields.push(f.clone());
+        }
+        Schema::new(fields)
+    }
+
+    /// Rebuilds the internal name→index map (used after deserialisation).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("a", ColumnType::Int),
+            Field::new("b", ColumnType::Float),
+            Field::new("c", ColumnType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.field("c").unwrap().ty, ColumnType::Str);
+        assert_eq!(s.field_at(0).unwrap().name, "a");
+        assert_eq!(s.names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("x", ColumnType::Int),
+            Field::new("x", ColumnType::Float),
+        ])
+        .unwrap_err();
+        assert_eq!(err, DataError::DuplicateColumn("x".into()));
+    }
+
+    #[test]
+    fn projection_preserves_order_given() {
+        let s = sample();
+        let p = s.project(&["c", "a"]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn numeric_types() {
+        assert!(ColumnType::Int.is_numeric());
+        assert!(ColumnType::Float.is_numeric());
+        assert!(ColumnType::Bool.is_numeric());
+        assert!(!ColumnType::Str.is_numeric());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ColumnType::Float.to_string(), "float");
+        assert_eq!(ColumnType::Str.to_string(), "str");
+    }
+}

@@ -1,0 +1,425 @@
+//! The [`Table`] type: an ordered collection of equally-long columns.
+
+use crate::column::Column;
+use crate::error::DataError;
+use crate::schema::{Field, Schema};
+use crate::value::Value;
+use crate::Result;
+use std::fmt;
+
+/// An in-memory relational table with typed, null-aware columns.
+///
+/// This is the substrate the SubTab algorithm operates on: the raw input
+/// table, intermediate query results, and the selected sub-tables are all
+/// `Table`s.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// Starts building a table column-by-column.
+    pub fn builder() -> TableBuilder {
+        TableBuilder::default()
+    }
+
+    /// Creates a table from pre-built columns.
+    ///
+    /// All columns must have the same length and unique names.
+    pub fn from_columns(columns: Vec<Column>) -> Result<Self> {
+        let num_rows = columns.first().map_or(0, Column::len);
+        for c in &columns {
+            if c.len() != num_rows {
+                return Err(DataError::LengthMismatch {
+                    expected: num_rows,
+                    actual: c.len(),
+                });
+            }
+        }
+        let fields = columns
+            .iter()
+            .map(|c| Field::new(c.name(), c.column_type()))
+            .collect();
+        let schema = Schema::new(fields)?;
+        Ok(Table {
+            schema,
+            columns,
+            num_rows,
+        })
+    }
+
+    /// Creates an empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::empty(f.name.clone(), f.ty))
+            .collect();
+        Table {
+            schema,
+            columns,
+            num_rows: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Column names in schema order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.schema.names()
+    }
+
+    /// Value of the cell at (`row`, `column name`).
+    pub fn value(&self, row: usize, column: &str) -> Result<Value> {
+        let col = self
+            .column(column)
+            .ok_or_else(|| DataError::UnknownColumn(column.to_string()))?;
+        col.try_get(row)
+    }
+
+    /// A full row as a vector of values in schema order.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.num_rows {
+            return Err(DataError::RowOutOfBounds {
+                index: row,
+                len: self.num_rows,
+            });
+        }
+        Ok(self.columns.iter().map(|c| c.get(row)).collect())
+    }
+
+    /// Appends a row given as values in schema order.
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(DataError::LengthMismatch {
+                expected: self.columns.len(),
+                actual: values.len(),
+            });
+        }
+        // Validate all pushes up-front on clones of nothing: we push one by
+        // one and roll back on failure to keep columns equal-length.
+        for (i, (col, v)) in self.columns.iter_mut().zip(values).enumerate() {
+            if let Err(e) = col.push(v) {
+                // Roll back the columns already extended.
+                for col in self.columns.iter_mut().take(i) {
+                    truncate_column(col, self.num_rows);
+                }
+                return Err(e);
+            }
+        }
+        self.num_rows += 1;
+        Ok(())
+    }
+
+    /// Projects the table onto the named columns (order preserved as given).
+    pub fn project(&self, columns: &[&str]) -> Result<Table> {
+        let mut cols = Vec::with_capacity(columns.len());
+        for &name in columns {
+            let c = self
+                .column(name)
+                .ok_or_else(|| DataError::UnknownColumn(name.to_string()))?;
+            cols.push(c.clone());
+        }
+        Table::from_columns(cols)
+    }
+
+    /// Returns a new table containing the rows at `indices`, in that order.
+    pub fn take(&self, indices: &[usize]) -> Result<Table> {
+        for &i in indices {
+            if i >= self.num_rows {
+                return Err(DataError::RowOutOfBounds {
+                    index: i,
+                    len: self.num_rows,
+                });
+            }
+        }
+        let cols = self.columns.iter().map(|c| c.take(indices)).collect();
+        Table::from_columns(cols)
+    }
+
+    /// First `n` rows (fewer if the table is shorter). Mirrors `head()` in
+    /// Pandas, the default display the paper's introduction criticises.
+    pub fn head(&self, n: usize) -> Table {
+        let indices: Vec<usize> = (0..self.num_rows.min(n)).collect();
+        self.take(&indices).expect("indices in range")
+    }
+
+    /// Sub-table given by explicit row indices and column names — the
+    /// fundamental operation of the paper (Definition 3.1).
+    pub fn sub_table(&self, row_indices: &[usize], columns: &[&str]) -> Result<Table> {
+        self.take(row_indices)?.project(columns)
+    }
+
+    /// Fraction of cells that are null.
+    pub fn null_fraction(&self) -> f64 {
+        let total = self.num_rows * self.columns.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let nulls: usize = self.columns.iter().map(Column::null_count).sum();
+        nulls as f64 / total as f64
+    }
+
+    /// Renders the table as a compact ASCII grid (used by examples and the
+    /// experiment harness).
+    pub fn render(&self, max_rows: usize) -> String {
+        let mut widths: Vec<usize> = self
+            .schema
+            .names()
+            .iter()
+            .map(|n| n.len())
+            .collect();
+        let shown = self.num_rows.min(max_rows);
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
+        for r in 0..shown {
+            let row: Vec<String> = self.columns.iter().map(|c| c.get(r).render()).collect();
+            for (w, cell) in widths.iter_mut().zip(&row) {
+                *w = (*w).max(cell.len());
+            }
+            cells.push(row);
+        }
+        let mut out = String::new();
+        for (i, name) in self.schema.names().iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", name, width = widths[i]));
+        }
+        out.push('\n');
+        for row in cells {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        if self.num_rows > shown {
+            out.push_str(&format!("... ({} more rows)\n", self.num_rows - shown));
+        }
+        out
+    }
+}
+
+fn truncate_column(col: &mut Column, len: usize) {
+    // Column does not expose truncate directly; rebuild via take. This path
+    // only runs on a failed push_row, so it is not performance-sensitive.
+    let idx: Vec<usize> = (0..len).collect();
+    *col = col.take(&idx);
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(20))
+    }
+}
+
+/// Incremental, column-oriented builder for [`Table`].
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Adds an integer column.
+    pub fn column_i64(mut self, name: &str, values: Vec<Option<i64>>) -> Self {
+        self.columns.push(Column::from_i64(name, values));
+        self
+    }
+
+    /// Adds a float column.
+    pub fn column_f64(mut self, name: &str, values: Vec<Option<f64>>) -> Self {
+        self.columns.push(Column::from_f64(name, values));
+        self
+    }
+
+    /// Adds a string column.
+    pub fn column_str(mut self, name: &str, values: Vec<Option<&str>>) -> Self {
+        self.columns.push(Column::from_str_values(name, values));
+        self
+    }
+
+    /// Adds a string column from owned strings.
+    pub fn column_string(mut self, name: &str, values: Vec<Option<String>>) -> Self {
+        self.columns.push(Column::from_str_values(name, values));
+        self
+    }
+
+    /// Adds a boolean column.
+    pub fn column_bool(mut self, name: &str, values: Vec<Option<bool>>) -> Self {
+        self.columns.push(Column::from_bool(name, values));
+        self
+    }
+
+    /// Adds a pre-built column.
+    pub fn column(mut self, column: Column) -> Self {
+        self.columns.push(column);
+        self
+    }
+
+    /// Finalises the table, validating lengths and name uniqueness.
+    pub fn build(self) -> Result<Table> {
+        Table::from_columns(self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn flights_like() -> Table {
+        Table::builder()
+            .column_f64(
+                "distance",
+                vec![Some(100.0), Some(2500.0), Some(700.0), None],
+            )
+            .column_str("airline", vec![Some("AA"), Some("DL"), Some("AA"), Some("UA")])
+            .column_i64("cancelled", vec![Some(0), Some(0), Some(1), Some(1)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_and_shape() {
+        let t = flights_like();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.column_names(), vec!["distance", "airline", "cancelled"]);
+        assert_eq!(t.schema().field("cancelled").unwrap().ty, ColumnType::Int);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let err = Table::builder()
+            .column_i64("a", vec![Some(1), Some(2)])
+            .column_i64("b", vec![Some(1)])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DataError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = Table::builder()
+            .column_i64("a", vec![Some(1)])
+            .column_f64("a", vec![Some(1.0)])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DataError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn cell_and_row_access() {
+        let t = flights_like();
+        assert_eq!(t.value(1, "airline").unwrap(), Value::from("DL"));
+        assert!(t.value(3, "distance").unwrap().is_null());
+        assert!(t.value(0, "nope").is_err());
+        assert!(t.value(10, "airline").is_err());
+        let row = t.row(2).unwrap();
+        assert_eq!(row.len(), 3);
+        assert_eq!(row[2], Value::Int(1));
+        assert!(t.row(99).is_err());
+    }
+
+    #[test]
+    fn push_row_and_rollback() {
+        let mut t = flights_like();
+        t.push_row(vec![Value::from(50.0), Value::from("WN"), Value::from(0i64)])
+            .unwrap();
+        assert_eq!(t.num_rows(), 5);
+        // Wrong arity
+        assert!(t.push_row(vec![Value::from(1.0)]).is_err());
+        // Wrong type in the last column: earlier columns must be rolled back.
+        let err = t.push_row(vec![
+            Value::from(1.0),
+            Value::from("XX"),
+            Value::from("not an int"),
+        ]);
+        assert!(err.is_err());
+        assert_eq!(t.num_rows(), 5);
+        for c in t.columns() {
+            assert_eq!(c.len(), 5);
+        }
+    }
+
+    #[test]
+    fn projection_and_take() {
+        let t = flights_like();
+        let p = t.project(&["cancelled", "airline"]).unwrap();
+        assert_eq!(p.column_names(), vec!["cancelled", "airline"]);
+        assert_eq!(p.num_rows(), 4);
+        assert!(t.project(&["missing"]).is_err());
+
+        let s = t.take(&[3, 0]).unwrap();
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.value(0, "airline").unwrap(), Value::from("UA"));
+        assert!(t.take(&[9]).is_err());
+    }
+
+    #[test]
+    fn sub_table_is_rows_then_columns() {
+        let t = flights_like();
+        let s = t.sub_table(&[0, 2], &["airline", "cancelled"]).unwrap();
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.num_columns(), 2);
+        assert_eq!(s.value(1, "cancelled").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn head_and_null_fraction() {
+        let t = flights_like();
+        assert_eq!(t.head(2).num_rows(), 2);
+        assert_eq!(t.head(100).num_rows(), 4);
+        let expected = 1.0 / 12.0;
+        assert!((t.null_fraction() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_headers_and_values() {
+        let t = flights_like();
+        let s = t.render(2);
+        assert!(s.contains("airline"));
+        assert!(s.contains("DL"));
+        assert!(s.contains("more rows"));
+        assert!(!format!("{t}").is_empty());
+    }
+
+    #[test]
+    fn empty_table_has_schema_but_no_rows() {
+        let schema = Schema::new(vec![
+            Field::new("x", ColumnType::Int),
+            Field::new("y", ColumnType::Str),
+        ])
+        .unwrap();
+        let t = Table::empty(schema);
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.null_fraction(), 0.0);
+    }
+}

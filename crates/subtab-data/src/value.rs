@@ -1,0 +1,248 @@
+//! Dynamically-typed cell values.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single table cell value.
+///
+/// Values are dynamically typed; the containing [`crate::Column`] enforces a
+/// single type per column (plus nulls). `Null` models missing data (`NaN` in
+/// the paper's Pandas examples).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string (categorical/textual data).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns `true` if the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one.
+    ///
+    /// Integers and booleans are widened to `f64`; strings and nulls return
+    /// `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an integer or boolean.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Boolean view of the value, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short, lossless textual rendering used for display and for building
+    /// the embedding corpus ("tabular sentences").
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "NaN".to_string(),
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v}")
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Total ordering used by sorting and group-by.
+    ///
+    /// Nulls sort last; values of different types are ordered by a fixed type
+    /// rank so that sorting a mixed column is still deterministic. Numeric
+    /// values (`Int`, `Float`, `Bool`) compare numerically with each other.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Greater,
+            (_, Null) => Ordering::Less,
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                (Some(_), None) => Ordering::Less,
+                (None, Some(_)) => Ordering::Greater,
+                (None, None) => a.render().cmp(&b.render()),
+            },
+        }
+    }
+
+    /// Equality used by predicates and grouping: numeric types compare by
+    /// value (`Int(1) == Float(1.0)`), nulls are equal only to nulls.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Null, _) | (_, Null) => false,
+            (Str(a), Str(b)) => a == b,
+            (Str(_), _) | (_, Str(_)) => false,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y || (x.is_nan() && y.is_nan()),
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.loose_eq(other)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl<T> From<Option<T>> for Value
+where
+    T: Into<Value>,
+{
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(Value::from(3i64).as_i64(), Some(3));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("abc").as_str(), Some("abc"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert!(Value::from(None::<i64>).is_null());
+    }
+
+    #[test]
+    fn numeric_widening() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn loose_equality_across_numeric_types() {
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+        assert_ne!(Value::Int(1), Value::Float(1.5));
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+        assert_ne!(Value::Str("1".into()), Value::Int(1));
+    }
+
+    #[test]
+    fn ordering_places_nulls_last() {
+        let mut vals = [
+            Value::Null,
+            Value::Int(3),
+            Value::Float(1.5),
+            Value::Int(-2),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Int(-2));
+        assert_eq!(vals[1], Value::Float(1.5));
+        assert_eq!(vals[2], Value::Int(3));
+        assert!(vals[3].is_null());
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic() {
+        assert_eq!(
+            Value::from("apple").total_cmp(&Value::from("banana")),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn render_formats() {
+        assert_eq!(Value::Null.render(), "NaN");
+        assert_eq!(Value::Int(7).render(), "7");
+        assert_eq!(Value::Float(7.0).render(), "7.0");
+        assert_eq!(Value::Float(7.25).render(), "7.25");
+        assert_eq!(Value::from("x").render(), "x");
+        assert_eq!(Value::Bool(false).render(), "false");
+    }
+}

@@ -1,0 +1,45 @@
+//! # subtab-datasets
+//!
+//! Synthetic dataset and EDA-session generators mirroring the evaluation
+//! datasets of the SubTab paper.
+//!
+//! The paper evaluates on six Kaggle datasets (Flights, Cyber-security,
+//! Spotify, Credit-card fraud, US Funds, Bank Loans) and on a corpus of 122
+//! recorded data-exploration sessions. None of these are available offline,
+//! so this crate generates *synthetic stand-ins* that preserve the properties
+//! the evaluation depends on:
+//!
+//! * each dataset's **schema shape** (number and types of columns, scaled row
+//!   counts, missing-value patterns such as "delay columns are NaN unless the
+//!   flight was delayed"),
+//! * **planted association rules**: rows are drawn from a small number of
+//!   *archetypes*, each fixing the values of a subset of columns; the
+//!   archetype definitions are returned alongside the table so that
+//!   experiments (e.g. the simulated user study) can check whether a
+//!   sub-table exposes a true pattern,
+//! * **exploration sessions** whose queries follow the planted structure, as
+//!   real analysts' queries follow the patterns visible in the data.
+//!
+//! See `DESIGN.md` (substitutions 4–6) for the full rationale.
+//!
+//! ```
+//! use subtab_datasets::{flights, DatasetSize};
+//!
+//! let ds = flights(DatasetSize::Small, 42);
+//! assert!(ds.table.num_rows() >= 1_000);
+//! assert!(ds.table.num_columns() >= 20);
+//! assert!(!ds.archetypes.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod generator;
+pub mod sessions;
+pub mod spec;
+pub mod zoo;
+
+pub use generator::{generate, PlantedDataset};
+pub use sessions::{generate_sessions, Session, SessionConfig};
+pub use spec::{Archetype, CellSpec, ColumnSpec, DatasetSize, DatasetSpec};
+pub use zoo::{bank_loans, credit_card, cyber, flights, spotify, us_funds, DatasetKind};

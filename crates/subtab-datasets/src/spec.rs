@@ -1,0 +1,201 @@
+//! Declarative specification of a synthetic dataset.
+
+/// Scale of a generated dataset.
+///
+/// The paper's datasets range from 23K to 6M rows; the generators scale them
+/// down so that the full experiment suite runs on a laptop while preserving
+/// the relative size ordering (Flights remains the largest, Cyber the
+/// smallest of the four main ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetSize {
+    /// Very small — intended for unit tests (hundreds of rows).
+    Tiny,
+    /// Small — default for integration tests and examples (thousands of rows).
+    Small,
+    /// Medium — used by the experiment harness (tens of thousands of rows).
+    Medium,
+    /// Large — closest to the paper's scale that is still practical offline.
+    Large,
+}
+
+impl DatasetSize {
+    /// Multiplier applied to a dataset's base row count.
+    pub fn factor(self) -> f64 {
+        match self {
+            DatasetSize::Tiny => 0.05,
+            DatasetSize::Small => 0.25,
+            DatasetSize::Medium => 1.0,
+            DatasetSize::Large => 4.0,
+        }
+    }
+}
+
+/// The kind and value domain of one generated column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnSpec {
+    /// Categorical column with the given value domain.
+    Categorical {
+        /// Column name.
+        name: String,
+        /// Possible category values.
+        values: Vec<String>,
+    },
+    /// Continuous column uniform over the given range (before archetype
+    /// overrides).
+    Numeric {
+        /// Column name.
+        name: String,
+        /// Inclusive lower bound of the background distribution.
+        low: f64,
+        /// Exclusive upper bound of the background distribution.
+        high: f64,
+    },
+    /// Integer column uniform over `low..high`.
+    Integer {
+        /// Column name.
+        name: String,
+        /// Inclusive lower bound.
+        low: i64,
+        /// Exclusive upper bound.
+        high: i64,
+    },
+}
+
+impl ColumnSpec {
+    /// The column's name.
+    pub fn name(&self) -> &str {
+        match self {
+            ColumnSpec::Categorical { name, .. }
+            | ColumnSpec::Numeric { name, .. }
+            | ColumnSpec::Integer { name, .. } => name,
+        }
+    }
+
+    /// Convenience constructor for a categorical column.
+    pub fn categorical(name: &str, values: &[&str]) -> Self {
+        ColumnSpec::Categorical {
+            name: name.to_string(),
+            values: values.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Convenience constructor for a continuous column.
+    pub fn numeric(name: &str, low: f64, high: f64) -> Self {
+        ColumnSpec::Numeric {
+            name: name.to_string(),
+            low,
+            high,
+        }
+    }
+
+    /// Convenience constructor for an integer column.
+    pub fn integer(name: &str, low: i64, high: i64) -> Self {
+        ColumnSpec::Integer {
+            name: name.to_string(),
+            low,
+            high,
+        }
+    }
+}
+
+/// What an archetype dictates for one column of its rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellSpec {
+    /// A fixed categorical value.
+    Category(String),
+    /// A numeric value drawn uniformly from this sub-range.
+    Range(f64, f64),
+    /// A fixed integer value.
+    IntValue(i64),
+    /// The cell is missing (models the "NaN when cancelled" pattern).
+    Missing,
+}
+
+/// A latent row archetype: a named pattern fixing the values of a subset of
+/// columns. Rows generated from an archetype follow its cell specs (with a
+/// small noise probability); the remaining columns take background values.
+///
+/// Every archetype corresponds to a *planted association rule* over its
+/// defining columns, which is what the evaluation's oracles check against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Archetype {
+    /// Human-readable name, e.g. `"cancelled-redeye"`.
+    pub name: String,
+    /// Relative sampling weight of the archetype.
+    pub weight: f64,
+    /// The (column name, cell spec) pairs the archetype dictates.
+    pub cells: Vec<(String, CellSpec)>,
+}
+
+impl Archetype {
+    /// Creates an archetype.
+    pub fn new(name: &str, weight: f64, cells: Vec<(&str, CellSpec)>) -> Self {
+        Archetype {
+            name: name.to_string(),
+            weight,
+            cells: cells
+                .into_iter()
+                .map(|(c, s)| (c.to_string(), s))
+                .collect(),
+        }
+    }
+
+    /// Names of the columns this archetype constrains.
+    pub fn columns(&self) -> Vec<&str> {
+        self.cells.iter().map(|(c, _)| c.as_str()).collect()
+    }
+}
+
+/// The full specification handed to [`crate::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name (used in experiment output).
+    pub name: String,
+    /// Number of rows to generate.
+    pub num_rows: usize,
+    /// The columns.
+    pub columns: Vec<ColumnSpec>,
+    /// The planted archetypes.
+    pub archetypes: Vec<Archetype>,
+    /// Probability that a row ignores its archetype for a given constrained
+    /// cell (noise; keeps rule confidences below 1).
+    pub noise: f64,
+    /// Background probability that any unconstrained cell is missing.
+    pub missing_rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_factors_are_ordered() {
+        assert!(DatasetSize::Tiny.factor() < DatasetSize::Small.factor());
+        assert!(DatasetSize::Small.factor() < DatasetSize::Medium.factor());
+        assert!(DatasetSize::Medium.factor() < DatasetSize::Large.factor());
+    }
+
+    #[test]
+    fn column_spec_accessors() {
+        let c = ColumnSpec::categorical("airline", &["AA", "DL"]);
+        assert_eq!(c.name(), "airline");
+        let n = ColumnSpec::numeric("distance", 0.0, 100.0);
+        assert_eq!(n.name(), "distance");
+        let i = ColumnSpec::integer("year", 2014, 2017);
+        assert_eq!(i.name(), "year");
+    }
+
+    #[test]
+    fn archetype_columns() {
+        let a = Archetype::new(
+            "cancelled",
+            1.0,
+            vec![
+                ("cancelled", CellSpec::IntValue(1)),
+                ("dep_time", CellSpec::Missing),
+            ],
+        );
+        assert_eq!(a.columns(), vec!["cancelled", "dep_time"]);
+        assert_eq!(a.weight, 1.0);
+    }
+}

@@ -1,0 +1,727 @@
+//! Builders for the six evaluation datasets of the paper.
+//!
+//! Each builder constructs a [`DatasetSpec`] whose schema shape mirrors the
+//! corresponding Kaggle dataset (column count and types, missing-value
+//! patterns) and whose archetypes plant the kind of prominent association
+//! rules the paper's examples describe (e.g. "cancelled flights have missing
+//! departure times"), then calls the generic generator. Row counts are the
+//! paper's sizes scaled down by roughly 100–300× at [`DatasetSize::Medium`];
+//! the relative ordering (Flights largest, Cyber smallest) is preserved
+//! because Figure 9 depends on it.
+
+use crate::generator::{generate, PlantedDataset};
+use crate::spec::{Archetype, CellSpec, ColumnSpec, DatasetSize, DatasetSpec};
+
+/// Identifier of one of the paper's evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Kaggle flight-delays (paper: 6M × 31).
+    Flights,
+    /// Honeynet cyber-security challenge (paper: 30K × 15).
+    Cyber,
+    /// Spotify popularity challenge (paper: 42K × 15).
+    Spotify,
+    /// Credit-card fraud (paper: 250K × 31).
+    CreditCard,
+    /// US mutual funds (paper: 23.5K × 298).
+    UsFunds,
+    /// Bank-loan status (paper: 110K × 19).
+    BankLoans,
+}
+
+impl DatasetKind {
+    /// Short name used in experiment output (matches the paper's labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            DatasetKind::Flights => "FL",
+            DatasetKind::Cyber => "CY",
+            DatasetKind::Spotify => "SP",
+            DatasetKind::CreditCard => "CC",
+            DatasetKind::UsFunds => "USF",
+            DatasetKind::BankLoans => "BL",
+        }
+    }
+
+    /// Builds the dataset at the given size with the given seed.
+    pub fn build(self, size: DatasetSize, seed: u64) -> PlantedDataset {
+        match self {
+            DatasetKind::Flights => flights(size, seed),
+            DatasetKind::Cyber => cyber(size, seed),
+            DatasetKind::Spotify => spotify(size, seed),
+            DatasetKind::CreditCard => credit_card(size, seed),
+            DatasetKind::UsFunds => us_funds(size, seed),
+            DatasetKind::BankLoans => bank_loans(size, seed),
+        }
+    }
+}
+
+fn rows(base: usize, size: DatasetSize) -> usize {
+    ((base as f64 * size.factor()) as usize).max(200)
+}
+
+/// Synthetic stand-in for the Kaggle flight-delays dataset (`FL`).
+pub fn flights(size: DatasetSize, seed: u64) -> PlantedDataset {
+    let airlines = ["AA", "DL", "UA", "WN", "B6", "AS", "NK", "HA"];
+    let airports = ["ATL", "LAX", "ORD", "DFW", "JFK", "SFO", "SEA", "MIA", "BOS", "PHX"];
+    let mut columns = vec![
+        ColumnSpec::integer("YEAR", 2015, 2016),
+        ColumnSpec::integer("MONTH", 1, 13),
+        ColumnSpec::integer("DAY", 1, 29),
+        ColumnSpec::integer("DAY_OF_WEEK", 1, 8),
+        ColumnSpec::categorical("AIRLINE", &airlines),
+        ColumnSpec::integer("FLIGHT_NUMBER", 1, 7000),
+        ColumnSpec::categorical("ORIGIN_AIRPORT", &airports),
+        ColumnSpec::categorical("DESTINATION_AIRPORT", &airports),
+        ColumnSpec::numeric("SCHEDULED_DEPARTURE", 0.0, 2400.0),
+        ColumnSpec::numeric("DEPARTURE_TIME", 0.0, 2400.0),
+        ColumnSpec::numeric("DEPARTURE_DELAY", -20.0, 180.0),
+        ColumnSpec::numeric("TAXI_OUT", 1.0, 60.0),
+        ColumnSpec::numeric("WHEELS_OFF", 0.0, 2400.0),
+        ColumnSpec::numeric("SCHEDULED_TIME", 30.0, 500.0),
+        ColumnSpec::numeric("ELAPSED_TIME", 30.0, 500.0),
+        ColumnSpec::numeric("AIR_TIME", 20.0, 450.0),
+        ColumnSpec::numeric("DISTANCE", 50.0, 2800.0),
+        ColumnSpec::numeric("WHEELS_ON", 0.0, 2400.0),
+        ColumnSpec::numeric("TAXI_IN", 1.0, 45.0),
+        ColumnSpec::numeric("SCHEDULED_ARRIVAL", 0.0, 2400.0),
+        ColumnSpec::numeric("ARRIVAL_TIME", 0.0, 2400.0),
+        ColumnSpec::numeric("ARRIVAL_DELAY", -30.0, 200.0),
+        ColumnSpec::integer("DIVERTED", 0, 2),
+        ColumnSpec::integer("CANCELLED", 0, 1), // background is 0; archetype sets 1
+        ColumnSpec::categorical("CANCELLATION_REASON", &["A", "B", "C", "D"]),
+        ColumnSpec::numeric("AIR_SYSTEM_DELAY", 0.0, 60.0),
+        ColumnSpec::numeric("SECURITY_DELAY", 0.0, 30.0),
+        ColumnSpec::numeric("AIRLINE_DELAY", 0.0, 90.0),
+        ColumnSpec::numeric("LATE_AIRCRAFT_DELAY", 0.0, 90.0),
+        ColumnSpec::numeric("WEATHER_DELAY", 0.0, 120.0),
+    ];
+    // 31st column: scheduled day period derived from departure hour.
+    columns.push(ColumnSpec::categorical(
+        "DAY_PERIOD",
+        &["morning", "afternoon", "evening", "redeye"],
+    ));
+    let archetypes = vec![
+        // The paper's running example: cancelled flights have missing times.
+        // Like the real dataset, each archetype constrains most operational
+        // columns (times, taxi, delays, airports are all correlated), so that
+        // structure spans the schema rather than a small block of columns.
+        Archetype::new(
+            "cancelled-missing-times",
+            0.14,
+            vec![
+                ("DEPARTURE_TIME", CellSpec::Missing),
+                ("WHEELS_OFF", CellSpec::Missing),
+                ("AIR_TIME", CellSpec::Missing),
+                ("ELAPSED_TIME", CellSpec::Missing),
+                ("ARRIVAL_TIME", CellSpec::Missing),
+                ("WHEELS_ON", CellSpec::Missing),
+                ("TAXI_IN", CellSpec::Missing),
+                ("ARRIVAL_DELAY", CellSpec::Missing),
+                ("CANCELLATION_REASON", CellSpec::Category("B".into())),
+                ("DAY_PERIOD", CellSpec::Category("afternoon".into())),
+                ("SCHEDULED_DEPARTURE", CellSpec::Range(1200.0, 1800.0)),
+                ("SCHEDULED_ARRIVAL", CellSpec::Range(1400.0, 2000.0)),
+                ("MONTH", CellSpec::IntValue(1)),
+                ("CANCELLED", CellSpec::IntValue(1)),
+            ],
+        ),
+        // Long flights are rarely cancelled (Example 1.2).
+        Archetype::new(
+            "long-haul-on-time",
+            0.22,
+            vec![
+                ("DISTANCE", CellSpec::Range(1546.0, 2724.0)),
+                ("AIR_TIME", CellSpec::Range(198.0, 422.0)),
+                ("SCHEDULED_TIME", CellSpec::Range(220.0, 470.0)),
+                ("ELAPSED_TIME", CellSpec::Range(220.0, 480.0)),
+                ("DAY_PERIOD", CellSpec::Category("morning".into())),
+                ("SCHEDULED_DEPARTURE", CellSpec::Range(400.0, 1000.0)),
+                ("ORIGIN_AIRPORT", CellSpec::Category("JFK".into())),
+                ("DESTINATION_AIRPORT", CellSpec::Category("LAX".into())),
+                ("AIRLINE", CellSpec::Category("DL".into())),
+                ("DEPARTURE_DELAY", CellSpec::Range(-15.0, 10.0)),
+                ("CANCELLED", CellSpec::IntValue(0)),
+            ],
+        ),
+        // Evening flights with late-aircraft delays.
+        Archetype::new(
+            "evening-late-aircraft",
+            0.2,
+            vec![
+                ("DAY_PERIOD", CellSpec::Category("evening".into())),
+                ("SCHEDULED_DEPARTURE", CellSpec::Range(1800.0, 2359.0)),
+                ("DEPARTURE_TIME", CellSpec::Range(1840.0, 2400.0)),
+                ("DEPARTURE_DELAY", CellSpec::Range(45.0, 180.0)),
+                ("LATE_AIRCRAFT_DELAY", CellSpec::Range(30.0, 90.0)),
+                ("AIRLINE_DELAY", CellSpec::Range(20.0, 90.0)),
+                ("ARRIVAL_DELAY", CellSpec::Range(40.0, 200.0)),
+                ("TAXI_OUT", CellSpec::Range(25.0, 60.0)),
+                ("ORIGIN_AIRPORT", CellSpec::Category("ORD".into())),
+                ("DAY_OF_WEEK", CellSpec::IntValue(5)),
+                ("CANCELLED", CellSpec::IntValue(0)),
+            ],
+        ),
+        // Short commuter hops in the morning, on time.
+        Archetype::new(
+            "short-morning-hop",
+            0.26,
+            vec![
+                ("DISTANCE", CellSpec::Range(50.0, 400.0)),
+                ("AIR_TIME", CellSpec::Range(20.0, 80.0)),
+                ("SCHEDULED_TIME", CellSpec::Range(35.0, 110.0)),
+                ("ELAPSED_TIME", CellSpec::Range(35.0, 120.0)),
+                ("DAY_PERIOD", CellSpec::Category("morning".into())),
+                ("SCHEDULED_DEPARTURE", CellSpec::Range(500.0, 1100.0)),
+                ("DEPARTURE_DELAY", CellSpec::Range(-20.0, 5.0)),
+                ("TAXI_OUT", CellSpec::Range(1.0, 15.0)),
+                ("TAXI_IN", CellSpec::Range(1.0, 10.0)),
+                ("AIRLINE", CellSpec::Category("WN".into())),
+                ("ORIGIN_AIRPORT", CellSpec::Category("ATL".into())),
+                ("CANCELLED", CellSpec::IntValue(0)),
+            ],
+        ),
+        // Weather-delayed winter flights.
+        Archetype::new(
+            "winter-weather-delay",
+            0.13,
+            vec![
+                ("MONTH", CellSpec::IntValue(1)),
+                ("WEATHER_DELAY", CellSpec::Range(45.0, 120.0)),
+                ("AIR_SYSTEM_DELAY", CellSpec::Range(20.0, 60.0)),
+                ("SECURITY_DELAY", CellSpec::Range(0.0, 5.0)),
+                ("DEPARTURE_DELAY", CellSpec::Range(60.0, 180.0)),
+                ("ARRIVAL_DELAY", CellSpec::Range(60.0, 200.0)),
+                ("ORIGIN_AIRPORT", CellSpec::Category("BOS".into())),
+                ("DAY_OF_WEEK", CellSpec::IntValue(1)),
+                ("DAY_PERIOD", CellSpec::Category("redeye".into())),
+                ("CANCELLED", CellSpec::IntValue(0)),
+            ],
+        ),
+    ];
+    let spec = DatasetSpec {
+        name: "FL".into(),
+        num_rows: rows(20_000, size),
+        columns,
+        archetypes,
+        noise: 0.08,
+        missing_rate: 0.03,
+    };
+    generate(&spec, seed)
+}
+
+/// Synthetic stand-in for the Honeynet cyber-security dataset (`CY`).
+pub fn cyber(size: DatasetSize, seed: u64) -> PlantedDataset {
+    let columns = vec![
+        ColumnSpec::integer("hour", 0, 24),
+        ColumnSpec::categorical("protocol", &["tcp", "udp", "icmp"]),
+        ColumnSpec::integer("src_port", 1024, 65535),
+        ColumnSpec::integer("dst_port", 1, 1024),
+        ColumnSpec::categorical(
+            "service",
+            &["ssh", "http", "https", "dns", "smtp", "ftp", "telnet"],
+        ),
+        ColumnSpec::numeric("duration", 0.0, 600.0),
+        ColumnSpec::numeric("bytes_in", 0.0, 1e6),
+        ColumnSpec::numeric("bytes_out", 0.0, 1e6),
+        ColumnSpec::integer("packets", 1, 5000),
+        ColumnSpec::categorical(
+            "src_country",
+            &["US", "CN", "RU", "DE", "BR", "IN", "FR"],
+        ),
+        ColumnSpec::categorical(
+            "alert_type",
+            &["none", "scan", "bruteforce", "exfil", "malware"],
+        ),
+        ColumnSpec::integer("severity", 0, 5),
+        ColumnSpec::integer("flagged", 0, 1),
+        ColumnSpec::categorical("direction", &["inbound", "outbound"]),
+        ColumnSpec::integer("failed_logins", 0, 3),
+    ];
+    let archetypes = vec![
+        Archetype::new(
+            "port-scan",
+            0.2,
+            vec![
+                ("packets", CellSpec::IntValue(1)),
+                ("bytes_in", CellSpec::Range(0.0, 200.0)),
+                ("bytes_out", CellSpec::Range(0.0, 100.0)),
+                ("duration", CellSpec::Range(0.0, 1.0)),
+                ("protocol", CellSpec::Category("tcp".into())),
+                ("direction", CellSpec::Category("inbound".into())),
+                ("src_country", CellSpec::Category("RU".into())),
+                ("hour", CellSpec::IntValue(3)),
+                ("alert_type", CellSpec::Category("scan".into())),
+                ("severity", CellSpec::IntValue(2)),
+                ("flagged", CellSpec::IntValue(1)),
+            ],
+        ),
+        Archetype::new(
+            "ssh-bruteforce",
+            0.15,
+            vec![
+                ("service", CellSpec::Category("ssh".into())),
+                ("dst_port", CellSpec::IntValue(22)),
+                ("protocol", CellSpec::Category("tcp".into())),
+                ("failed_logins", CellSpec::IntValue(2)),
+                ("direction", CellSpec::Category("inbound".into())),
+                ("src_country", CellSpec::Category("CN".into())),
+                ("packets", CellSpec::IntValue(40)),
+                ("alert_type", CellSpec::Category("bruteforce".into())),
+                ("severity", CellSpec::IntValue(4)),
+                ("flagged", CellSpec::IntValue(1)),
+            ],
+        ),
+        Archetype::new(
+            "data-exfiltration",
+            0.1,
+            vec![
+                ("bytes_out", CellSpec::Range(5e5, 1e6)),
+                ("bytes_in", CellSpec::Range(0.0, 5_000.0)),
+                ("duration", CellSpec::Range(300.0, 600.0)),
+                ("direction", CellSpec::Category("outbound".into())),
+                ("service", CellSpec::Category("ftp".into())),
+                ("hour", CellSpec::IntValue(2)),
+                ("alert_type", CellSpec::Category("exfil".into())),
+                ("severity", CellSpec::IntValue(4)),
+                ("flagged", CellSpec::IntValue(1)),
+            ],
+        ),
+        Archetype::new(
+            "benign-web",
+            0.4,
+            vec![
+                ("service", CellSpec::Category("https".into())),
+                ("dst_port", CellSpec::IntValue(443)),
+                ("protocol", CellSpec::Category("tcp".into())),
+                ("direction", CellSpec::Category("outbound".into())),
+                ("src_country", CellSpec::Category("US".into())),
+                ("duration", CellSpec::Range(1.0, 60.0)),
+                ("failed_logins", CellSpec::IntValue(0)),
+                ("alert_type", CellSpec::Category("none".into())),
+                ("severity", CellSpec::IntValue(0)),
+                ("flagged", CellSpec::IntValue(0)),
+            ],
+        ),
+    ];
+    let spec = DatasetSpec {
+        name: "CY".into(),
+        num_rows: rows(3_000, size),
+        columns,
+        archetypes,
+        noise: 0.05,
+        missing_rate: 0.01,
+    };
+    generate(&spec, seed)
+}
+
+/// Synthetic stand-in for the Spotify popularity dataset (`SP`).
+pub fn spotify(size: DatasetSize, seed: u64) -> PlantedDataset {
+    let columns = vec![
+        ColumnSpec::categorical(
+            "genre",
+            &["pop", "rock", "hiphop", "classical", "jazz", "electronic", "folk"],
+        ),
+        ColumnSpec::numeric("danceability", 0.0, 1.0),
+        ColumnSpec::numeric("energy", 0.0, 1.0),
+        ColumnSpec::numeric("loudness", -40.0, 0.0),
+        ColumnSpec::numeric("speechiness", 0.0, 1.0),
+        ColumnSpec::numeric("acousticness", 0.0, 1.0),
+        ColumnSpec::numeric("instrumentalness", 0.0, 1.0),
+        ColumnSpec::numeric("liveness", 0.0, 1.0),
+        ColumnSpec::numeric("valence", 0.0, 1.0),
+        ColumnSpec::numeric("tempo", 50.0, 210.0),
+        ColumnSpec::numeric("duration_ms", 60_000.0, 420_000.0),
+        ColumnSpec::integer("explicit", 0, 2),
+        ColumnSpec::integer("year", 1990, 2021),
+        ColumnSpec::integer("key", 0, 12),
+        ColumnSpec::integer("popularity", 0, 100),
+    ];
+    let archetypes = vec![
+        Archetype::new(
+            "dance-pop-hit",
+            0.25,
+            vec![
+                ("genre", CellSpec::Category("pop".into())),
+                ("danceability", CellSpec::Range(0.7, 1.0)),
+                ("energy", CellSpec::Range(0.7, 1.0)),
+                ("loudness", CellSpec::Range(-8.0, 0.0)),
+                ("valence", CellSpec::Range(0.6, 1.0)),
+                ("tempo", CellSpec::Range(110.0, 135.0)),
+                ("duration_ms", CellSpec::Range(150_000.0, 240_000.0)),
+                ("acousticness", CellSpec::Range(0.0, 0.2)),
+                ("year", CellSpec::IntValue(2019)),
+                ("popularity", CellSpec::IntValue(85)),
+            ],
+        ),
+        Archetype::new(
+            "quiet-classical",
+            0.2,
+            vec![
+                ("genre", CellSpec::Category("classical".into())),
+                ("acousticness", CellSpec::Range(0.85, 1.0)),
+                ("instrumentalness", CellSpec::Range(0.8, 1.0)),
+                ("energy", CellSpec::Range(0.0, 0.25)),
+                ("loudness", CellSpec::Range(-40.0, -20.0)),
+                ("speechiness", CellSpec::Range(0.0, 0.05)),
+                ("duration_ms", CellSpec::Range(300_000.0, 420_000.0)),
+                ("explicit", CellSpec::IntValue(0)),
+                ("popularity", CellSpec::IntValue(25)),
+            ],
+        ),
+        Archetype::new(
+            "hiphop-explicit",
+            0.2,
+            vec![
+                ("genre", CellSpec::Category("hiphop".into())),
+                ("speechiness", CellSpec::Range(0.2, 0.6)),
+                ("explicit", CellSpec::IntValue(1)),
+                ("danceability", CellSpec::Range(0.6, 0.95)),
+                ("tempo", CellSpec::Range(80.0, 105.0)),
+                ("instrumentalness", CellSpec::Range(0.0, 0.1)),
+                ("year", CellSpec::IntValue(2017)),
+                ("popularity", CellSpec::IntValue(70)),
+            ],
+        ),
+        Archetype::new(
+            "live-jazz",
+            0.15,
+            vec![
+                ("genre", CellSpec::Category("jazz".into())),
+                ("liveness", CellSpec::Range(0.6, 1.0)),
+                ("tempo", CellSpec::Range(90.0, 140.0)),
+                ("acousticness", CellSpec::Range(0.5, 0.9)),
+                ("valence", CellSpec::Range(0.3, 0.7)),
+                ("key", CellSpec::IntValue(2)),
+                ("year", CellSpec::IntValue(1998)),
+                ("popularity", CellSpec::IntValue(40)),
+            ],
+        ),
+    ];
+    let spec = DatasetSpec {
+        name: "SP".into(),
+        num_rows: rows(4_000, size),
+        columns,
+        archetypes,
+        noise: 0.06,
+        missing_rate: 0.02,
+    };
+    generate(&spec, seed)
+}
+
+/// Synthetic stand-in for the credit-card fraud dataset (`CC`): 31 numeric
+/// columns (Time, V1–V28, Amount, Class). All-numeric tables stress the
+/// binning step, which the paper notes makes CC's pre-processing the slowest.
+pub fn credit_card(size: DatasetSize, seed: u64) -> PlantedDataset {
+    let mut columns = vec![ColumnSpec::numeric("Time", 0.0, 172_800.0)];
+    for i in 1..=28 {
+        columns.push(ColumnSpec::numeric(&format!("V{i}"), -5.0, 5.0));
+    }
+    columns.push(ColumnSpec::numeric("Amount", 0.0, 2_000.0));
+    columns.push(ColumnSpec::integer("Class", 0, 1));
+    let archetypes = vec![
+        Archetype::new(
+            "fraud-pattern-a",
+            0.05,
+            vec![
+                ("V1", CellSpec::Range(-5.0, -3.0)),
+                ("V3", CellSpec::Range(-5.0, -3.0)),
+                ("V14", CellSpec::Range(-5.0, -3.5)),
+                ("Amount", CellSpec::Range(0.0, 50.0)),
+                ("Class", CellSpec::IntValue(1)),
+            ],
+        ),
+        Archetype::new(
+            "fraud-pattern-b",
+            0.03,
+            vec![
+                ("V4", CellSpec::Range(3.0, 5.0)),
+                ("V11", CellSpec::Range(3.0, 5.0)),
+                ("Time", CellSpec::Range(80_000.0, 100_000.0)),
+                ("Class", CellSpec::IntValue(1)),
+            ],
+        ),
+        Archetype::new(
+            "normal-small-purchase",
+            0.5,
+            vec![
+                ("Amount", CellSpec::Range(1.0, 80.0)),
+                ("V1", CellSpec::Range(-1.0, 1.0)),
+                ("V2", CellSpec::Range(-1.0, 1.0)),
+                ("Class", CellSpec::IntValue(0)),
+            ],
+        ),
+        Archetype::new(
+            "normal-large-purchase",
+            0.2,
+            vec![
+                ("Amount", CellSpec::Range(500.0, 2_000.0)),
+                ("V5", CellSpec::Range(1.0, 3.0)),
+                ("Class", CellSpec::IntValue(0)),
+            ],
+        ),
+    ];
+    let spec = DatasetSpec {
+        name: "CC".into(),
+        num_rows: rows(8_000, size),
+        columns,
+        archetypes,
+        noise: 0.05,
+        missing_rate: 0.0,
+    };
+    generate(&spec, seed)
+}
+
+/// Synthetic stand-in for the US mutual-funds dataset (`USF`): a very wide,
+/// mostly numeric table (the paper's has 298 columns; we scale the width to 60
+/// while keeping it by far the widest dataset).
+pub fn us_funds(size: DatasetSize, seed: u64) -> PlantedDataset {
+    let mut columns = vec![
+        ColumnSpec::categorical(
+            "category",
+            &["equity", "bond", "mixed", "commodity", "real_estate"],
+        ),
+        ColumnSpec::categorical("region", &["US", "EU", "global", "emerging"]),
+        ColumnSpec::categorical("risk_rating", &["low", "medium", "high"]),
+        ColumnSpec::numeric("net_assets", 1e6, 1e10),
+        ColumnSpec::numeric("expense_ratio", 0.01, 2.5),
+        ColumnSpec::integer("morningstar_rating", 1, 6),
+        ColumnSpec::numeric("yield", 0.0, 8.0),
+        ColumnSpec::integer("inception_year", 1980, 2021),
+    ];
+    for year in 2010..2021 {
+        columns.push(ColumnSpec::numeric(&format!("return_{year}"), -30.0, 40.0));
+    }
+    for q in 1..=8 {
+        columns.push(ColumnSpec::numeric(&format!("quarterly_return_q{q}"), -15.0, 20.0));
+    }
+    for i in 1..=10 {
+        columns.push(ColumnSpec::numeric(&format!("sector_weight_{i}"), 0.0, 60.0));
+    }
+    for i in 1..=10 {
+        columns.push(ColumnSpec::numeric(&format!("holding_pct_{i}"), 0.0, 12.0));
+    }
+    for name in [
+        "alpha_3y", "beta_3y", "sharpe_3y", "stddev_3y", "sortino_3y", "treynor_3y",
+        "alpha_5y", "beta_5y", "sharpe_5y", "stddev_5y", "turnover", "manager_tenure",
+        "min_investment",
+    ] {
+        columns.push(ColumnSpec::numeric(name, 0.0, 10.0));
+    }
+    let archetypes = vec![
+        Archetype::new(
+            "high-risk-equity",
+            0.3,
+            vec![
+                ("category", CellSpec::Category("equity".into())),
+                ("risk_rating", CellSpec::Category("high".into())),
+                ("stddev_3y", CellSpec::Range(7.0, 10.0)),
+                ("beta_3y", CellSpec::Range(1.0, 2.0)),
+                ("yield", CellSpec::Range(0.0, 1.5)),
+            ],
+        ),
+        Archetype::new(
+            "stable-bond",
+            0.3,
+            vec![
+                ("category", CellSpec::Category("bond".into())),
+                ("risk_rating", CellSpec::Category("low".into())),
+                ("stddev_3y", CellSpec::Range(0.0, 2.0)),
+                ("yield", CellSpec::Range(2.5, 6.0)),
+                ("expense_ratio", CellSpec::Range(0.01, 0.5)),
+            ],
+        ),
+        Archetype::new(
+            "five-star-cheap",
+            0.15,
+            vec![
+                ("morningstar_rating", CellSpec::IntValue(5)),
+                ("expense_ratio", CellSpec::Range(0.01, 0.3)),
+                ("sharpe_3y", CellSpec::Range(6.0, 10.0)),
+            ],
+        ),
+    ];
+    let spec = DatasetSpec {
+        name: "USF".into(),
+        num_rows: rows(2_000, size),
+        columns,
+        archetypes,
+        noise: 0.05,
+        missing_rate: 0.08,
+    };
+    generate(&spec, seed)
+}
+
+/// Synthetic stand-in for the bank-loan status dataset (`BL`).
+pub fn bank_loans(size: DatasetSize, seed: u64) -> PlantedDataset {
+    let columns = vec![
+        ColumnSpec::categorical("loan_status", &["Fully Paid", "Charged Off"]),
+        ColumnSpec::numeric("current_loan_amount", 1_000.0, 800_000.0),
+        ColumnSpec::categorical("term", &["Short Term", "Long Term"]),
+        ColumnSpec::numeric("credit_score", 550.0, 850.0),
+        ColumnSpec::numeric("annual_income", 15_000.0, 400_000.0),
+        ColumnSpec::categorical(
+            "years_in_job",
+            &["<1", "1-3", "3-5", "5-10", "10+"],
+        ),
+        ColumnSpec::categorical("home_ownership", &["Rent", "Mortgage", "Own"]),
+        ColumnSpec::categorical(
+            "purpose",
+            &["debt_consolidation", "home_improvements", "business", "medical", "other"],
+        ),
+        ColumnSpec::numeric("monthly_debt", 0.0, 30_000.0),
+        ColumnSpec::numeric("years_credit_history", 2.0, 50.0),
+        ColumnSpec::numeric("months_since_delinquent", 0.0, 120.0),
+        ColumnSpec::integer("open_accounts", 1, 40),
+        ColumnSpec::integer("credit_problems", 0, 5),
+        ColumnSpec::numeric("current_credit_balance", 0.0, 1_000_000.0),
+        ColumnSpec::numeric("max_open_credit", 0.0, 1_500_000.0),
+        ColumnSpec::integer("bankruptcies", 0, 3),
+        ColumnSpec::integer("tax_liens", 0, 3),
+        ColumnSpec::numeric("interest_rate", 3.0, 28.0),
+        ColumnSpec::integer("num_dependents", 0, 5),
+    ];
+    let archetypes = vec![
+        Archetype::new(
+            "charged-off-low-score",
+            0.2,
+            vec![
+                ("credit_score", CellSpec::Range(550.0, 640.0)),
+                ("credit_problems", CellSpec::IntValue(2)),
+                ("interest_rate", CellSpec::Range(18.0, 28.0)),
+                ("loan_status", CellSpec::Category("Charged Off".into())),
+            ],
+        ),
+        Archetype::new(
+            "paid-prime-borrower",
+            0.35,
+            vec![
+                ("credit_score", CellSpec::Range(740.0, 850.0)),
+                ("annual_income", CellSpec::Range(120_000.0, 400_000.0)),
+                ("home_ownership", CellSpec::Category("Mortgage".into())),
+                ("interest_rate", CellSpec::Range(3.0, 9.0)),
+                ("loan_status", CellSpec::Category("Fully Paid".into())),
+            ],
+        ),
+        Archetype::new(
+            "long-term-consolidation",
+            0.25,
+            vec![
+                ("term", CellSpec::Category("Long Term".into())),
+                ("purpose", CellSpec::Category("debt_consolidation".into())),
+                ("monthly_debt", CellSpec::Range(10_000.0, 30_000.0)),
+                ("loan_status", CellSpec::Category("Fully Paid".into())),
+            ],
+        ),
+        Archetype::new(
+            "bankruptcy-history",
+            0.1,
+            vec![
+                ("bankruptcies", CellSpec::IntValue(1)),
+                ("months_since_delinquent", CellSpec::Range(0.0, 24.0)),
+                ("loan_status", CellSpec::Category("Charged Off".into())),
+            ],
+        ),
+    ];
+    let spec = DatasetSpec {
+        name: "BL".into(),
+        num_rows: rows(5_000, size),
+        columns,
+        archetypes,
+        noise: 0.05,
+        missing_rate: 0.04,
+    };
+    generate(&spec, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shapes_match_paper_proportions() {
+        let size = DatasetSize::Tiny;
+        let fl = flights(size, 1);
+        let cy = cyber(size, 1);
+        let sp = spotify(size, 1);
+        let cc = credit_card(size, 1);
+        let usf = us_funds(size, 1);
+        let bl = bank_loans(size, 1);
+
+        assert_eq!(fl.table.num_columns(), 31);
+        assert_eq!(cy.table.num_columns(), 15);
+        assert_eq!(sp.table.num_columns(), 15);
+        assert_eq!(cc.table.num_columns(), 31);
+        assert!(usf.table.num_columns() >= 55, "USF must be very wide");
+        assert_eq!(bl.table.num_columns(), 19);
+
+        // Relative row ordering mirrors the paper.
+        assert!(fl.table.num_rows() > cc.table.num_rows());
+        assert!(cc.table.num_rows() > sp.table.num_rows());
+        assert!(sp.table.num_rows() >= cy.table.num_rows());
+    }
+
+    #[test]
+    fn all_datasets_have_planted_structure() {
+        for kind in [
+            DatasetKind::Flights,
+            DatasetKind::Cyber,
+            DatasetKind::Spotify,
+            DatasetKind::CreditCard,
+            DatasetKind::UsFunds,
+            DatasetKind::BankLoans,
+        ] {
+            let ds = kind.build(DatasetSize::Tiny, 9);
+            assert!(!ds.archetypes.is_empty(), "{:?} has no archetypes", kind);
+            for a in 0..ds.archetypes.len() {
+                let conf = ds.archetype_confidence(a);
+                assert!(
+                    conf > 0.6,
+                    "{:?} archetype {a} ({}) confidence {conf} too low",
+                    kind,
+                    ds.archetypes[a].name
+                );
+            }
+            assert_eq!(ds.row_archetype.len(), ds.table.num_rows());
+        }
+    }
+
+    #[test]
+    fn flights_cancelled_pattern_matches_paper_example() {
+        let ds = flights(DatasetSize::Tiny, 3);
+        let t = &ds.table;
+        let mut cancelled_with_missing_dep = 0usize;
+        let mut cancelled = 0usize;
+        for r in 0..t.num_rows() {
+            if t.value(r, "CANCELLED").unwrap() == subtab_data::Value::Int(1) {
+                cancelled += 1;
+                if t.value(r, "DEPARTURE_TIME").unwrap().is_null() {
+                    cancelled_with_missing_dep += 1;
+                }
+            }
+        }
+        assert!(cancelled > 0);
+        assert!(
+            cancelled_with_missing_dep as f64 / cancelled as f64 > 0.7,
+            "cancelled flights should mostly have missing departure times"
+        );
+    }
+
+    #[test]
+    fn labels_are_the_paper_abbreviations() {
+        assert_eq!(DatasetKind::Flights.label(), "FL");
+        assert_eq!(DatasetKind::Cyber.label(), "CY");
+        assert_eq!(DatasetKind::Spotify.label(), "SP");
+        assert_eq!(DatasetKind::CreditCard.label(), "CC");
+        assert_eq!(DatasetKind::UsFunds.label(), "USF");
+        assert_eq!(DatasetKind::BankLoans.label(), "BL");
+    }
+
+    #[test]
+    fn sizes_scale_row_counts() {
+        let tiny = cyber(DatasetSize::Tiny, 5);
+        let small = cyber(DatasetSize::Small, 5);
+        let medium = cyber(DatasetSize::Medium, 5);
+        assert!(tiny.table.num_rows() < small.table.num_rows());
+        assert!(small.table.num_rows() < medium.table.num_rows());
+    }
+}

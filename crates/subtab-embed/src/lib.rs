@@ -1,0 +1,38 @@
+//! # subtab-embed
+//!
+//! Table embedding for the SubTab framework (Section 5.1, "Pre-Processing").
+//!
+//! The paper turns the binned table into a corpus of *tabular sentences* —
+//! one sentence per row (its cell values) and one per column (the values of
+//! that column) — and trains a Word2Vec model over the corpus. The learned
+//! cell vectors capture co-occurrence of bin values within rows and columns,
+//! which is the same signal frequent itemsets and association rules are built
+//! from; this is why centroid selection over these vectors yields sub-tables
+//! with good cell coverage without ever mining rules.
+//!
+//! This crate reimplements that pipeline from scratch:
+//!
+//! * [`corpus`] — building and capping the sentence corpus (the paper caps it
+//!   at 100 000 sentences sampled uniformly at random),
+//! * [`vocab`] — the token vocabulary with a unigram^0.75 negative-sampling
+//!   table,
+//! * [`sgns`] — a skip-gram-with-negative-sampling trainer (the fast
+//!   Word2Vec variant of Mikolov et al. used by gensim),
+//! * [`model`] — the resulting [`CellEmbedding`]: a map from (column, bin)
+//!   tokens to dense vectors, with helpers to average them into row and
+//!   column vectors.
+//!
+//! Everything is deterministic given the seed in [`EmbeddingConfig`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod corpus;
+pub mod model;
+pub mod sgns;
+pub mod vocab;
+
+pub use corpus::{build_corpus, Corpus};
+pub use model::CellEmbedding;
+pub use sgns::{train_embedding, EmbeddingConfig};
+pub use vocab::Vocab;

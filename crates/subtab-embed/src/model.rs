@@ -1,0 +1,207 @@
+//! The trained cell-embedding model `M : (column, bin) → R^γ`.
+
+use std::collections::HashMap;
+use subtab_binning::BinnedTable;
+
+/// A trained embedding: a dense vector for every (column, bin) token that
+/// occurred in the training corpus.
+#[derive(Debug, Clone)]
+pub struct CellEmbedding {
+    dim: usize,
+    tokens: Vec<String>,
+    vectors: Vec<Vec<f32>>,
+    index: HashMap<String, usize>,
+}
+
+impl CellEmbedding {
+    /// Assembles a model from parallel token / vector lists.
+    pub fn new(dim: usize, tokens: Vec<String>, vectors: Vec<Vec<f32>>) -> Self {
+        assert_eq!(tokens.len(), vectors.len());
+        let index = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        CellEmbedding {
+            dim,
+            tokens,
+            vectors,
+            index,
+        }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of embedded tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// All embedded tokens.
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// The vector of a token, if the token was seen during training.
+    pub fn vector(&self, token: &str) -> Option<&[f32]> {
+        self.index.get(token).map(|&i| self.vectors[i].as_slice())
+    }
+
+    /// The vector of the cell at (`row`, `col`) of a binned table.
+    pub fn cell_vector(&self, binned: &BinnedTable, row: usize, col: usize) -> Option<&[f32]> {
+        self.vector(&binned.cell_token(row, col))
+    }
+
+    /// Cosine similarity between two tokens' vectors.
+    pub fn cosine(&self, a: &str, b: &str) -> Option<f32> {
+        let va = self.vector(a)?;
+        let vb = self.vector(b)?;
+        Some(cosine(va, vb))
+    }
+
+    /// The tuple-vector of a row: the component-wise average of the row's
+    /// cell vectors over the given columns (lines 8–10 of Algorithm 2).
+    /// Cells whose token was not embedded (possible only for bins absent from
+    /// the training data) are skipped; if no cell has a vector, a zero vector
+    /// is returned.
+    pub fn row_vector(&self, binned: &BinnedTable, row: usize, cols: &[usize]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        let mut n = 0usize;
+        for &c in cols {
+            if let Some(v) = self.cell_vector(binned, row, c) {
+                for (a, x) in acc.iter_mut().zip(v) {
+                    *a += x;
+                }
+                n += 1;
+            }
+        }
+        if n > 0 {
+            let inv = 1.0 / n as f32;
+            acc.iter_mut().for_each(|a| *a *= inv);
+        }
+        acc
+    }
+
+    /// The column-vector of a column: the average of its cell vectors over
+    /// the given rows (lines 13–15 of Algorithm 2).
+    pub fn column_vector(&self, binned: &BinnedTable, col: usize, rows: &[usize]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        let mut n = 0usize;
+        for &r in rows {
+            if let Some(v) = self.cell_vector(binned, r, col) {
+                for (a, x) in acc.iter_mut().zip(v) {
+                    *a += x;
+                }
+                n += 1;
+            }
+        }
+        if n > 0 {
+            let inv = 1.0 / n as f32;
+            acc.iter_mut().for_each(|a| *a *= inv);
+        }
+        acc
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (0 when either is zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subtab_binning::{Binner, BinningConfig};
+    use subtab_data::Table;
+
+    fn toy_model() -> (CellEmbedding, BinnedTable) {
+        let t = Table::builder()
+            .column_i64("a", vec![Some(0), Some(1)])
+            .column_str("b", vec![Some("x"), Some("y")])
+            .build()
+            .unwrap();
+        let binner = Binner::fit(&t, &BinningConfig::default()).unwrap();
+        let bt = binner.apply(&t).unwrap();
+        // Hand-crafted vectors so the averages are easy to verify.
+        let tokens = vec![
+            bt.cell_token(0, 0),
+            bt.cell_token(1, 0),
+            bt.cell_token(0, 1),
+            bt.cell_token(1, 1),
+        ];
+        let vectors = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+        ];
+        (CellEmbedding::new(2, tokens, vectors), bt)
+    }
+
+    #[test]
+    fn lookup_and_dims() {
+        let (m, bt) = toy_model();
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+        assert!(m.vector(&bt.cell_token(0, 0)).is_some());
+        assert!(m.vector("nonexistent").is_none());
+        assert!(m.cell_vector(&bt, 1, 1).is_some());
+    }
+
+    #[test]
+    fn row_vector_is_mean_of_cell_vectors() {
+        let (m, bt) = toy_model();
+        let rv = m.row_vector(&bt, 0, &[0, 1]);
+        assert_eq!(rv, vec![1.0, 0.0]);
+        let rv1 = m.row_vector(&bt, 1, &[0, 1]);
+        assert_eq!(rv1, vec![-0.5, 0.5]);
+    }
+
+    #[test]
+    fn column_vector_is_mean_over_rows() {
+        let (m, bt) = toy_model();
+        let cv = m.column_vector(&bt, 1, &[0, 1]);
+        assert_eq!(cv, vec![0.0, 0.0]);
+        let cv_a = m.column_vector(&bt, 0, &[0, 1]);
+        assert_eq!(cv_a, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn missing_vectors_are_skipped_and_zero_when_all_missing() {
+        let (m, bt) = toy_model();
+        let rv = m.row_vector(&bt, 0, &[]);
+        assert_eq!(rv, vec![0.0, 0.0]);
+        let cv = m.column_vector(&bt, 0, &[]);
+        assert_eq!(cv, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        let (m, bt) = toy_model();
+        let c = m
+            .cosine(&bt.cell_token(0, 0), &bt.cell_token(0, 1))
+            .unwrap();
+        assert!((c - 1.0).abs() < 1e-6);
+        assert!(m.cosine("missing", "also missing").is_none());
+    }
+}

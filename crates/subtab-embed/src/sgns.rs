@@ -1,0 +1,282 @@
+//! Skip-gram with negative sampling (SGNS), the Word2Vec variant used by the
+//! paper's reference implementation (via gensim).
+
+use crate::corpus::{build_corpus, Corpus, CorpusOptions};
+use crate::model::CellEmbedding;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use subtab_binning::BinnedTable;
+
+/// Hyper-parameters of the embedding step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingConfig {
+    /// Dimensionality of the cell vectors (γ in the paper's notation).
+    pub dim: usize,
+    /// Number of passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed to 10% over training).
+    pub learning_rate: f32,
+    /// Number of negative samples per positive pair.
+    pub negative_samples: usize,
+    /// Context window. `None` uses the whole sentence as context, matching
+    /// the paper's `windowSize = max(n, m)`; a small value (e.g. 8) trades a
+    /// little fidelity for much faster training on long sentences.
+    pub window: Option<usize>,
+    /// Maximum number of sentences in the corpus (paper: 100 000).
+    pub max_sentences: usize,
+    /// Chunk length for column sentences.
+    pub max_column_sentence_len: usize,
+    /// Whether column sentences are included in the corpus.
+    pub include_column_sentences: bool,
+    /// RNG seed (initialisation, negative sampling, corpus subsample).
+    pub seed: u64,
+}
+
+impl Default for EmbeddingConfig {
+    fn default() -> Self {
+        EmbeddingConfig {
+            dim: 32,
+            epochs: 3,
+            learning_rate: 0.025,
+            negative_samples: 5,
+            window: Some(8),
+            max_sentences: 100_000,
+            max_column_sentence_len: 64,
+            include_column_sentences: true,
+            seed: 42,
+        }
+    }
+}
+
+impl EmbeddingConfig {
+    fn corpus_options(&self) -> CorpusOptions {
+        CorpusOptions {
+            max_sentences: self.max_sentences,
+            max_column_sentence_len: self.max_column_sentence_len,
+            include_column_sentences: self.include_column_sentences,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Trains cell embeddings for a binned table: builds the tabular-sentence
+/// corpus and runs SGNS over it. This is the expensive half of SubTab's
+/// pre-processing phase.
+pub fn train_embedding(binned: &BinnedTable, config: &EmbeddingConfig) -> CellEmbedding {
+    let corpus = build_corpus(binned, &config.corpus_options());
+    train_on_corpus(&corpus, config)
+}
+
+/// Trains SGNS on an already-built corpus (exposed for ablation benches).
+pub fn train_on_corpus(corpus: &Corpus, config: &EmbeddingConfig) -> CellEmbedding {
+    let vocab_size = corpus.vocab.len();
+    let dim = config.dim.max(1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    if vocab_size == 0 {
+        return CellEmbedding::new(dim, Vec::new(), Vec::new());
+    }
+
+    // Word2Vec-style initialisation: input vectors uniform in
+    // [-0.5/dim, 0.5/dim], output vectors zero.
+    let mut w_in: Vec<f32> = (0..vocab_size * dim)
+        .map(|_| (rng.gen::<f32>() - 0.5) / dim as f32)
+        .collect();
+    let mut w_out: Vec<f32> = vec![0.0; vocab_size * dim];
+
+    let total_pairs: usize = count_pairs(corpus, config.window) * config.epochs.max(1);
+    let mut processed = 0usize;
+    let lr0 = config.learning_rate;
+    let mut grad_in = vec![0.0f32; dim];
+
+    for _epoch in 0..config.epochs.max(1) {
+        for sentence in &corpus.sentences {
+            let len = sentence.len();
+            for (i, &center) in sentence.iter().enumerate() {
+                let (lo, hi) = match config.window {
+                    Some(w) => (i.saturating_sub(w), (i + w + 1).min(len)),
+                    None => (0, len),
+                };
+                for (j, &context) in sentence.iter().enumerate().take(hi).skip(lo) {
+                    if j == i {
+                        continue;
+                    }
+                    let lr = lr0
+                        * (1.0 - processed as f32 / (total_pairs as f32 + 1.0)).max(0.1);
+                    processed += 1;
+
+                    // One positive + `negative_samples` negative updates.
+                    grad_in.iter_mut().for_each(|g| *g = 0.0);
+                    let center_vec = i_slice(&w_in, center, dim).to_vec();
+                    for neg in 0..=config.negative_samples {
+                        let (target, label) = if neg == 0 {
+                            (context, 1.0f32)
+                        } else {
+                            (corpus.vocab.sample_negative(&mut rng), 0.0f32)
+                        };
+                        if label == 0.0 && target == context {
+                            continue;
+                        }
+                        let out = m_slice(&mut w_out, target, dim);
+                        let dot: f32 = center_vec.iter().zip(out.iter()).map(|(a, b)| a * b).sum();
+                        let pred = sigmoid(dot);
+                        let g = (label - pred) * lr;
+                        for d in 0..dim {
+                            grad_in[d] += g * out[d];
+                            out[d] += g * center_vec[d];
+                        }
+                    }
+                    let center_slice = m_slice(&mut w_in, center, dim);
+                    for d in 0..dim {
+                        center_slice[d] += grad_in[d];
+                    }
+                }
+            }
+        }
+    }
+
+    let tokens = corpus.vocab.tokens().to_vec();
+    let vectors: Vec<Vec<f32>> = (0..vocab_size)
+        .map(|i| i_slice(&w_in, i as u32, dim).to_vec())
+        .collect();
+    CellEmbedding::new(dim, tokens, vectors)
+}
+
+fn count_pairs(corpus: &Corpus, window: Option<usize>) -> usize {
+    corpus
+        .sentences
+        .iter()
+        .map(|s| {
+            let len = s.len();
+            match window {
+                Some(w) => len * (2 * w).min(len.saturating_sub(1)),
+                None => len * len.saturating_sub(1),
+            }
+        })
+        .sum()
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[inline]
+fn i_slice(m: &[f32], idx: u32, dim: usize) -> &[f32] {
+    let start = idx as usize * dim;
+    &m[start..start + dim]
+}
+
+#[inline]
+fn m_slice(m: &mut [f32], idx: u32, dim: usize) -> &mut [f32] {
+    let start = idx as usize * dim;
+    &mut m[start..start + dim]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subtab_binning::{Binner, BinningConfig};
+    use subtab_data::Table;
+
+    /// Table with a strong co-occurrence pattern: a=0 ⇔ b="x", a=1 ⇔ b="y",
+    /// while column c is uncorrelated noise.
+    fn patterned_binned(rows: usize) -> BinnedTable {
+        let t = Table::builder()
+            .column_i64("a", (0..rows).map(|i| Some((i % 2) as i64)).collect())
+            .column_str(
+                "b",
+                (0..rows)
+                    .map(|i| Some(if i % 2 == 0 { "x" } else { "y" }))
+                    .collect(),
+            )
+            .column_i64("c", (0..rows).map(|i| Some((i % 5) as i64)).collect())
+            .build()
+            .unwrap();
+        let binner = Binner::fit(&t, &BinningConfig::default()).unwrap();
+        binner.apply(&t).unwrap()
+    }
+
+    fn small_config() -> EmbeddingConfig {
+        EmbeddingConfig {
+            dim: 16,
+            epochs: 8,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let bt = patterned_binned(60);
+        let cfg = small_config();
+        let a = train_embedding(&bt, &cfg);
+        let b = train_embedding(&bt, &cfg);
+        for token in a.tokens() {
+            assert_eq!(a.vector(token), b.vector(token));
+        }
+    }
+
+    #[test]
+    fn co_occurring_tokens_are_closer_than_unrelated_ones() {
+        let bt = patterned_binned(120);
+        let emb = train_embedding(&bt, &small_config());
+        let a0 = {
+            let c = bt.column_index("a").unwrap();
+            bt.cell_token(0, c)
+        };
+        let b_x = {
+            let c = bt.column_index("b").unwrap();
+            bt.cell_token(0, c)
+        };
+        let b_y = {
+            let c = bt.column_index("b").unwrap();
+            bt.cell_token(1, c)
+        };
+        let sim_pos = emb.cosine(&a0, &b_x).unwrap();
+        let sim_neg = emb.cosine(&a0, &b_y).unwrap();
+        assert!(
+            sim_pos > sim_neg,
+            "expected cos(a=0, b=x) = {sim_pos} > cos(a=0, b=y) = {sim_neg}"
+        );
+    }
+
+    #[test]
+    fn every_used_bin_gets_a_vector_of_the_right_dimension() {
+        let bt = patterned_binned(40);
+        let cfg = small_config();
+        let emb = train_embedding(&bt, &cfg);
+        for r in 0..bt.num_rows() {
+            for c in 0..bt.num_columns() {
+                let v = emb.vector(&bt.cell_token(r, c)).expect("vector exists");
+                assert_eq!(v.len(), cfg.dim);
+                assert!(v.iter().all(|x| x.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_embedding() {
+        let t = Table::builder()
+            .column_i64("a", Vec::new())
+            .build()
+            .unwrap();
+        let binner = Binner::fit(&t, &BinningConfig::default()).unwrap();
+        let bt = binner.apply(&t).unwrap();
+        let emb = train_embedding(&bt, &EmbeddingConfig::default());
+        assert_eq!(emb.len(), 0);
+    }
+
+    #[test]
+    fn full_sentence_window_works() {
+        let bt = patterned_binned(30);
+        let cfg = EmbeddingConfig {
+            window: None,
+            epochs: 2,
+            dim: 8,
+            ..Default::default()
+        };
+        let emb = train_embedding(&bt, &cfg);
+        assert!(!emb.is_empty());
+    }
+}

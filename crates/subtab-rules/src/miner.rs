@@ -1,0 +1,370 @@
+//! End-to-end rule mining with the paper's parameters.
+
+use crate::apriori::{frequent_itemsets, support_count, FrequentItemset};
+use crate::rule::{AssociationRule, Item, RuleSet};
+use serde::{Deserialize, Serialize};
+use subtab_binning::BinnedTable;
+
+/// Parameters of the rule-mining step.
+///
+/// The defaults match the paper's experimental setup (Section 6.1): support
+/// threshold 0.1, confidence threshold 0.6, minimum rule size 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MiningConfig {
+    /// Minimum support (fraction of rows) of a rule.
+    pub min_support: f64,
+    /// Minimum confidence of a rule.
+    pub min_confidence: f64,
+    /// Minimum number of items in a rule (antecedent + consequent).
+    pub min_rule_size: usize,
+    /// Maximum number of items in a rule. Bounds the Apriori lattice depth;
+    /// the paper's figures use rules of size 3–4.
+    pub max_rule_size: usize,
+    /// Maximum number of rules kept (highest-support first). `0` = unlimited.
+    pub max_rules: usize,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig {
+            min_support: 0.1,
+            min_confidence: 0.6,
+            min_rule_size: 3,
+            max_rule_size: 4,
+            max_rules: 0,
+        }
+    }
+}
+
+/// Apriori-based association-rule miner.
+#[derive(Debug, Clone, Default)]
+pub struct RuleMiner {
+    config: MiningConfig,
+}
+
+impl RuleMiner {
+    /// Creates a miner with the given configuration.
+    pub fn new(config: MiningConfig) -> Self {
+        RuleMiner { config }
+    }
+
+    /// The miner's configuration.
+    pub fn config(&self) -> &MiningConfig {
+        &self.config
+    }
+
+    /// Mines association rules over all rows of `binned`.
+    pub fn mine(&self, binned: &BinnedTable) -> RuleSet {
+        let rows: Vec<usize> = (0..binned.num_rows()).collect();
+        let rules = self.mine_rows(binned, &rows);
+        RuleSet::new(rules, binned.num_rows())
+    }
+
+    /// Mines rules separately within each bin of each target column and pools
+    /// the results, following Section 6.1 of the paper ("when target columns
+    /// are selected by the user, the data is split according to the binned
+    /// values of the target columns; the rules are then mined over each subset
+    /// separately"). Only rules that actually use a target column are kept.
+    pub fn mine_with_targets(&self, binned: &BinnedTable, target_columns: &[usize]) -> RuleSet {
+        if target_columns.is_empty() {
+            return self.mine(binned);
+        }
+        let mut all: Vec<AssociationRule> = Vec::new();
+        for &tc in target_columns {
+            for bin in 0..binned.num_bins(tc) {
+                let rows: Vec<usize> = (0..binned.num_rows())
+                    .filter(|&r| binned.bin_id(r, tc) as usize == bin)
+                    .collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let mut rules = self.mine_rows(binned, &rows);
+                // Keep only rules mentioning a target column; the split
+                // guarantees the target item is constant within the subset, so
+                // add it to the consequent when missing.
+                let target_item = Item::new(tc, bin as subtab_binning::BinId);
+                for rule in &mut rules {
+                    if !rule.uses_any_column(target_columns) {
+                        rule.consequent.push(target_item);
+                        rule.consequent.sort_unstable();
+                    }
+                }
+                all.extend(rules);
+            }
+        }
+        // Recompute global support over the full table for comparability and
+        // deduplicate identical rules.
+        let full_rows: Vec<usize> = (0..binned.num_rows()).collect();
+        for rule in &mut all {
+            let items: Vec<Item> = rule.items().copied().collect();
+            rule.support_count = support_count(binned, &items, &full_rows);
+            rule.support = rule.support_count as f64 / binned.num_rows().max(1) as f64;
+        }
+        all.sort_by(|a, b| {
+            a.antecedent
+                .cmp(&b.antecedent)
+                .then_with(|| a.consequent.cmp(&b.consequent))
+        });
+        all.dedup_by(|a, b| a.antecedent == b.antecedent && a.consequent == b.consequent);
+        let rules = self.cap(all);
+        RuleSet::new(rules, binned.num_rows())
+    }
+
+    fn mine_rows(&self, binned: &BinnedTable, rows: &[usize]) -> Vec<AssociationRule> {
+        let cfg = &self.config;
+        let levels = frequent_itemsets(binned, cfg.min_support, cfg.max_rule_size, Some(rows));
+        let mut rules = Vec::new();
+        for level in levels.iter().skip(cfg.min_rule_size.saturating_sub(1)) {
+            for itemset in level {
+                if itemset.items.len() < cfg.min_rule_size {
+                    continue;
+                }
+                rules.extend(self.rules_from_itemset(binned, rows, itemset, &levels));
+            }
+        }
+        self.cap(rules)
+    }
+
+    fn cap(&self, mut rules: Vec<AssociationRule>) -> Vec<AssociationRule> {
+        rules.sort_by(|a, b| {
+            b.support
+                .total_cmp(&a.support)
+                .then_with(|| b.confidence.total_cmp(&a.confidence))
+                .then_with(|| a.antecedent.cmp(&b.antecedent))
+                .then_with(|| a.consequent.cmp(&b.consequent))
+        });
+        if self.config.max_rules > 0 && rules.len() > self.config.max_rules {
+            rules.truncate(self.config.max_rules);
+        }
+        rules
+    }
+
+    /// Generates all rules `A → C` from a frequent itemset with non-empty
+    /// antecedent and consequent, meeting the confidence threshold.
+    fn rules_from_itemset(
+        &self,
+        binned: &BinnedTable,
+        rows: &[usize],
+        itemset: &FrequentItemset,
+        levels: &[Vec<FrequentItemset>],
+    ) -> Vec<AssociationRule> {
+        let n = rows.len() as f64;
+        let items = &itemset.items;
+        let k = items.len();
+        let mut rules = Vec::new();
+        // Enumerate non-empty proper subsets as consequents via bitmasks.
+        // Rule sizes are small (≤ max_rule_size ≤ ~5), so this is cheap.
+        for mask in 1u32..((1u32 << k) - 1) {
+            let mut antecedent = Vec::new();
+            let mut consequent = Vec::new();
+            for (i, &item) in items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    consequent.push(item);
+                } else {
+                    antecedent.push(item);
+                }
+            }
+            let ante_count = lookup_count(levels, &antecedent)
+                .unwrap_or_else(|| support_count(binned, &antecedent, rows));
+            if ante_count == 0 {
+                continue;
+            }
+            let confidence = itemset.count as f64 / ante_count as f64;
+            if confidence < self.config.min_confidence {
+                continue;
+            }
+            let cons_count = lookup_count(levels, &consequent)
+                .unwrap_or_else(|| support_count(binned, &consequent, rows));
+            let cons_support = cons_count as f64 / n;
+            let lift = if cons_support > 0.0 {
+                confidence / cons_support
+            } else {
+                0.0
+            };
+            rules.push(AssociationRule {
+                antecedent,
+                consequent,
+                support: itemset.count as f64 / n,
+                support_count: itemset.count,
+                confidence,
+                lift,
+            });
+        }
+        rules
+    }
+}
+
+fn lookup_count(levels: &[Vec<FrequentItemset>], items: &[Item]) -> Option<usize> {
+    let level = levels.get(items.len().checked_sub(1)?)?;
+    level
+        .binary_search_by(|fi| fi.items.as_slice().cmp(items))
+        .ok()
+        .map(|idx| level[idx].count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subtab_binning::{Binner, BinningConfig};
+    use subtab_data::Table;
+
+    /// Table with a strong 3-column pattern: cancelled flights are in 2015
+    /// with NaN departure time; non-cancelled flights have a departure time.
+    fn flights_binned() -> BinnedTable {
+        let mut cancelled = Vec::new();
+        let mut dep = Vec::new();
+        let mut year = Vec::new();
+        let mut sched = Vec::new();
+        for i in 0..40 {
+            if i < 16 {
+                cancelled.push(Some(1));
+                dep.push(None);
+                year.push(Some(2015));
+                sched.push(Some(if i % 2 == 0 { "afternoon" } else { "morning" }));
+            } else {
+                cancelled.push(Some(0));
+                dep.push(Some(if i % 2 == 0 { "morning" } else { "evening" }));
+                year.push(Some(if i % 8 == 0 { 2016 } else { 2015 }));
+                sched.push(Some(if i % 2 == 0 { "morning" } else { "evening" }));
+            }
+        }
+        let t = Table::builder()
+            .column_i64("cancelled", cancelled)
+            .column_str("dep_time", dep)
+            .column_i64("year", year)
+            .column_str("sched_dep", sched)
+            .build()
+            .unwrap();
+        let binner = Binner::fit(&t, &BinningConfig::default()).unwrap();
+        binner.apply(&t).unwrap()
+    }
+
+    #[test]
+    fn mines_the_planted_pattern() {
+        let bt = flights_binned();
+        let rules = RuleMiner::new(MiningConfig::default()).mine(&bt);
+        assert!(!rules.is_empty());
+        let c = bt.column_index("cancelled").unwrap();
+        let d = bt.column_index("dep_time").unwrap();
+        let y = bt.column_index("year").unwrap();
+        // Some rule must connect cancelled, dep_time and year.
+        let found = rules.iter().any(|r| {
+            let cols = r.columns();
+            cols.contains(&c) && cols.contains(&d) && cols.contains(&y)
+        });
+        assert!(found, "expected the planted 3-column rule to be mined");
+    }
+
+    #[test]
+    fn thresholds_are_respected() {
+        let bt = flights_binned();
+        let cfg = MiningConfig::default();
+        let rules = RuleMiner::new(cfg.clone()).mine(&bt);
+        for r in rules.iter() {
+            assert!(r.support >= cfg.min_support - 1e-12);
+            assert!(r.confidence >= cfg.min_confidence - 1e-12);
+            assert!(r.size() >= cfg.min_rule_size);
+            assert!(r.size() <= cfg.max_rule_size);
+            assert!(!r.antecedent.is_empty());
+            assert!(!r.consequent.is_empty());
+            // No column repeated within a rule.
+            let cols = r.columns();
+            assert_eq!(cols.len(), r.size());
+        }
+    }
+
+    #[test]
+    fn higher_support_threshold_yields_fewer_rules() {
+        let bt = flights_binned();
+        let low = RuleMiner::new(MiningConfig {
+            min_support: 0.1,
+            ..Default::default()
+        })
+        .mine(&bt);
+        let high = RuleMiner::new(MiningConfig {
+            min_support: 0.3,
+            ..Default::default()
+        })
+        .mine(&bt);
+        assert!(high.len() <= low.len());
+    }
+
+    #[test]
+    fn higher_confidence_threshold_yields_fewer_rules() {
+        let bt = flights_binned();
+        let low = RuleMiner::new(MiningConfig {
+            min_confidence: 0.5,
+            ..Default::default()
+        })
+        .mine(&bt);
+        let high = RuleMiner::new(MiningConfig {
+            min_confidence: 0.9,
+            ..Default::default()
+        })
+        .mine(&bt);
+        assert!(high.len() <= low.len());
+    }
+
+    #[test]
+    fn max_rules_cap() {
+        let bt = flights_binned();
+        let capped = RuleMiner::new(MiningConfig {
+            max_rules: 3,
+            min_rule_size: 2,
+            ..Default::default()
+        })
+        .mine(&bt);
+        assert!(capped.len() <= 3);
+    }
+
+    #[test]
+    fn rule_support_matches_manual_count() {
+        let bt = flights_binned();
+        let rules = RuleMiner::new(MiningConfig {
+            min_rule_size: 2,
+            ..Default::default()
+        })
+        .mine(&bt);
+        for r in rules.iter().take(10) {
+            let manual = r.matching_rows(&bt).len();
+            assert_eq!(manual, r.support_count);
+            assert!((r.support - manual as f64 / bt.num_rows() as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn target_mining_only_keeps_rules_with_target() {
+        let bt = flights_binned();
+        let c = bt.column_index("cancelled").unwrap();
+        let rules = RuleMiner::new(MiningConfig {
+            min_rule_size: 2,
+            ..Default::default()
+        })
+        .mine_with_targets(&bt, &[c]);
+        assert!(!rules.is_empty());
+        for r in rules.iter() {
+            assert!(r.uses_any_column(&[c]));
+        }
+    }
+
+    #[test]
+    fn target_mining_with_empty_targets_equals_plain_mining() {
+        let bt = flights_binned();
+        let miner = RuleMiner::new(MiningConfig::default());
+        let a = miner.mine(&bt);
+        let b = miner.mine_with_targets(&bt, &[]);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn empty_table_yields_no_rules() {
+        let t = Table::builder()
+            .column_i64("x", Vec::new())
+            .build()
+            .unwrap();
+        let binner = Binner::fit(&t, &BinningConfig::default()).unwrap();
+        let bt = binner.apply(&t).unwrap();
+        let rules = RuleMiner::new(MiningConfig::default()).mine(&bt);
+        assert!(rules.is_empty());
+    }
+}

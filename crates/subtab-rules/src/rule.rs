@@ -1,0 +1,263 @@
+//! Items, itemsets and association rules.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use subtab_binning::{BinId, BinnedTable};
+
+/// A single (column, bin) item.
+///
+/// A row of a binned table *contains* the item when its cell in `column`
+/// falls in bin `bin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Item {
+    /// Column index in the binned table.
+    pub column: usize,
+    /// Bin identifier within that column.
+    pub bin: BinId,
+}
+
+impl Item {
+    /// Creates an item.
+    pub fn new(column: usize, bin: BinId) -> Self {
+        Item { column, bin }
+    }
+
+    /// Whether row `row` of `binned` contains this item.
+    pub fn matches(&self, binned: &BinnedTable, row: usize) -> bool {
+        binned.bin_id(row, self.column) == self.bin
+    }
+
+    /// Human-readable rendering, e.g. `distance=[100.000, 550.000)`.
+    pub fn render(&self, binned: &BinnedTable) -> String {
+        binned.token(self.column, self.bin)
+    }
+}
+
+/// An association rule `antecedent → consequent` (Definition 3.4).
+///
+/// Both sides are non-empty sets of items over *distinct* columns; `support`
+/// is the fraction of rows containing all items of the rule, and `confidence`
+/// the fraction of antecedent-matching rows that also match the consequent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssociationRule {
+    /// Left-hand-side items (sorted by column).
+    pub antecedent: Vec<Item>,
+    /// Right-hand-side items (sorted by column).
+    pub consequent: Vec<Item>,
+    /// Fraction of rows for which the whole rule holds.
+    pub support: f64,
+    /// Number of rows for which the whole rule holds.
+    pub support_count: usize,
+    /// P(consequent | antecedent).
+    pub confidence: f64,
+    /// Lift = confidence / P(consequent).
+    pub lift: f64,
+}
+
+impl AssociationRule {
+    /// All items of the rule (antecedent then consequent).
+    pub fn items(&self) -> impl Iterator<Item = &Item> {
+        self.antecedent.iter().chain(self.consequent.iter())
+    }
+
+    /// Number of items in the rule (the paper's "rule size").
+    pub fn size(&self) -> usize {
+        self.antecedent.len() + self.consequent.len()
+    }
+
+    /// The set of column indices used by the rule (`U_R` in the paper),
+    /// sorted ascending.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.items().map(|i| i.column).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Whether the rule holds for row `row` of `binned` (all items match).
+    pub fn holds_for_row(&self, binned: &BinnedTable, row: usize) -> bool {
+        self.items().all(|i| i.matches(binned, row))
+    }
+
+    /// Indices of all rows of `binned` for which the rule holds (`T_R`).
+    pub fn matching_rows(&self, binned: &BinnedTable) -> Vec<usize> {
+        (0..binned.num_rows())
+            .filter(|&r| self.holds_for_row(binned, r))
+            .collect()
+    }
+
+    /// Whether the rule uses at least one of the given columns.
+    pub fn uses_any_column(&self, columns: &[usize]) -> bool {
+        self.items().any(|i| columns.contains(&i.column))
+    }
+
+    /// Human-readable rendering of the rule.
+    pub fn render(&self, binned: &BinnedTable) -> String {
+        let side = |items: &[Item]| {
+            items
+                .iter()
+                .map(|i| i.render(binned))
+                .collect::<Vec<_>>()
+                .join(" ∧ ")
+        };
+        format!(
+            "{} → {}  (supp={:.3}, conf={:.3})",
+            side(&self.antecedent),
+            side(&self.consequent),
+            self.support,
+            self.confidence
+        )
+    }
+}
+
+impl fmt::Display for AssociationRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = |items: &[Item]| {
+            items
+                .iter()
+                .map(|i| format!("c{}∈b{}", i.column, i.bin))
+                .collect::<Vec<_>>()
+                .join(" ∧ ")
+        };
+        write!(
+            f,
+            "{} → {} (supp={:.3}, conf={:.3})",
+            side(&self.antecedent),
+            side(&self.consequent),
+            self.support,
+            self.confidence
+        )
+    }
+}
+
+/// A collection of mined rules together with the statistics of the mining run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RuleSet {
+    /// The mined rules.
+    pub rules: Vec<AssociationRule>,
+    /// Number of rows the rules were mined over.
+    pub num_rows: usize,
+}
+
+impl RuleSet {
+    /// Creates a rule set.
+    pub fn new(rules: Vec<AssociationRule>, num_rows: usize) -> Self {
+        RuleSet { rules, num_rows }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set contains no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Retains only rules that use at least one of the given target columns
+    /// (the paper's `R*` when target columns are specified).
+    pub fn filter_by_target_columns(&self, target_columns: &[usize]) -> RuleSet {
+        if target_columns.is_empty() {
+            return self.clone();
+        }
+        RuleSet {
+            rules: self
+                .rules
+                .iter()
+                .filter(|r| r.uses_any_column(target_columns))
+                .cloned()
+                .collect(),
+            num_rows: self.num_rows,
+        }
+    }
+
+    /// Iterates over the rules.
+    pub fn iter(&self) -> impl Iterator<Item = &AssociationRule> {
+        self.rules.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subtab_binning::{Binner, BinningConfig};
+    use subtab_data::Table;
+
+    fn binned() -> BinnedTable {
+        let t = Table::builder()
+            .column_str("a", vec![Some("x"), Some("x"), Some("y"), Some("y")])
+            .column_i64("b", vec![Some(1), Some(1), Some(0), Some(1)])
+            .build()
+            .unwrap();
+        let binner = Binner::fit(&t, &BinningConfig::default()).unwrap();
+        binner.apply(&t).unwrap()
+    }
+
+    fn item(binned: &BinnedTable, col: &str, row: usize) -> Item {
+        let c = binned.column_index(col).unwrap();
+        Item::new(c, binned.bin_id(row, c))
+    }
+
+    #[test]
+    fn item_matching() {
+        let bt = binned();
+        let i = item(&bt, "a", 0); // a = "x"
+        assert!(i.matches(&bt, 0));
+        assert!(i.matches(&bt, 1));
+        assert!(!i.matches(&bt, 2));
+        assert!(i.render(&bt).contains("a="));
+    }
+
+    #[test]
+    fn rule_holds_and_matching_rows() {
+        let bt = binned();
+        let rule = AssociationRule {
+            antecedent: vec![item(&bt, "a", 0)],
+            consequent: vec![item(&bt, "b", 0)], // b = 1
+            support: 0.5,
+            support_count: 2,
+            confidence: 1.0,
+            lift: 4.0 / 3.0,
+        };
+        assert!(rule.holds_for_row(&bt, 0));
+        assert!(rule.holds_for_row(&bt, 1));
+        assert!(!rule.holds_for_row(&bt, 2));
+        assert!(!rule.holds_for_row(&bt, 3)); // a="y"
+        assert_eq!(rule.matching_rows(&bt), vec![0, 1]);
+        assert_eq!(rule.size(), 2);
+        assert_eq!(rule.columns(), vec![0, 1]);
+        assert!(rule.uses_any_column(&[1]));
+        assert!(!rule.uses_any_column(&[5]));
+        assert!(rule.render(&bt).contains('→'));
+        assert!(rule.to_string().contains("supp"));
+    }
+
+    #[test]
+    fn ruleset_target_filter() {
+        let bt = binned();
+        let r1 = AssociationRule {
+            antecedent: vec![item(&bt, "a", 0)],
+            consequent: vec![item(&bt, "b", 0)],
+            support: 0.5,
+            support_count: 2,
+            confidence: 1.0,
+            lift: 1.0,
+        };
+        let r2 = AssociationRule {
+            antecedent: vec![item(&bt, "a", 2)],
+            consequent: vec![item(&bt, "a", 2)],
+            support: 0.5,
+            support_count: 2,
+            confidence: 1.0,
+            lift: 1.0,
+        };
+        let rs = RuleSet::new(vec![r1, r2], 4);
+        assert_eq!(rs.len(), 2);
+        assert!(!rs.is_empty());
+        let filtered = rs.filter_by_target_columns(&[1]);
+        assert_eq!(filtered.len(), 1);
+        let unchanged = rs.filter_by_target_columns(&[]);
+        assert_eq!(unchanged.len(), 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Target-column exploration on the flights dataset, mirroring Example 1.1 /
+//! 1.2 of the paper: an analyst wants to predict flight cancellations, so the
+//! `CANCELLED` column must appear in every display, and the sub-table should
+//! surface the patterns that involve it (missing departure times, long flights
+//! rarely cancelled, …).
+//!
+//! ```bash
+//! cargo run --release --example flights_exploration
+//! ```
+
+use subtab::data::{Predicate, Query, Value};
+use subtab::datasets::{flights, DatasetSize};
+use subtab::metrics::Evaluator;
+use subtab::rules::{MiningConfig, RuleMiner};
+use subtab::{SelectionParams, SubTab, SubTabConfig};
+
+fn main() {
+    let dataset = flights(DatasetSize::Small, 7);
+    println!(
+        "FL stand-in: {} rows x {} columns, planted patterns: {}",
+        dataset.table.num_rows(),
+        dataset.table.num_columns(),
+        dataset
+            .archetypes
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let subtab = SubTab::preprocess(dataset.table, SubTabConfig::default()).expect("preprocess");
+
+    // Mine rules once so we can (a) highlight them and (b) score the display.
+    let binned = subtab.preprocessed().binned();
+    let rules = RuleMiner::new(MiningConfig::default()).mine(binned);
+    println!("Mined {} association rules (support >= 0.1, confidence >= 0.6, size >= 3)", rules.len());
+
+    // The target-focused 10×10 display of the whole table.
+    let params = SelectionParams::new(10, 10).with_targets(&["CANCELLED"]);
+    let view = subtab.select(&params).expect("selection");
+    let evaluator = Evaluator::new(binned.clone(), &rules, 0.5);
+    let cols = view.column_indices(subtab.table());
+    let score = evaluator.score(&view.row_indices, &cols);
+    println!(
+        "\nFull-table display: cell coverage {:.3}, diversity {:.3}, combined {:.3}",
+        score.cell_coverage, score.diversity, score.combined
+    );
+    let view = subtab.with_highlights(view, &rules);
+    println!("{}", view.render_with_highlights());
+
+    // Drill-down query: only cancelled flights.
+    let q = Query::new().filter(Predicate::eq("CANCELLED", Value::Int(1)));
+    let drill = subtab
+        .select_for_query(&q, &SelectionParams::new(8, 8).with_targets(&["CANCELLED"]))
+        .expect("query selection");
+    println!("--- sub-table of `CANCELLED = 1` query result ---");
+    println!("{}", drill.sub_table.render(8));
+
+    // Another query: long flights only, projected to a handful of columns.
+    let q = Query::new()
+        .filter(Predicate::between("DISTANCE", 1500.0, 3000.0))
+        .select(&["DISTANCE", "AIR_TIME", "DAY_PERIOD", "AIRLINE", "CANCELLED"]);
+    let long_haul = subtab
+        .select_for_query(&q, &SelectionParams::new(6, 5).with_targets(&["CANCELLED"]))
+        .expect("query selection");
+    println!("--- sub-table of the long-haul query result ---");
+    println!("{}", long_haul.sub_table.render(6));
+}

@@ -1,0 +1,59 @@
+//! Replaying an EDA session: for every query of a generated exploration
+//! session over the cyber-security dataset, display the query, the size of
+//! its result, and the informative sub-table SubTab produces for it — the
+//! interactive loop of Figure 1 (red arrows) in the paper.
+//!
+//! ```bash
+//! cargo run --release --example query_session
+//! ```
+
+use subtab::datasets::{cyber, generate_sessions, DatasetSize, SessionConfig};
+use subtab::{SelectionParams, SubTab, SubTabConfig};
+
+fn main() {
+    let dataset = cyber(DatasetSize::Small, 11);
+    println!(
+        "CY stand-in: {} rows x {} columns",
+        dataset.table.num_rows(),
+        dataset.table.num_columns()
+    );
+
+    let sessions = generate_sessions(
+        &dataset,
+        &SessionConfig {
+            num_sessions: 2,
+            min_queries: 4,
+            max_queries: 5,
+            seed: 3,
+        },
+    );
+
+    let subtab = SubTab::preprocess(dataset.table.clone(), SubTabConfig::default())
+        .expect("pre-processing");
+    let params = SelectionParams::new(8, 6);
+
+    for (si, session) in sessions.iter().enumerate() {
+        println!(
+            "\n================ session {} (investigating pattern {:?}) ================",
+            si + 1,
+            dataset.archetypes[session.archetype].name
+        );
+        for (qi, query) in session.queries.iter().enumerate() {
+            let result = query.execute(&dataset.table).expect("query executes");
+            println!(
+                "\n-- query {}: {:?}\n   result: {} rows x {} columns",
+                qi + 1,
+                query,
+                result.num_rows(),
+                result.num_columns()
+            );
+            match subtab.select_for_query(query, &params) {
+                Ok(view) => {
+                    println!("   SubTab display ({} rows):", view.sub_table.num_rows());
+                    println!("{}", view.sub_table.render(8));
+                }
+                Err(e) => println!("   (no sub-table: {e})"),
+            }
+        }
+    }
+}

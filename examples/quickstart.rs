@@ -1,0 +1,46 @@
+//! Quickstart: load a table, pre-process it once, and display an informative
+//! 10×10 sub-table instead of Pandas-style "first and last rows".
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use subtab::datasets::{flights, DatasetSize};
+use subtab::{MiningConfig, RuleMiner, SelectionParams, SubTab, SubTabConfig};
+
+fn main() {
+    // In a real workflow this would be `subtab::data::csv::read_csv_file(path)`.
+    // The repository ships no Kaggle data, so we generate the synthetic
+    // flights stand-in described in DESIGN.md instead.
+    let dataset = flights(DatasetSize::Small, 42);
+    let table = dataset.table;
+    println!(
+        "Loaded table: {} rows x {} columns ({}% of cells missing)",
+        table.num_rows(),
+        table.num_columns(),
+        (table.null_fraction() * 100.0).round()
+    );
+
+    // The naive display the paper's introduction criticises: the first rows.
+    println!("\n--- head(5): what a default display would show ---");
+    println!("{}", table.head(5).render(5));
+
+    // Pre-processing: normalise, bin, embed. Runs once per table.
+    let start = std::time::Instant::now();
+    let subtab = SubTab::preprocess(table, SubTabConfig::default()).expect("pre-processing");
+    println!("Pre-processing took {:.2?}", start.elapsed());
+
+    // Selection: a 10×10 sub-table focused on the CANCELLED target column.
+    let start = std::time::Instant::now();
+    let params = SelectionParams::new(10, 10).with_targets(&["CANCELLED"]);
+    let view = subtab.select(&params).expect("selection");
+    println!(
+        "\n--- SubTab: informative 10x10 sub-table (selected in {:.2?}) ---",
+        start.elapsed()
+    );
+
+    // Optionally highlight one association rule per row, as the paper's UI does.
+    let rules = RuleMiner::new(MiningConfig::default()).mine(subtab.preprocessed().binned());
+    let view = subtab.with_highlights(view, &rules);
+    println!("{}", view.render_with_highlights());
+}

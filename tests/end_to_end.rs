@@ -1,0 +1,111 @@
+//! Cross-crate integration tests: the full SubTab pipeline (generate data →
+//! bin → mine rules → embed → select → score) and its comparison hooks with
+//! the baselines.
+
+use subtab::baselines::{naive_clustering_select, random_select, RandomConfig};
+use subtab::datasets::{bank_loans, flights, DatasetSize};
+use subtab::metrics::Evaluator;
+use subtab::rules::{MiningConfig, RuleMiner};
+use subtab::{SelectionParams, SubTab, SubTabConfig};
+
+#[test]
+fn full_pipeline_on_flights_standin() {
+    let dataset = flights(DatasetSize::Tiny, 42);
+    let table = dataset.table.clone();
+    let subtab = SubTab::preprocess(table.clone(), SubTabConfig::fast()).expect("preprocess");
+
+    let params = SelectionParams::new(10, 10).with_targets(&["CANCELLED"]);
+    let view = subtab.select(&params).expect("selection");
+    assert_eq!(view.sub_table.num_rows(), 10);
+    assert_eq!(view.sub_table.num_columns(), 10);
+    assert!(view.columns.contains(&"CANCELLED".to_string()));
+
+    // Score the selection with the paper's metrics.
+    let binned = subtab.preprocessed().binned();
+    let rules = RuleMiner::new(MiningConfig::default()).mine(binned);
+    assert!(!rules.is_empty(), "planted data must produce rules");
+    let evaluator = Evaluator::new(binned.clone(), &rules, 0.5);
+    let cols = view.column_indices(&table);
+    let score = evaluator.score(&view.row_indices, &cols);
+    assert!(score.cell_coverage > 0.0 && score.cell_coverage <= 1.0);
+    assert!(score.diversity > 0.3, "diversity = {}", score.diversity);
+    assert!(score.combined > 0.25, "combined = {}", score.combined);
+
+    // The selected rows must span several planted archetypes — the whole
+    // point of centroid selection is representing different areas of the data.
+    let mut archetypes: Vec<Option<usize>> = view
+        .row_indices
+        .iter()
+        .map(|&r| dataset.row_archetype[r])
+        .collect();
+    archetypes.sort_unstable();
+    archetypes.dedup();
+    assert!(
+        archetypes.len() >= 3,
+        "expected rows from >= 3 archetypes, got {archetypes:?}"
+    );
+}
+
+#[test]
+fn subtab_is_competitive_with_fast_baselines_on_planted_data() {
+    let dataset = bank_loans(DatasetSize::Tiny, 9);
+    let table = dataset.table.clone();
+    let subtab = SubTab::preprocess(table.clone(), SubTabConfig::fast()).expect("preprocess");
+    let binned = subtab.preprocessed().binned();
+    let rules = RuleMiner::new(MiningConfig::default()).mine(binned);
+    let evaluator = Evaluator::new(binned.clone(), &rules, 0.5);
+    let (k, l) = (10, 8);
+
+    let view = subtab.select(&SelectionParams::new(k, l)).expect("selection");
+    let subtab_score = evaluator
+        .score(&view.row_indices, &view.column_indices(&table))
+        .combined;
+
+    // One single random draw (not the budgeted RAN baseline).
+    let single_random = random_select(
+        &evaluator,
+        k,
+        l,
+        &[],
+        &RandomConfig {
+            max_iterations: 1,
+            time_budget: std::time::Duration::from_millis(1),
+            seed: 3,
+        },
+    );
+    let random_score = evaluator.score(&single_random.rows, &single_random.cols).combined;
+
+    let nc = naive_clustering_select(&table, k, l, &[], 3);
+    let nc_score = evaluator.score(&nc.rows, &nc.cols).combined;
+
+    // SubTab should not be dramatically worse than either fast baseline on
+    // data with planted structure (the benches measure the full comparison;
+    // here we only guard against regressions that break the pipeline).
+    assert!(
+        subtab_score > 0.25,
+        "SubTab combined score too low: {subtab_score}"
+    );
+    assert!(
+        subtab_score >= random_score - 0.15,
+        "SubTab ({subtab_score}) far below a single random draw ({random_score})"
+    );
+    assert!(
+        subtab_score >= nc_score - 0.15,
+        "SubTab ({subtab_score}) far below naive clustering ({nc_score})"
+    );
+}
+
+#[test]
+fn preprocessing_is_reused_across_many_selections() {
+    let dataset = flights(DatasetSize::Tiny, 3);
+    let subtab = SubTab::preprocess(dataset.table, SubTabConfig::fast()).expect("preprocess");
+    // Many selections of different shapes should all work off one model.
+    for (k, l) in [(5, 5), (10, 10), (3, 12), (15, 4)] {
+        let view = subtab.select(&SelectionParams::new(k, l)).expect("selection");
+        assert_eq!(view.sub_table.num_rows(), k.min(subtab.table().num_rows()));
+        assert_eq!(
+            view.sub_table.num_columns(),
+            l.min(subtab.table().num_columns())
+        );
+    }
+}

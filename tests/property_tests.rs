@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) on the core invariants of the pipeline:
+//! binning totality, metric ranges, coverage monotonicity, and selection
+//! validity — over randomly generated tables.
+
+use proptest::prelude::*;
+use subtab::baselines::{naive_clustering_select, Selection};
+use subtab::binning::{Binner, BinningConfig, BinningStrategy};
+use subtab::data::{Column, Table};
+use subtab::metrics::{diversity, CoverageIndex, Evaluator};
+use subtab::rules::{MiningConfig, RuleMiner};
+
+/// Strategy: a random small table with a numeric, a categorical and an
+/// integer column, with nulls sprinkled in.
+fn arbitrary_table() -> impl Strategy<Value = Table> {
+    let rows = 4usize..40;
+    rows.prop_flat_map(|n| {
+        (
+            proptest::collection::vec(proptest::option::weighted(0.85, -50.0f64..50.0), n),
+            proptest::collection::vec(proptest::option::weighted(0.9, 0u8..4), n),
+            proptest::collection::vec(proptest::option::weighted(0.9, 0i64..3), n),
+        )
+            .prop_map(|(nums, cats, ints)| {
+                let cat_names = ["alpha", "beta", "gamma", "delta"];
+                Table::from_columns(vec![
+                    Column::from_f64("num", nums),
+                    Column::from_str_values(
+                        "cat",
+                        cats.iter()
+                            .map(|c| c.map(|i| cat_names[i as usize]))
+                            .collect(),
+                    ),
+                    Column::from_i64("flag", ints),
+                ])
+                .expect("columns have equal length")
+            })
+    })
+}
+
+fn binning_configs() -> impl Strategy<Value = BinningConfig> {
+    (2usize..8, prop_oneof![
+        Just(BinningStrategy::EqualWidth),
+        Just(BinningStrategy::Quantile),
+        Just(BinningStrategy::Kde),
+    ])
+        .prop_map(|(bins, strategy)| BinningConfig::with_bins(bins).strategy(strategy))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every cell of every table maps to exactly one valid bin, and nulls map
+    /// to the dedicated null bin (Definition 3.2).
+    #[test]
+    fn binning_is_total(table in arbitrary_table(), config in binning_configs()) {
+        let binner = Binner::fit(&table, &config).unwrap();
+        let binned = binner.apply(&table).unwrap();
+        prop_assert_eq!(binned.num_rows(), table.num_rows());
+        prop_assert_eq!(binned.num_columns(), table.num_columns());
+        for r in 0..table.num_rows() {
+            for (c, col) in table.columns().iter().enumerate() {
+                let bin = binned.bin_id(r, c) as usize;
+                prop_assert!(bin < binned.num_bins(c));
+                prop_assert_eq!(col.get(r).is_null(), binned.is_null(r, c));
+            }
+        }
+    }
+
+    /// Diversity is always in [0, 1]; identical rows give 0, and a
+    /// single-row table gives 1.
+    #[test]
+    fn diversity_is_bounded(table in arbitrary_table()) {
+        let binner = Binner::fit(&table, &BinningConfig::default()).unwrap();
+        let binned = binner.apply(&table).unwrap();
+        let d = diversity(&binned);
+        prop_assert!((0.0..=1.0).contains(&d));
+        let single = binned.take_rows(&[0]);
+        prop_assert_eq!(diversity(&single), 1.0);
+        let duplicated = binned.take_rows(&[0, 0, 0]);
+        prop_assert!(diversity(&duplicated).abs() < 1e-9);
+    }
+
+    /// Cell coverage is in [0, 1], monotone when adding rows or columns, and
+    /// the full table always reaches exactly 1 whenever any rule exists.
+    #[test]
+    fn coverage_is_bounded_and_monotone(table in arbitrary_table()) {
+        let binner = Binner::fit(&table, &BinningConfig::default()).unwrap();
+        let binned = binner.apply(&table).unwrap();
+        let rules = RuleMiner::new(MiningConfig {
+            min_rule_size: 2,
+            min_support: 0.2,
+            min_confidence: 0.5,
+            ..Default::default()
+        })
+        .mine(&binned);
+        let index = CoverageIndex::build(&binned, &rules);
+        let all_cols: Vec<usize> = (0..binned.num_columns()).collect();
+        let all_rows: Vec<usize> = (0..binned.num_rows()).collect();
+
+        let c_small = index.cell_coverage(&all_rows[..1.min(all_rows.len())], &all_cols);
+        let c_half = index.cell_coverage(&all_rows[..all_rows.len() / 2 + 1], &all_cols);
+        let c_full = index.cell_coverage(&all_rows, &all_cols);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c_small));
+        prop_assert!(c_small <= c_half + 1e-12);
+        prop_assert!(c_half <= c_full + 1e-12);
+        if index.num_rules() > 0 {
+            prop_assert!((c_full - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(c_full, 0.0);
+        }
+        // Fewer columns never increases coverage.
+        let c_fewer = index.cell_coverage(&all_rows, &all_cols[..all_cols.len() - 1]);
+        prop_assert!(c_fewer <= c_full + 1e-12);
+    }
+
+    /// The combined score equals α·coverage + (1−α)·diversity for any α.
+    #[test]
+    fn combined_score_formula(table in arbitrary_table(), alpha in 0.0f64..1.0) {
+        let binner = Binner::fit(&table, &BinningConfig::default()).unwrap();
+        let binned = binner.apply(&table).unwrap();
+        let rules = RuleMiner::new(MiningConfig {
+            min_rule_size: 2,
+            min_support: 0.3,
+            ..Default::default()
+        })
+        .mine(&binned);
+        let evaluator = Evaluator::new(binned, &rules, alpha);
+        let rows: Vec<usize> = (0..table.num_rows().min(5)).collect();
+        let cols: Vec<usize> = (0..table.num_columns()).collect();
+        let s = evaluator.score(&rows, &cols);
+        let expected = alpha * s.cell_coverage + (1.0 - alpha) * s.diversity;
+        prop_assert!((s.combined - expected).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s.combined));
+    }
+
+    /// The naive-clustering baseline always returns a structurally valid
+    /// selection, for any requested dimensions.
+    #[test]
+    fn baseline_selections_are_valid(
+        table in arbitrary_table(),
+        k in 1usize..12,
+        l in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let s: Selection = naive_clustering_select(&table, k, l, &[], seed);
+        prop_assert!(s.is_valid(k, l, table.num_rows(), table.num_columns()));
+    }
+}

@@ -1,0 +1,66 @@
+//! Integration tests for the query-time path: sub-tables of query results
+//! during replayed EDA sessions, and CSV round-tripping into the pipeline.
+
+use subtab::data::csv;
+use subtab::datasets::{cyber, generate_sessions, DatasetSize, SessionConfig};
+use subtab::{SelectionParams, SubTab, SubTabConfig};
+
+#[test]
+fn session_replay_produces_subtables_from_query_results() {
+    let dataset = cyber(DatasetSize::Tiny, 21);
+    let subtab =
+        SubTab::preprocess(dataset.table.clone(), SubTabConfig::fast()).expect("preprocess");
+    let sessions = generate_sessions(
+        &dataset,
+        &SessionConfig {
+            num_sessions: 6,
+            min_queries: 3,
+            max_queries: 5,
+            seed: 4,
+        },
+    );
+    let params = SelectionParams::new(6, 5);
+    let mut produced = 0usize;
+    for session in &sessions {
+        for query in &session.queries {
+            let result = query.execute(&dataset.table).expect("query executes");
+            match subtab.select_for_query(query, &params) {
+                Ok(view) => {
+                    produced += 1;
+                    // Every selected row must satisfy the query's predicates.
+                    let matching = query.matching_rows(&dataset.table).expect("predicates");
+                    for r in &view.row_indices {
+                        assert!(
+                            matching.contains(r),
+                            "selected row {r} does not match the query"
+                        );
+                    }
+                    assert!(view.sub_table.num_rows() <= 6);
+                    assert!(view.sub_table.num_columns() <= dataset.table.num_columns());
+                    let _ = result;
+                }
+                Err(subtab::core::CoreError::EmptyQueryResult) => {
+                    assert_eq!(result.num_rows(), 0);
+                }
+                Err(e) => panic!("unexpected selection error: {e}"),
+            }
+        }
+    }
+    assert!(produced > 10, "most queries should yield sub-tables");
+}
+
+#[test]
+fn csv_roundtrip_feeds_the_pipeline() {
+    let dataset = cyber(DatasetSize::Tiny, 2);
+    let text = csv::to_csv(&dataset.table);
+    let reloaded = csv::parse_csv(&text).expect("CSV parses back");
+    assert_eq!(reloaded.num_rows(), dataset.table.num_rows());
+    assert_eq!(reloaded.num_columns(), dataset.table.num_columns());
+
+    let subtab = SubTab::preprocess(reloaded, SubTabConfig::fast()).expect("preprocess");
+    let view = subtab
+        .select(&SelectionParams::new(8, 6).with_targets(&["flagged"]))
+        .expect("selection");
+    assert_eq!(view.sub_table.num_rows(), 8);
+    assert!(view.columns.contains(&"flagged".to_string()));
+}
