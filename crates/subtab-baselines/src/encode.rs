@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn empty_table() {
-        let t = Table::builder().column_i64("x", Vec::new()).build().unwrap();
+        let t = Table::builder()
+            .column_i64("x", Vec::new())
+            .build()
+            .unwrap();
         assert!(encode_rows(&t).is_empty());
         assert_eq!(encode_columns(&t).len(), 1);
         assert!(encode_columns(&t)[0].is_empty());

@@ -77,9 +77,8 @@ pub fn graph_embedding_select(
 
     // --- Build the tripartite graph.
     // Value nodes: one per (column, bin) actually occurring.
-    let mut value_ids: Vec<Vec<Option<usize>>> = (0..m)
-        .map(|c| vec![None; binned.num_bins(c)])
-        .collect();
+    let mut value_ids: Vec<Vec<Option<usize>>> =
+        (0..m).map(|c| vec![None; binned.num_bins(c)]).collect();
     let mut num_values = 0usize;
     for (c, ids) in value_ids.iter_mut().enumerate() {
         for r in 0..n {
@@ -243,7 +242,10 @@ mod tests {
         let mut distinct = groups.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        assert!(distinct.len() >= 2, "representatives should span both groups");
+        assert!(
+            distinct.len() >= 2,
+            "representatives should span both groups"
+        );
     }
 
     #[test]

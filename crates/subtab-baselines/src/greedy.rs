@@ -111,11 +111,7 @@ pub fn greedy_select(
 /// GreedyRowSelection of Algorithm 1: iteratively adds the row with the
 /// largest marginal cell-coverage gain. Returns the selected rows and the
 /// final coverage.
-pub fn greedy_row_selection(
-    evaluator: &Evaluator,
-    k: usize,
-    cols: &[usize],
-) -> (Vec<usize>, f64) {
+pub fn greedy_row_selection(evaluator: &Evaluator, k: usize, cols: &[usize]) -> (Vec<usize>, f64) {
     let n = evaluator.binned().num_rows();
     let mut selected: Vec<usize> = Vec::with_capacity(k);
     let mut current_cov = 0.0f64;
@@ -197,10 +193,15 @@ mod tests {
                     .map(|i| if i % 3 == 0 { None } else { Some("morning") })
                     .collect(),
             )
-            .column_i64("year", (0..30).map(|i| Some(2015 + (i % 2) as i64)).collect())
+            .column_i64(
+                "year",
+                (0..30).map(|i| Some(2015 + (i % 2) as i64)).collect(),
+            )
             .column_str(
                 "extra",
-                (0..30).map(|i| Some(if i % 5 == 0 { "p" } else { "q" })).collect(),
+                (0..30)
+                    .map(|i| Some(if i % 5 == 0 { "p" } else { "q" }))
+                    .collect(),
             )
             .build()
             .unwrap();

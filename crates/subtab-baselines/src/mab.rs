@@ -98,7 +98,9 @@ pub fn mab_select(
             &mut rng,
         );
         let mut cols: Vec<usize> = target_columns.to_vec();
-        cols.extend(pick_arms(&free_cols, l_free, &col_stats, t as f64, config, &mut rng));
+        cols.extend(pick_arms(
+            &free_cols, l_free, &col_stats, t as f64, config, &mut rng,
+        ));
 
         let candidate = Selection::new(rows.clone(), cols.clone());
         let reward = evaluator.score(&candidate.rows, &candidate.cols).combined;
@@ -172,8 +174,14 @@ mod tests {
                     .map(|i| if i % 4 == 0 { None } else { Some("m") })
                     .collect(),
             )
-            .column_i64("year", (0..40).map(|i| Some(2015 + (i % 2) as i64)).collect())
-            .column_f64("noise", (0..40).map(|i| Some((i * 37 % 17) as f64)).collect())
+            .column_i64(
+                "year",
+                (0..40).map(|i| Some(2015 + (i % 2) as i64)).collect(),
+            )
+            .column_f64(
+                "noise",
+                (0..40).map(|i| Some((i * 37 % 17) as f64)).collect(),
+            )
             .build()
             .unwrap();
         let binner = Binner::fit(&t, &BinningConfig::default()).unwrap();

@@ -99,8 +99,14 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         let t = table(5);
-        assert_eq!(naive_clustering_select(&t, 0, 2, &[], 0), Selection::default());
-        assert_eq!(naive_clustering_select(&t, 2, 0, &[], 0), Selection::default());
+        assert_eq!(
+            naive_clustering_select(&t, 0, 2, &[], 0),
+            Selection::default()
+        );
+        assert_eq!(
+            naive_clustering_select(&t, 2, 0, &[], 0),
+            Selection::default()
+        );
         let s = naive_clustering_select(&t, 50, 50, &[], 0);
         assert_eq!(s.rows.len(), 5);
         assert_eq!(s.cols.len(), 3);

@@ -96,7 +96,9 @@ mod tests {
                     .map(|i| if i % 3 == 0 { None } else { Some("morning") })
                     .collect(),
             )
-            .column_i64("year", (0..60).map(|i| Some(2015 + (i % 2) as i64)).collect(),
+            .column_i64(
+                "year",
+                (0..60).map(|i| Some(2015 + (i % 2) as i64)).collect(),
             )
             .column_f64("noise", (0..60).map(|i| Some(i as f64)).collect())
             .build()
@@ -155,7 +157,13 @@ mod tests {
     #[test]
     fn degenerate_dimensions() {
         let ev = evaluator();
-        assert_eq!(random_select(&ev, 0, 3, &[], &quick(1, 5)), Selection::default());
-        assert_eq!(random_select(&ev, 3, 0, &[], &quick(1, 5)), Selection::default());
+        assert_eq!(
+            random_select(&ev, 0, 3, &[], &quick(1, 5)),
+            Selection::default()
+        );
+        assert_eq!(
+            random_select(&ev, 3, 0, &[], &quick(1, 5)),
+            Selection::default()
+        );
     }
 }

@@ -77,7 +77,12 @@ fn bench_quality_metrics(c: &mut Criterion) {
         );
     }
     group.bench_function("full_figure8_quick", |b| {
-        b.iter(|| black_box(quality::run_on(&[DatasetKind::Cyber], ExperimentScale::Quick)))
+        b.iter(|| {
+            black_box(quality::run_on(
+                &[DatasetKind::Cyber],
+                ExperimentScale::Quick,
+            ))
+        })
     });
     group.finish();
 }
@@ -86,7 +91,11 @@ fn bench_quality_metrics(c: &mut Criterion) {
 fn bench_phases(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure9_phases");
     group.sample_size(10);
-    for kind in [DatasetKind::Cyber, DatasetKind::Spotify, DatasetKind::CreditCard] {
+    for kind in [
+        DatasetKind::Cyber,
+        DatasetKind::Spotify,
+        DatasetKind::CreditCard,
+    ] {
         let dataset = kind.build(ExperimentScale::Quick.dataset_size(), 31);
         group.bench_with_input(
             BenchmarkId::new("preprocess", kind.label()),
@@ -109,7 +118,13 @@ fn bench_phases(c: &mut Criterion) {
             BenchmarkId::new("centroid_selection", kind.label()),
             &subtab,
             |b, subtab| {
-                b.iter(|| black_box(subtab.select(&SelectionParams::new(10, 10)).expect("select")))
+                b.iter(|| {
+                    black_box(
+                        subtab
+                            .select(&SelectionParams::new(10, 10))
+                            .expect("select"),
+                    )
+                })
             },
         );
     }

@@ -78,7 +78,11 @@ pub fn run(scale: ExperimentScale) -> AblationReport {
         eval_variant(
             format!(
                 "corpus = {}",
-                if include { "rows + columns" } else { "rows only" }
+                if include {
+                    "rows + columns"
+                } else {
+                    "rows only"
+                }
             ),
             cfg,
         );
@@ -96,8 +100,8 @@ pub fn run(scale: ExperimentScale) -> AblationReport {
 
     // α sweep of the combined score (evaluation-side only: the selection is
     // fixed, the trade-off changes).
-    let base = SubTab::preprocess(dataset.table.clone(), scale.subtab_config())
-        .expect("pre-processing");
+    let base =
+        SubTab::preprocess(dataset.table.clone(), scale.subtab_config()).expect("pre-processing");
     let view = base.select(&SelectionParams::new(k, l)).expect("selection");
     let cols = view.column_indices(&dataset.table);
     for alpha in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
@@ -130,7 +134,10 @@ pub fn render(report: &AblationReport) -> String {
         .collect();
     format!(
         "Ablations (SP dataset, 10x10 sub-tables)\n{}",
-        format_table(&["variant", "cell coverage", "diversity", "combined"], &rows)
+        format_table(
+            &["variant", "cell coverage", "diversity", "combined"],
+            &rows
+        )
     )
 }
 

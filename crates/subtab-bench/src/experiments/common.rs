@@ -1,9 +1,7 @@
 //! Shared machinery: building evaluators, running each method, formatting.
 
 use std::time::{Duration, Instant};
-use subtab_baselines::{
-    naive_clustering_select, random_select, RandomConfig, Selection,
-};
+use subtab_baselines::{naive_clustering_select, random_select, RandomConfig, Selection};
 use subtab_core::{SelectionParams, SubTab, SubTabConfig};
 use subtab_data::Table;
 use subtab_datasets::{DatasetKind, DatasetSize, PlantedDataset};
@@ -195,7 +193,13 @@ pub fn run_ran(
 }
 
 /// Runs the naive-clustering baseline.
-pub fn run_nc(ctx: &ExperimentContext, k: usize, l: usize, targets: &[usize], seed: u64) -> MethodRun {
+pub fn run_nc(
+    ctx: &ExperimentContext,
+    k: usize,
+    l: usize,
+    targets: &[usize],
+    seed: u64,
+) -> MethodRun {
     let start = Instant::now();
     let selection = naive_clustering_select(ctx.table(), k, l, targets, seed);
     MethodRun {

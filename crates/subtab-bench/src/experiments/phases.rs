@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn phases_are_timed_for_each_dataset() {
-        let report = run_on(&[DatasetKind::Cyber, DatasetKind::Spotify], ExperimentScale::Quick);
+        let report = run_on(
+            &[DatasetKind::Cyber, DatasetKind::Spotify],
+            ExperimentScale::Quick,
+        );
         assert_eq!(report.rows.len(), 2);
         for r in &report.rows {
             assert!(r.preprocess > Duration::ZERO);

@@ -40,7 +40,11 @@ impl QualityReport {
 /// Runs the Figure 8 comparison.
 pub fn run(scale: ExperimentScale) -> QualityReport {
     run_on(
-        &[DatasetKind::Flights, DatasetKind::Spotify, DatasetKind::Cyber],
+        &[
+            DatasetKind::Flights,
+            DatasetKind::Spotify,
+            DatasetKind::Cyber,
+        ],
         scale,
     )
 }

@@ -132,7 +132,13 @@ fn random_from_result(
     Selection::new(rows, sel.cols)
 }
 
-fn nc_from_result(table: &Table, result_rows: &[usize], k: usize, width: usize, seed: u64) -> Selection {
+fn nc_from_result(
+    table: &Table,
+    result_rows: &[usize],
+    k: usize,
+    width: usize,
+    seed: u64,
+) -> Selection {
     let result = table.take(result_rows).expect("rows valid");
     let local = naive_clustering_select(&result, k, width, &[], seed);
     let rows = local.rows.iter().map(|&r| result_rows[r]).collect();

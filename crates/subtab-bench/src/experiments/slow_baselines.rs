@@ -152,7 +152,10 @@ pub fn render(report: &SlowBaselineReport) -> String {
         .collect();
     format!(
         "Figure 7: quality score and total running time (slow baselines)\n{}",
-        format_table(&["method", "quality score", "total time", "time (x SubTab)"], &rows)
+        format_table(
+            &["method", "quality score", "total time", "time (x SubTab)"],
+            &rows
+        )
     )
 }
 
@@ -165,7 +168,12 @@ mod tests {
         let report = run(ExperimentScale::Quick);
         assert_eq!(report.rows.len(), 4);
         for r in &report.rows {
-            assert!((0.0..=1.0).contains(&r.combined), "{}: {}", r.method, r.combined);
+            assert!(
+                (0.0..=1.0).contains(&r.combined),
+                "{}: {}",
+                r.method,
+                r.combined
+            );
             assert!(r.time_vs_subtab > 0.0);
         }
         assert!(report.get("SubTab").is_some());

@@ -77,10 +77,7 @@ pub fn run(scale: ExperimentScale) -> TuningReport {
             },
             5,
         );
-        support_points.push(SweepPoint {
-            value: s,
-            coverage,
-        });
+        support_points.push(SweepPoint { value: s, coverage });
     }
     sweeps.push(Sweep {
         parameter: "support".into(),
@@ -100,10 +97,7 @@ pub fn run(scale: ExperimentScale) -> TuningReport {
             },
             5,
         );
-        confidence_points.push(SweepPoint {
-            value: c,
-            coverage,
-        });
+        confidence_points.push(SweepPoint { value: c, coverage });
     }
     sweeps.push(Sweep {
         parameter: "confidence".into(),
@@ -154,10 +148,7 @@ fn average_coverage_with(
             let rules = RuleMiner::new(mining(kind)).mine(&binned);
             Evaluator::new(binned, &rules, 0.5)
         };
-        for (slot, sel) in sums
-            .iter_mut()
-            .zip([&subtab_sel, &ran_sel, &nc_sel])
-        {
+        for (slot, sel) in sums.iter_mut().zip([&subtab_sel, &ran_sel, &nc_sel]) {
             slot.1 += evaluator.score(&sel.rows, &sel.cols).cell_coverage;
         }
     }

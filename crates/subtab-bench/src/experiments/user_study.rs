@@ -60,7 +60,11 @@ struct InsightCounts {
 
 /// Runs the simulated user study.
 pub fn run(scale: ExperimentScale) -> UserStudyReport {
-    let datasets = [DatasetKind::Spotify, DatasetKind::Flights, DatasetKind::BankLoans];
+    let datasets = [
+        DatasetKind::Spotify,
+        DatasetKind::Flights,
+        DatasetKind::BankLoans,
+    ];
     let users_per_method = match scale {
         ExperimentScale::Quick => 2,
         ExperimentScale::Paper => 5,
@@ -283,14 +287,23 @@ pub fn render(report: &UserStudyReport) -> String {
         .map(|r| {
             vec![
                 r.method.clone(),
-                format!("{:.1} ({:.0}%)", r.correct_insights, r.correct_ratio * 100.0),
+                format!(
+                    "{:.1} ({:.0}%)",
+                    r.correct_insights,
+                    r.correct_ratio * 100.0
+                ),
                 format!("{:.0}%", r.users_with_no_insights * 100.0),
                 format!("{:.1}", r.total_insights),
             ]
         })
         .collect();
     let table1 = crate::experiments::common::format_table(
-        &["method", "# correct insights", "% users w/o insights", "# total insights"],
+        &[
+            "method",
+            "# correct insights",
+            "% users w/o insights",
+            "# total insights",
+        ],
         &rows,
     );
     let fig5_rows: Vec<Vec<String>> = report
@@ -307,10 +320,18 @@ pub fn render(report: &UserStudyReport) -> String {
         })
         .collect();
     let fig5 = crate::experiments::common::format_table(
-        &["method", "Q1 satisfaction", "Q2 usefulness", "Q3 columns", "Q4 rows"],
+        &[
+            "method",
+            "Q1 satisfaction",
+            "Q2 usefulness",
+            "Q3 columns",
+            "Q4 rows",
+        ],
         &fig5_rows,
     );
-    format!("Table 1 (simulated user study)\n{table1}\nFigure 5 (questionnaire proxies, 1-5)\n{fig5}")
+    format!(
+        "Table 1 (simulated user study)\n{table1}\nFigure 5 (questionnaire proxies, 1-5)\n{fig5}"
+    )
 }
 
 #[cfg(test)]
@@ -348,7 +369,11 @@ mod tests {
             .find(|r| r.method == "SubTab")
             .expect("SubTab row present");
         assert!(subtab.correct_insights >= 1.0);
-        assert!(subtab.correct_ratio >= 0.5, "ratio {}", subtab.correct_ratio);
+        assert!(
+            subtab.correct_ratio >= 0.5,
+            "ratio {}",
+            subtab.correct_ratio
+        );
         assert_eq!(subtab.users_with_no_insights, 0.0);
     }
 }

@@ -90,7 +90,10 @@ impl BinnedTable {
     /// A token uniquely identifying (column, bin), used as a "word" in the
     /// embedding corpus, e.g. `"distance=[100.000, 550.000)"`.
     pub fn token(&self, col: usize, bin: BinId) -> String {
-        format!("{}={}", self.column_names[col], self.labels[col][bin as usize])
+        format!(
+            "{}={}",
+            self.column_names[col], self.labels[col][bin as usize]
+        )
     }
 
     /// Token of the cell at (`row`, `col`).

@@ -284,7 +284,14 @@ mod tests {
             )
             .column_str(
                 "airline",
-                vec![Some("AA"), Some("AA"), Some("DL"), Some("DL"), Some("UA"), Some("AA")],
+                vec![
+                    Some("AA"),
+                    Some("AA"),
+                    Some("DL"),
+                    Some("DL"),
+                    Some("UA"),
+                    Some("AA"),
+                ],
             )
             .column_i64(
                 "cancelled",

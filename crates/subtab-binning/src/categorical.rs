@@ -28,7 +28,10 @@ impl CategoryGrouping {
 ///
 /// `counts` maps category → number of occurrences. At most `max_categories`
 /// bins are produced; ties are broken alphabetically for determinism.
-pub fn group_categories(counts: &HashMap<String, usize>, max_categories: usize) -> CategoryGrouping {
+pub fn group_categories(
+    counts: &HashMap<String, usize>,
+    max_categories: usize,
+) -> CategoryGrouping {
     let max_categories = max_categories.max(1);
     let mut by_freq: Vec<(&String, &usize)> = counts.iter().collect();
     by_freq.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));

@@ -41,11 +41,7 @@ impl GaussianKde {
             q75 - q25
         };
         // Silverman's rule: 0.9 * min(std, IQR/1.34) * n^(-1/5).
-        let spread = if iqr > 0.0 {
-            std.min(iqr / 1.34)
-        } else {
-            std
-        };
+        let spread = if iqr > 0.0 { std.min(iqr / 1.34) } else { std };
         if spread <= 0.0 {
             return None;
         }
@@ -72,12 +68,7 @@ impl GaussianKde {
     /// Evaluates the density on a uniform grid over the sample range
     /// (slightly padded by one bandwidth on each side).
     pub fn density_grid(&self, grid_size: usize) -> Vec<(f64, f64)> {
-        let lo = self
-            .samples
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
-            - self.bandwidth;
+        let lo = self.samples.iter().copied().fold(f64::INFINITY, f64::min) - self.bandwidth;
         let hi = self
             .samples
             .iter()

@@ -106,12 +106,7 @@ mod tests {
 
     #[test]
     fn representative_is_the_nearest_member() {
-        let points = vec![
-            vec![0.0],
-            vec![0.9],
-            vec![10.0],
-            vec![10.4],
-        ];
+        let points = vec![vec![0.0], vec![0.9], vec![10.0], vec![10.4]];
         let result = KMeans::new(2, 3).fit(&points);
         let reps = select_representatives(&points, &result);
         // Each representative must belong to the cluster whose centroid it

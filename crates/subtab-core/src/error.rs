@@ -54,8 +54,7 @@ mod tests {
         assert!(e.to_string().contains("k = 0"));
         let e: CoreError = subtab_data::DataError::UnknownColumn("x".into()).into();
         assert!(matches!(e, CoreError::Data(_)));
-        let e: CoreError =
-            subtab_binning::BinningError::UnknownColumn("y".into()).into();
+        let e: CoreError = subtab_binning::BinningError::UnknownColumn("y".into()).into();
         assert!(matches!(e, CoreError::Binning(_)));
         assert!(CoreError::EmptyQueryResult.to_string().contains("no rows"));
     }

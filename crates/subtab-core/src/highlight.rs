@@ -75,10 +75,20 @@ mod tests {
                 "cancelled",
                 vec![Some(1), Some(1), Some(1), Some(0), Some(0), Some(0)],
             )
-            .column_str("dep", vec![None, None, None, Some("m"), Some("m"), Some("e")])
+            .column_str(
+                "dep",
+                vec![None, None, None, Some("m"), Some("m"), Some("e")],
+            )
             .column_i64(
                 "year",
-                vec![Some(2015), Some(2015), Some(2015), Some(2015), Some(2016), Some(2015)],
+                vec![
+                    Some(2015),
+                    Some(2015),
+                    Some(2015),
+                    Some(2015),
+                    Some(2016),
+                    Some(2015),
+                ],
             )
             .build()
             .unwrap();

@@ -2,7 +2,7 @@
 
 use crate::config::SubTabConfig;
 use crate::Result;
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use subtab_binning::{BinnedTable, Binner};
 use subtab_data::Table;
 use subtab_embed::{train_embedding, CellEmbedding};
@@ -63,14 +63,19 @@ impl PreprocessedTable {
     /// Row vectors of the full table over all columns (computed on first use
     /// and cached; cloned out to keep the lock scope minimal).
     pub fn full_row_vectors(&self) -> Vec<Vec<f32>> {
-        if let Some(v) = self.full_row_vectors.read().as_ref() {
+        if let Some(v) = self
+            .full_row_vectors
+            .read()
+            .expect("lock poisoned")
+            .as_ref()
+        {
             return v.clone();
         }
         let cols: Vec<usize> = (0..self.binned.num_columns()).collect();
         let vectors: Vec<Vec<f32>> = (0..self.binned.num_rows())
             .map(|r| self.embedding.row_vector(&self.binned, r, &cols))
             .collect();
-        *self.full_row_vectors.write() = Some(vectors.clone());
+        *self.full_row_vectors.write().expect("lock poisoned") = Some(vectors.clone());
         vectors
     }
 }

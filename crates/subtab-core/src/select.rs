@@ -78,18 +78,17 @@ pub fn select_sub_table(
     // --- Row selection: tuple-vectors, k-means, centroid representatives.
     let k = params.k.min(candidate_rows.len());
     let embedding = pre.embedding();
-    let row_vectors: Vec<Vec<f32>> = if query.is_none()
-        && candidate_columns.len() == table.num_columns()
-    {
-        // Whole-table selection reuses the cached full row vectors.
-        let all = pre.full_row_vectors();
-        candidate_rows.iter().map(|&r| all[r].clone()).collect()
-    } else {
-        candidate_rows
-            .iter()
-            .map(|&r| embedding.row_vector(binned, r, &candidate_columns))
-            .collect()
-    };
+    let row_vectors: Vec<Vec<f32>> =
+        if query.is_none() && candidate_columns.len() == table.num_columns() {
+            // Whole-table selection reuses the cached full row vectors.
+            let all = pre.full_row_vectors();
+            candidate_rows.iter().map(|&r| all[r].clone()).collect()
+        } else {
+            candidate_rows
+                .iter()
+                .map(|&r| embedding.row_vector(binned, r, &candidate_columns))
+                .collect()
+        };
     let rep_positions = select_k_representatives(&row_vectors, k, seed);
     let mut row_indices: Vec<usize> = rep_positions.iter().map(|&p| candidate_rows[p]).collect();
     row_indices.sort_unstable();
@@ -106,7 +105,10 @@ pub fn select_sub_table(
         .copied()
         .filter(|c| !target_idx.contains(c))
         .collect();
-    let l_free = params.l.saturating_sub(target_idx.len()).min(free_columns.len());
+    let l_free = params
+        .l
+        .saturating_sub(target_idx.len())
+        .min(free_columns.len());
     let mut selected_columns: Vec<usize> = target_idx.clone();
     if l_free > 0 {
         let col_vectors: Vec<Vec<f32>> = free_columns
@@ -122,7 +124,14 @@ pub fn select_sub_table(
 
     let column_names: Vec<String> = selected_columns
         .iter()
-        .map(|&c| table.schema().field_at(c).expect("index valid").name.clone())
+        .map(|&c| {
+            table
+                .schema()
+                .field_at(c)
+                .expect("index valid")
+                .name
+                .clone()
+        })
         .collect();
     let column_refs: Vec<&str> = column_names.iter().map(String::as_str).collect();
     let sub_table = table.sub_table(&row_indices, &column_refs)?;
@@ -154,7 +163,13 @@ mod tests {
             .column_f64(
                 "dep_time",
                 (0..rows)
-                    .map(|i| if i % 10 == 1 { None } else { Some(900.0 + (i % 13) as f64 * 60.0) })
+                    .map(|i| {
+                        if i % 10 == 1 {
+                            None
+                        } else {
+                            Some(900.0 + (i % 13) as f64 * 60.0)
+                        }
+                    })
                     .collect(),
             )
             .column_str(
@@ -221,7 +236,10 @@ mod tests {
         assert_eq!(r.sub_table.num_rows(), 4);
         assert!(r.sub_table.num_columns() <= 3);
         for &row in &r.row_indices {
-            assert_eq!(pre.table().value(row, "airline").unwrap(), Value::from("DL"));
+            assert_eq!(
+                pre.table().value(row, "airline").unwrap(),
+                Value::from("DL")
+            );
         }
         for c in &r.columns {
             assert!(["distance", "dep_time", "airline"].contains(&c.as_str()));

@@ -64,10 +64,7 @@ impl Column {
     }
 
     /// Creates a dictionary-encoded string column.
-    pub fn from_str_values<S: AsRef<str>>(
-        name: impl Into<String>,
-        values: Vec<Option<S>>,
-    ) -> Self {
+    pub fn from_str_values<S: AsRef<str>>(name: impl Into<String>, values: Vec<Option<S>>) -> Self {
         let mut dict: Vec<String> = Vec::new();
         let mut lookup: HashMap<String, u32> = HashMap::new();
         let mut codes = Vec::with_capacity(values.len());
@@ -150,8 +147,9 @@ impl Column {
         match &self.data {
             ColumnData::Int(v) => v[row].map_or(Value::Null, Value::Int),
             ColumnData::Float(v) => v[row].map_or(Value::Null, Value::Float),
-            ColumnData::Str { codes, dict, .. } => codes[row]
-                .map_or(Value::Null, |c| Value::Str(dict[c as usize].clone())),
+            ColumnData::Str { codes, dict, .. } => {
+                codes[row].map_or(Value::Null, |c| Value::Str(dict[c as usize].clone()))
+            }
             ColumnData::Bool(v) => v[row].map_or(Value::Null, Value::Bool),
         }
     }
@@ -256,18 +254,15 @@ impl Column {
     /// (in the given order; indices may repeat).
     pub fn take(&self, indices: &[usize]) -> Column {
         match &self.data {
-            ColumnData::Int(v) => Column::from_i64(
-                self.name.clone(),
-                indices.iter().map(|&i| v[i]).collect(),
-            ),
-            ColumnData::Float(v) => Column::from_f64(
-                self.name.clone(),
-                indices.iter().map(|&i| v[i]).collect(),
-            ),
-            ColumnData::Bool(v) => Column::from_bool(
-                self.name.clone(),
-                indices.iter().map(|&i| v[i]).collect(),
-            ),
+            ColumnData::Int(v) => {
+                Column::from_i64(self.name.clone(), indices.iter().map(|&i| v[i]).collect())
+            }
+            ColumnData::Float(v) => {
+                Column::from_f64(self.name.clone(), indices.iter().map(|&i| v[i]).collect())
+            }
+            ColumnData::Bool(v) => {
+                Column::from_bool(self.name.clone(), indices.iter().map(|&i| v[i]).collect())
+            }
             ColumnData::Str { codes, dict, .. } => {
                 let values: Vec<Option<&str>> = indices
                     .iter()
@@ -281,9 +276,7 @@ impl Column {
     /// All distinct non-null values of the column.
     pub fn distinct(&self) -> Vec<Value> {
         match &self.data {
-            ColumnData::Str { dict, .. } => {
-                dict.iter().map(|s| Value::Str(s.clone())).collect()
-            }
+            ColumnData::Str { dict, .. } => dict.iter().map(|s| Value::Str(s.clone())).collect(),
             _ => {
                 let mut seen: Vec<Value> = Vec::new();
                 for i in 0..self.len() {

@@ -229,7 +229,8 @@ mod tests {
 
     #[test]
     fn parse_with_type_inference() {
-        let csv = "airline,distance,cancelled,ontime\nAA,100.5,0,true\nDL,,1,false\nUA,300,0,true\n";
+        let csv =
+            "airline,distance,cancelled,ontime\nAA,100.5,0,true\nDL,,1,false\nUA,300,0,true\n";
         let t = parse_csv(csv).unwrap();
         assert_eq!(t.num_rows(), 3);
         assert_eq!(t.schema().field("airline").unwrap().ty, ColumnType::Str);

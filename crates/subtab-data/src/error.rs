@@ -62,7 +62,10 @@ impl fmt::Display for DataError {
                 "type mismatch in column {column:?}: expected {expected}, got value {value}"
             ),
             DataError::RowOutOfBounds { index, len } => {
-                write!(f, "row index {index} out of bounds for table with {len} rows")
+                write!(
+                    f,
+                    "row index {index} out of bounds for table with {len} rows"
+                )
             }
             DataError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
             DataError::CsvParse { line, message } => {

@@ -51,7 +51,7 @@ pub mod value;
 
 pub use column::Column;
 pub use error::DataError;
-pub use query::{AggFunc, GroupBy, Predicate, Query, SortOrder, SortSpec};
+pub use query::{AggFunc, CompareOp, GroupBy, Predicate, Query, SortOrder, SortSpec};
 pub use schema::{ColumnType, Field, Schema};
 pub use table::{Table, TableBuilder};
 pub use value::Value;

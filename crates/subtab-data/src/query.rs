@@ -531,7 +531,10 @@ mod tests {
                 "distance",
                 vec![Some(100.0), Some(2500.0), Some(700.0), None, Some(900.0)],
             )
-            .column_i64("cancelled", vec![Some(0), Some(0), Some(1), Some(1), Some(0)])
+            .column_i64(
+                "cancelled",
+                vec![Some(0), Some(0), Some(1), Some(1), Some(0)],
+            )
             .build()
             .unwrap()
     }

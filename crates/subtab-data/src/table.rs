@@ -193,12 +193,7 @@ impl Table {
     /// Renders the table as a compact ASCII grid (used by examples and the
     /// experiment harness).
     pub fn render(&self, max_rows: usize) -> String {
-        let mut widths: Vec<usize> = self
-            .schema
-            .names()
-            .iter()
-            .map(|n| n.len())
-            .collect();
+        let mut widths: Vec<usize> = self.schema.names().iter().map(|n| n.len()).collect();
         let shown = self.num_rows.min(max_rows);
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
         for r in 0..shown {
@@ -299,7 +294,10 @@ mod tests {
                 "distance",
                 vec![Some(100.0), Some(2500.0), Some(700.0), None],
             )
-            .column_str("airline", vec![Some("AA"), Some("DL"), Some("AA"), Some("UA")])
+            .column_str(
+                "airline",
+                vec![Some("AA"), Some("DL"), Some("AA"), Some("UA")],
+            )
             .column_i64("cancelled", vec![Some(0), Some(0), Some(1), Some(1)])
             .build()
             .unwrap()
@@ -350,8 +348,12 @@ mod tests {
     #[test]
     fn push_row_and_rollback() {
         let mut t = flights_like();
-        t.push_row(vec![Value::from(50.0), Value::from("WN"), Value::from(0i64)])
-            .unwrap();
+        t.push_row(vec![
+            Value::from(50.0),
+            Value::from("WN"),
+            Value::from(0i64),
+        ])
+        .unwrap();
         assert_eq!(t.num_rows(), 5);
         // Wrong arity
         assert!(t.push_row(vec![Value::from(1.0)]).is_err());

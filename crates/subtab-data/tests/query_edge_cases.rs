@@ -1,0 +1,241 @@
+//! Edge-case coverage for the query path: null semantics, type-mismatched
+//! comparisons, and empty result sets. The query path feeds
+//! `SubTab::select_for_query` and was previously only exercised indirectly
+//! through the end-to-end pipeline.
+
+use subtab_data::{AggFunc, CompareOp, Predicate, Query, SortOrder, Table, Value};
+
+fn table() -> Table {
+    Table::builder()
+        .column_str(
+            "airline",
+            vec![Some("AA"), Some("DL"), None, Some("UA"), Some("DL")],
+        )
+        .column_f64(
+            "distance",
+            vec![Some(100.0), Some(2500.0), Some(700.0), None, Some(900.0)],
+        )
+        .column_i64("cancelled", vec![Some(0), Some(1), Some(1), None, Some(0)])
+        .build()
+        .unwrap()
+}
+
+fn empty_table() -> Table {
+    Table::builder()
+        .column_str("airline", Vec::new())
+        .column_f64("distance", Vec::new())
+        .build()
+        .unwrap()
+}
+
+// --- null handling ---------------------------------------------------------
+
+#[test]
+fn comparisons_against_null_constant_never_match() {
+    let t = table();
+    for op in [
+        CompareOp::Eq,
+        CompareOp::Ne,
+        CompareOp::Lt,
+        CompareOp::Le,
+        CompareOp::Gt,
+        CompareOp::Ge,
+    ] {
+        let q = Query::new().filter(Predicate::Compare {
+            column: "distance".into(),
+            op,
+            value: Value::Null,
+        });
+        assert_eq!(
+            q.execute(&t).unwrap().num_rows(),
+            0,
+            "{op:?} against Null must match nothing"
+        );
+    }
+}
+
+#[test]
+fn null_cells_never_match_comparisons_either_way() {
+    let t = table();
+    // Row 3 has a null distance: neither `> x` nor its complement `<= x`
+    // matches it, so the two row sets are disjoint and miss exactly one row.
+    let gt = Query::new()
+        .filter(Predicate::gt("distance", Value::from(800.0)))
+        .execute(&t)
+        .unwrap();
+    let le = Query::new()
+        .filter(Predicate::Compare {
+            column: "distance".into(),
+            op: CompareOp::Le,
+            value: Value::from(800.0),
+        })
+        .execute(&t)
+        .unwrap();
+    assert_eq!(gt.num_rows() + le.num_rows(), t.num_rows() - 1);
+}
+
+#[test]
+fn in_set_with_null_member_does_not_match_null_cells() {
+    let t = table();
+    let q = Query::new().filter(Predicate::in_set("airline", vec![Value::Null]));
+    assert_eq!(q.execute(&t).unwrap().num_rows(), 0);
+    // IsNull is the only way to select the null cell.
+    let q = Query::new().filter(Predicate::is_null("airline"));
+    assert_eq!(q.execute(&t).unwrap().num_rows(), 1);
+}
+
+#[test]
+fn between_skips_null_cells() {
+    let t = table();
+    let q = Query::new().filter(Predicate::between("distance", 0.0, 1e9));
+    assert_eq!(q.execute(&t).unwrap().num_rows(), 4);
+}
+
+#[test]
+fn group_by_treats_null_as_its_own_group_and_aggregates_skip_nulls() {
+    let t = table();
+    let counts = Query::new()
+        .group(&["airline"], AggFunc::Count, None)
+        .execute(&t)
+        .unwrap();
+    // AA, DL, null, UA.
+    assert_eq!(counts.num_rows(), 4);
+
+    // Mean over a group whose only aggregate value is null must be null,
+    // not zero: UA's single row has a null distance.
+    let mean = Query::new()
+        .group(&["airline"], AggFunc::Mean, Some("distance"))
+        .execute(&t)
+        .unwrap();
+    let ua_row = (0..mean.num_rows())
+        .find(|&r| mean.value(r, "airline").unwrap() == Value::from("UA"))
+        .expect("UA group exists");
+    assert!(mean.value(ua_row, "mean_distance").unwrap().is_null());
+}
+
+// --- type-mismatched comparisons -------------------------------------------
+
+#[test]
+fn string_column_compared_with_number_never_equals() {
+    let t = table();
+    let eq = Query::new().filter(Predicate::eq("airline", Value::from(1i64)));
+    assert_eq!(eq.execute(&t).unwrap().num_rows(), 0);
+    // Ne is the complement over non-null cells: every non-null airline
+    // differs from the integer 1.
+    let ne = Query::new().filter(Predicate::ne("airline", Value::from(1i64)));
+    assert_eq!(ne.execute(&t).unwrap().num_rows(), 4);
+}
+
+#[test]
+fn numeric_column_compared_with_string_never_equals() {
+    let t = table();
+    let eq = Query::new().filter(Predicate::eq("distance", Value::from("100")));
+    assert_eq!(eq.execute(&t).unwrap().num_rows(), 0);
+}
+
+#[test]
+fn int_and_float_constants_compare_by_numeric_value() {
+    let t = table();
+    let as_float = Query::new().filter(Predicate::eq("cancelled", Value::from(1.0)));
+    let as_int = Query::new().filter(Predicate::eq("cancelled", Value::from(1i64)));
+    assert_eq!(as_float.execute(&t).unwrap().num_rows(), 2);
+    assert_eq!(as_int.execute(&t).unwrap().num_rows(), 2);
+}
+
+#[test]
+fn between_on_string_column_matches_nothing() {
+    let t = table();
+    let q = Query::new().filter(Predicate::between("airline", 0.0, 1e9));
+    assert_eq!(q.execute(&t).unwrap().num_rows(), 0);
+}
+
+#[test]
+fn in_set_with_mixed_types_matches_only_compatible_values() {
+    let t = table();
+    let q = Query::new().filter(Predicate::in_set(
+        "distance",
+        vec![Value::from("DL"), Value::from(900.0), Value::from(100i64)],
+    ));
+    assert_eq!(q.execute(&t).unwrap().num_rows(), 2);
+}
+
+// --- empty result sets ------------------------------------------------------
+
+#[test]
+fn unsatisfiable_query_returns_empty_table_with_schema_intact() {
+    let t = table();
+    let r = Query::new()
+        .filter(Predicate::eq("airline", Value::from("ZZ")))
+        .execute(&t)
+        .unwrap();
+    assert_eq!(r.num_rows(), 0);
+    assert_eq!(r.num_columns(), t.num_columns());
+    assert_eq!(r.column_names(), t.column_names());
+}
+
+#[test]
+fn inverted_between_bounds_match_nothing() {
+    let t = table();
+    let q = Query::new().filter(Predicate::between("distance", 900.0, 100.0));
+    assert_eq!(q.execute(&t).unwrap().num_rows(), 0);
+}
+
+#[test]
+fn empty_in_set_matches_nothing() {
+    let t = table();
+    let q = Query::new().filter(Predicate::in_set("airline", Vec::new()));
+    assert_eq!(q.execute(&t).unwrap().num_rows(), 0);
+}
+
+#[test]
+fn sort_group_and_limit_on_empty_selection() {
+    let t = table();
+    let q = Query::new()
+        .filter(Predicate::eq("airline", Value::from("ZZ")))
+        .sort_by("distance", SortOrder::Descending)
+        .limit(3);
+    let r = q.execute(&t).unwrap();
+    assert_eq!(r.num_rows(), 0);
+
+    let grouped = Query::new()
+        .filter(Predicate::eq("airline", Value::from("ZZ")))
+        .group(&["airline"], AggFunc::Count, None)
+        .execute(&t)
+        .unwrap();
+    assert_eq!(grouped.num_rows(), 0);
+    assert_eq!(grouped.column_names(), vec!["airline", "count"]);
+}
+
+#[test]
+fn queries_against_zero_row_table() {
+    let t = empty_table();
+    let r = Query::new()
+        .filter(Predicate::gt("distance", Value::from(0.0)))
+        .execute(&t)
+        .unwrap();
+    assert_eq!(r.num_rows(), 0);
+    let grouped = Query::new()
+        .group(&["airline"], AggFunc::Mean, Some("distance"))
+        .execute(&t)
+        .unwrap();
+    assert_eq!(grouped.num_rows(), 0);
+    assert_eq!(Query::new().limit(5).execute(&t).unwrap().num_rows(), 0);
+}
+
+#[test]
+fn matching_rows_agrees_with_execute() {
+    let t = table();
+    let q = Query::new().filter(Predicate::eq("airline", Value::from("DL")));
+    let rows = q.matching_rows(&t).unwrap();
+    assert_eq!(rows, vec![1, 4]);
+    assert_eq!(q.execute(&t).unwrap().num_rows(), rows.len());
+}
+
+#[test]
+fn limit_larger_than_result_is_a_noop() {
+    let t = table();
+    let r = Query::new().limit(100).execute(&t).unwrap();
+    assert_eq!(r.num_rows(), t.num_rows());
+    let r0 = Query::new().limit(0).execute(&t).unwrap();
+    assert_eq!(r0.num_rows(), 0);
+}

@@ -121,7 +121,8 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> PlantedDataset {
         };
         for &arch_idx in row_archetype.iter() {
             let value = generate_cell(spec, col_spec, arch_idx, &mut rng);
-            col.push(value).expect("generator produces well-typed values");
+            col.push(value)
+                .expect("generator produces well-typed values");
         }
         columns.push(col);
     }
@@ -199,11 +200,16 @@ mod tests {
                         ("cancelled", CellSpec::IntValue(1)),
                     ],
                 ),
+                // Narrow antecedent: background rows draw distance uniformly
+                // from [50, 3000), so a [2000, 3000) window is hit by ~1/3 of
+                // them by chance and caps the rule's empirical confidence
+                // near 0.67 — below what `planted_rule_confidence_is_high`
+                // asserts. [2600, 3000) keeps chance matches rare.
                 Archetype::new(
                     "long-haul-ok",
                     0.3,
                     vec![
-                        ("distance", CellSpec::Range(2000.0, 3000.0)),
+                        ("distance", CellSpec::Range(2600.0, 3000.0)),
                         ("cancelled", CellSpec::IntValue(0)),
                     ],
                 ),

@@ -133,10 +133,7 @@ impl Archetype {
         Archetype {
             name: name.to_string(),
             weight,
-            cells: cells
-                .into_iter()
-                .map(|(c, s)| (c.to_string(), s))
-                .collect(),
+            cells: cells.into_iter().map(|(c, s)| (c.to_string(), s)).collect(),
         }
     }
 

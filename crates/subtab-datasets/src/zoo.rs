@@ -62,7 +62,9 @@ fn rows(base: usize, size: DatasetSize) -> usize {
 /// Synthetic stand-in for the Kaggle flight-delays dataset (`FL`).
 pub fn flights(size: DatasetSize, seed: u64) -> PlantedDataset {
     let airlines = ["AA", "DL", "UA", "WN", "B6", "AS", "NK", "HA"];
-    let airports = ["ATL", "LAX", "ORD", "DFW", "JFK", "SFO", "SEA", "MIA", "BOS", "PHX"];
+    let airports = [
+        "ATL", "LAX", "ORD", "DFW", "JFK", "SFO", "SEA", "MIA", "BOS", "PHX",
+    ];
     let mut columns = vec![
         ColumnSpec::integer("YEAR", 2015, 2016),
         ColumnSpec::integer("MONTH", 1, 13),
@@ -224,10 +226,7 @@ pub fn cyber(size: DatasetSize, seed: u64) -> PlantedDataset {
         ColumnSpec::numeric("bytes_in", 0.0, 1e6),
         ColumnSpec::numeric("bytes_out", 0.0, 1e6),
         ColumnSpec::integer("packets", 1, 5000),
-        ColumnSpec::categorical(
-            "src_country",
-            &["US", "CN", "RU", "DE", "BR", "IN", "FR"],
-        ),
+        ColumnSpec::categorical("src_country", &["US", "CN", "RU", "DE", "BR", "IN", "FR"]),
         ColumnSpec::categorical(
             "alert_type",
             &["none", "scan", "bruteforce", "exfil", "malware"],
@@ -319,7 +318,15 @@ pub fn spotify(size: DatasetSize, seed: u64) -> PlantedDataset {
     let columns = vec![
         ColumnSpec::categorical(
             "genre",
-            &["pop", "rock", "hiphop", "classical", "jazz", "electronic", "folk"],
+            &[
+                "pop",
+                "rock",
+                "hiphop",
+                "classical",
+                "jazz",
+                "electronic",
+                "folk",
+            ],
         ),
         ColumnSpec::numeric("danceability", 0.0, 1.0),
         ColumnSpec::numeric("energy", 0.0, 1.0),
@@ -492,17 +499,35 @@ pub fn us_funds(size: DatasetSize, seed: u64) -> PlantedDataset {
         columns.push(ColumnSpec::numeric(&format!("return_{year}"), -30.0, 40.0));
     }
     for q in 1..=8 {
-        columns.push(ColumnSpec::numeric(&format!("quarterly_return_q{q}"), -15.0, 20.0));
+        columns.push(ColumnSpec::numeric(
+            &format!("quarterly_return_q{q}"),
+            -15.0,
+            20.0,
+        ));
     }
     for i in 1..=10 {
-        columns.push(ColumnSpec::numeric(&format!("sector_weight_{i}"), 0.0, 60.0));
+        columns.push(ColumnSpec::numeric(
+            &format!("sector_weight_{i}"),
+            0.0,
+            60.0,
+        ));
     }
     for i in 1..=10 {
         columns.push(ColumnSpec::numeric(&format!("holding_pct_{i}"), 0.0, 12.0));
     }
     for name in [
-        "alpha_3y", "beta_3y", "sharpe_3y", "stddev_3y", "sortino_3y", "treynor_3y",
-        "alpha_5y", "beta_5y", "sharpe_5y", "stddev_5y", "turnover", "manager_tenure",
+        "alpha_3y",
+        "beta_3y",
+        "sharpe_3y",
+        "stddev_3y",
+        "sortino_3y",
+        "treynor_3y",
+        "alpha_5y",
+        "beta_5y",
+        "sharpe_5y",
+        "stddev_5y",
+        "turnover",
+        "manager_tenure",
         "min_investment",
     ] {
         columns.push(ColumnSpec::numeric(name, 0.0, 10.0));
@@ -559,14 +584,17 @@ pub fn bank_loans(size: DatasetSize, seed: u64) -> PlantedDataset {
         ColumnSpec::categorical("term", &["Short Term", "Long Term"]),
         ColumnSpec::numeric("credit_score", 550.0, 850.0),
         ColumnSpec::numeric("annual_income", 15_000.0, 400_000.0),
-        ColumnSpec::categorical(
-            "years_in_job",
-            &["<1", "1-3", "3-5", "5-10", "10+"],
-        ),
+        ColumnSpec::categorical("years_in_job", &["<1", "1-3", "3-5", "5-10", "10+"]),
         ColumnSpec::categorical("home_ownership", &["Rent", "Mortgage", "Own"]),
         ColumnSpec::categorical(
             "purpose",
-            &["debt_consolidation", "home_improvements", "business", "medical", "other"],
+            &[
+                "debt_consolidation",
+                "home_improvements",
+                "business",
+                "medical",
+                "other",
+            ],
         ),
         ColumnSpec::numeric("monthly_debt", 0.0, 30_000.0),
         ColumnSpec::numeric("years_credit_history", 2.0, 50.0),
@@ -612,12 +640,17 @@ pub fn bank_loans(size: DatasetSize, seed: u64) -> PlantedDataset {
                 ("loan_status", CellSpec::Category("Fully Paid".into())),
             ],
         ),
+        // The antecedent must stay rare among background rows (which draw
+        // months_since_delinquent uniformly from [0, 120)): a [0, 24) window
+        // lets ~7% of background rows match by chance, diluting the planted
+        // rule's empirical confidence to ~0.6 on Tiny datasets. [0, 12) plus
+        // a higher weight keeps the rule recoverable at every size.
         Archetype::new(
             "bankruptcy-history",
-            0.1,
+            0.15,
             vec![
                 ("bankruptcies", CellSpec::IntValue(1)),
-                ("months_since_delinquent", CellSpec::Range(0.0, 24.0)),
+                ("months_since_delinquent", CellSpec::Range(0.0, 12.0)),
                 ("loan_status", CellSpec::Category("Charged Off".into())),
             ],
         ),

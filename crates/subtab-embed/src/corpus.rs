@@ -121,7 +121,9 @@ mod tests {
             .column_i64("a", (0..rows).map(|i| Some((i % 3) as i64)).collect())
             .column_str(
                 "b",
-                (0..rows).map(|i| Some(if i % 2 == 0 { "x" } else { "y" })).collect(),
+                (0..rows)
+                    .map(|i| Some(if i % 2 == 0 { "x" } else { "y" }))
+                    .collect(),
             )
             .build()
             .unwrap();

@@ -101,8 +101,7 @@ pub fn train_on_corpus(corpus: &Corpus, config: &EmbeddingConfig) -> CellEmbeddi
                     if j == i {
                         continue;
                     }
-                    let lr = lr0
-                        * (1.0 - processed as f32 / (total_pairs as f32 + 1.0)).max(0.1);
+                    let lr = lr0 * (1.0 - processed as f32 / (total_pairs as f32 + 1.0)).max(0.1);
                     processed += 1;
 
                     // One positive + `negative_samples` negative updates.

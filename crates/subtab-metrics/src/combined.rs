@@ -95,7 +95,14 @@ mod tests {
             )
             .column_i64(
                 "year",
-                vec![Some(2015), Some(2015), Some(2015), Some(2015), Some(2016), Some(2015)],
+                vec![
+                    Some(2015),
+                    Some(2015),
+                    Some(2015),
+                    Some(2015),
+                    Some(2016),
+                    Some(2015),
+                ],
             )
             .build()
             .unwrap();
@@ -149,7 +156,9 @@ mod tests {
         let (ev, _, m) = evaluator(0.5);
         let rows = vec![1, 4];
         let cols: Vec<usize> = (0..m).collect();
-        assert!((ev.cell_coverage(&rows, &cols) - ev.score(&rows, &cols).cell_coverage).abs() < 1e-12);
+        assert!(
+            (ev.cell_coverage(&rows, &cols) - ev.score(&rows, &cols).cell_coverage).abs() < 1e-12
+        );
     }
 
     #[test]

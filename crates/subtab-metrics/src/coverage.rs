@@ -81,8 +81,7 @@ impl CoverageIndex {
             .iter()
             .enumerate()
             .filter(|(_, (rcols, rrows))| {
-                rcols.iter().all(|&c| col_mask[c])
-                    && rrows.iter().any(|&r| row_mask[r as usize])
+                rcols.iter().all(|&c| col_mask[c]) && rrows.iter().any(|&r| row_mask[r as usize])
             })
             .map(|(i, _)| i)
             .collect()
@@ -153,7 +152,14 @@ mod tests {
             )
             .column_i64(
                 "year",
-                vec![Some(2015), Some(2015), Some(2015), Some(2015), Some(2016), Some(2015)],
+                vec![
+                    Some(2015),
+                    Some(2015),
+                    Some(2015),
+                    Some(2015),
+                    Some(2016),
+                    Some(2015),
+                ],
             )
             .build()
             .unwrap();

@@ -147,10 +147,7 @@ fn example_rules(bt: &BinnedTable) -> RuleSet {
 }
 
 fn col_indices(bt: &BinnedTable, names: &[&str]) -> Vec<usize> {
-    names
-        .iter()
-        .map(|n| bt.column_index(n).unwrap())
-        .collect()
+    names.iter().map(|n| bt.column_index(n).unwrap()).collect()
 }
 
 #[test]

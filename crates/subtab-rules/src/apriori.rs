@@ -142,7 +142,16 @@ mod tests {
         let t = Table::builder()
             .column_i64(
                 "cancelled",
-                vec![Some(1), Some(1), Some(1), Some(1), Some(0), Some(0), Some(0), Some(0)],
+                vec![
+                    Some(1),
+                    Some(1),
+                    Some(1),
+                    Some(1),
+                    Some(0),
+                    Some(0),
+                    Some(0),
+                    Some(0),
+                ],
             )
             .column_str(
                 "dep_time",

@@ -95,5 +95,7 @@ fn main() {
     let ge = graph_embedding_select(&binned, k, l, &[], &GraphEmbedConfig::default());
     report("EmbDI-like", &ge.rows, &ge.cols, start.elapsed());
 
-    println!("\n(The paper's Figure 8 reports the same comparison on FL, SP and CY at full scale.)");
+    println!(
+        "\n(The paper's Figure 8 reports the same comparison on FL, SP and CY at full scale.)"
+    );
 }

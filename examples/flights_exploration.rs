@@ -33,7 +33,10 @@ fn main() {
     // Mine rules once so we can (a) highlight them and (b) score the display.
     let binned = subtab.preprocessed().binned();
     let rules = RuleMiner::new(MiningConfig::default()).mine(binned);
-    println!("Mined {} association rules (support >= 0.1, confidence >= 0.6, size >= 3)", rules.len());
+    println!(
+        "Mined {} association rules (support >= 0.1, confidence >= 0.6, size >= 3)",
+        rules.len()
+    );
 
     // The target-focused 10×10 display of the whole table.
     let params = SelectionParams::new(10, 10).with_targets(&["CANCELLED"]);

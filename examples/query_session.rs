@@ -28,8 +28,8 @@ fn main() {
         },
     );
 
-    let subtab = SubTab::preprocess(dataset.table.clone(), SubTabConfig::default())
-        .expect("pre-processing");
+    let subtab =
+        SubTab::preprocess(dataset.table.clone(), SubTabConfig::default()).expect("pre-processing");
     let params = SelectionParams::new(8, 6);
 
     for (si, session) in sessions.iter().enumerate() {

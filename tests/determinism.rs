@@ -1,0 +1,71 @@
+//! Seed determinism of the selection pipeline: the same
+//! `SubTabConfig::seed` must always yield the same sub-table, whether the
+//! pre-processing is shared or redone from scratch, and a different seed
+//! must be allowed to (and in practice does) change the outcome. This pins
+//! down flaky-seed regressions before they can creep into the experiment
+//! harness, whose reported numbers all assume reproducible runs.
+
+use subtab::data::{Predicate, Query, Value};
+use subtab::datasets::{flights, spotify, DatasetSize};
+use subtab::{SelectionParams, SubTab, SubTabConfig};
+
+#[test]
+fn same_seed_same_selection_within_one_preprocess() {
+    let table = flights(DatasetSize::Tiny, 5).table;
+    let subtab = SubTab::preprocess(table, SubTabConfig::fast().with_seed(7)).unwrap();
+    let params = SelectionParams::new(10, 8);
+    let a = subtab.select(&params).unwrap();
+    let b = subtab.select(&params).unwrap();
+    assert_eq!(a.row_indices, b.row_indices);
+    assert_eq!(a.columns, b.columns);
+}
+
+#[test]
+fn same_seed_same_selection_across_preprocess_runs() {
+    let table = flights(DatasetSize::Tiny, 5).table;
+    let params = SelectionParams::new(10, 8).with_targets(&["CANCELLED"]);
+    let run = || {
+        let subtab =
+            SubTab::preprocess(table.clone(), SubTabConfig::fast().with_seed(1234)).unwrap();
+        subtab.select(&params).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.row_indices, b.row_indices);
+    assert_eq!(a.columns, b.columns);
+}
+
+#[test]
+fn same_seed_same_selection_for_queries() {
+    let table = spotify(DatasetSize::Tiny, 21).table;
+    let subtab = SubTab::preprocess(table, SubTabConfig::fast().with_seed(99)).unwrap();
+    let query = Query::new().filter(Predicate::gt("danceability", Value::from(0.2)));
+    let params = SelectionParams::new(8, 6);
+    let a = subtab.select_for_query(&query, &params).unwrap();
+    let b = subtab.select_for_query(&query, &params).unwrap();
+    assert_eq!(a.row_indices, b.row_indices);
+    assert_eq!(a.columns, b.columns);
+}
+
+#[test]
+fn different_seeds_may_differ_and_stay_valid() {
+    let table = flights(DatasetSize::Tiny, 5).table;
+    let params = SelectionParams::new(10, 8);
+    let select_with = |seed: u64| {
+        let subtab =
+            SubTab::preprocess(table.clone(), SubTabConfig::fast().with_seed(seed)).unwrap();
+        subtab.select(&params).unwrap()
+    };
+    let base = select_with(0);
+    // Selections stay structurally valid for every seed; at least one other
+    // seed must produce a different row set, otherwise the seed is dead
+    // configuration and determinism tests would pass vacuously.
+    let mut any_different = false;
+    for seed in 1..6 {
+        let other = select_with(seed);
+        assert_eq!(other.row_indices.len(), base.row_indices.len());
+        assert_eq!(other.columns.len(), base.columns.len());
+        any_different |= other.row_indices != base.row_indices;
+    }
+    assert!(any_different, "seed has no effect on selection");
+}

@@ -56,7 +56,9 @@ fn subtab_is_competitive_with_fast_baselines_on_planted_data() {
     let evaluator = Evaluator::new(binned.clone(), &rules, 0.5);
     let (k, l) = (10, 8);
 
-    let view = subtab.select(&SelectionParams::new(k, l)).expect("selection");
+    let view = subtab
+        .select(&SelectionParams::new(k, l))
+        .expect("selection");
     let subtab_score = evaluator
         .score(&view.row_indices, &view.column_indices(&table))
         .combined;
@@ -73,7 +75,9 @@ fn subtab_is_competitive_with_fast_baselines_on_planted_data() {
             seed: 3,
         },
     );
-    let random_score = evaluator.score(&single_random.rows, &single_random.cols).combined;
+    let random_score = evaluator
+        .score(&single_random.rows, &single_random.cols)
+        .combined;
 
     let nc = naive_clustering_select(&table, k, l, &[], 3);
     let nc_score = evaluator.score(&nc.rows, &nc.cols).combined;
@@ -101,7 +105,9 @@ fn preprocessing_is_reused_across_many_selections() {
     let subtab = SubTab::preprocess(dataset.table, SubTabConfig::fast()).expect("preprocess");
     // Many selections of different shapes should all work off one model.
     for (k, l) in [(5, 5), (10, 10), (3, 12), (15, 4)] {
-        let view = subtab.select(&SelectionParams::new(k, l)).expect("selection");
+        let view = subtab
+            .select(&SelectionParams::new(k, l))
+            .expect("selection");
         assert_eq!(view.sub_table.num_rows(), k.min(subtab.table().num_rows()));
         assert_eq!(
             view.sub_table.num_columns(),

@@ -1,88 +1,109 @@
-//! Property-based tests (proptest) on the core invariants of the pipeline:
-//! binning totality, metric ranges, coverage monotonicity, and selection
-//! validity — over randomly generated tables.
+//! Property-based tests on the core invariants of the pipeline: binning
+//! totality, metric ranges, coverage monotonicity, and selection validity —
+//! over randomly generated tables.
+//!
+//! The original suite used `proptest`; this build environment is offline, so
+//! the strategies are hand-rolled over the vendored deterministic `rand`
+//! shim instead. Each property is checked against `CASES` seeded random
+//! tables, and every assertion message carries the case seed so a failure
+//! reproduces exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use subtab::baselines::{naive_clustering_select, Selection};
 use subtab::binning::{Binner, BinningConfig, BinningStrategy};
 use subtab::data::{Column, Table};
 use subtab::metrics::{diversity, CoverageIndex, Evaluator};
 use subtab::rules::{MiningConfig, RuleMiner};
 
-/// Strategy: a random small table with a numeric, a categorical and an
-/// integer column, with nulls sprinkled in.
-fn arbitrary_table() -> impl Strategy<Value = Table> {
-    let rows = 4usize..40;
-    rows.prop_flat_map(|n| {
-        (
-            proptest::collection::vec(proptest::option::weighted(0.85, -50.0f64..50.0), n),
-            proptest::collection::vec(proptest::option::weighted(0.9, 0u8..4), n),
-            proptest::collection::vec(proptest::option::weighted(0.9, 0i64..3), n),
-        )
-            .prop_map(|(nums, cats, ints)| {
-                let cat_names = ["alpha", "beta", "gamma", "delta"];
-                Table::from_columns(vec![
-                    Column::from_f64("num", nums),
-                    Column::from_str_values(
-                        "cat",
-                        cats.iter()
-                            .map(|c| c.map(|i| cat_names[i as usize]))
-                            .collect(),
-                    ),
-                    Column::from_i64("flag", ints),
-                ])
-                .expect("columns have equal length")
-            })
-    })
-}
+const CASES: u64 = 48;
 
-fn binning_configs() -> impl Strategy<Value = BinningConfig> {
-    (2usize..8, prop_oneof![
-        Just(BinningStrategy::EqualWidth),
-        Just(BinningStrategy::Quantile),
-        Just(BinningStrategy::Kde),
+/// A random small table with a numeric, a categorical and an integer column,
+/// with nulls sprinkled in (the same shape the proptest strategy generated).
+fn arbitrary_table(rng: &mut StdRng) -> Table {
+    let n = rng.gen_range(4usize..40);
+    let nums: Vec<Option<f64>> = (0..n)
+        .map(|_| rng.gen_bool(0.85).then(|| rng.gen_range(-50.0f64..50.0)))
+        .collect();
+    let cat_names = ["alpha", "beta", "gamma", "delta"];
+    let cats: Vec<Option<&str>> = (0..n)
+        .map(|_| {
+            rng.gen_bool(0.9)
+                .then(|| cat_names[rng.gen_range(0usize..4)])
+        })
+        .collect();
+    let ints: Vec<Option<i64>> = (0..n)
+        .map(|_| rng.gen_bool(0.9).then(|| rng.gen_range(0i64..3)))
+        .collect();
+    Table::from_columns(vec![
+        Column::from_f64("num", nums),
+        Column::from_str_values("cat", cats),
+        Column::from_i64("flag", ints),
     ])
-        .prop_map(|(bins, strategy)| BinningConfig::with_bins(bins).strategy(strategy))
+    .expect("columns have equal length")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn arbitrary_binning_config(rng: &mut StdRng) -> BinningConfig {
+    let bins = rng.gen_range(2usize..8);
+    let strategy = match rng.gen_range(0u8..3) {
+        0 => BinningStrategy::EqualWidth,
+        1 => BinningStrategy::Quantile,
+        _ => BinningStrategy::Kde,
+    };
+    BinningConfig::with_bins(bins).strategy(strategy)
+}
 
-    /// Every cell of every table maps to exactly one valid bin, and nulls map
-    /// to the dedicated null bin (Definition 3.2).
-    #[test]
-    fn binning_is_total(table in arbitrary_table(), config in binning_configs()) {
+/// Every cell of every table maps to exactly one valid bin, and nulls map
+/// to the dedicated null bin (Definition 3.2).
+#[test]
+fn binning_is_total() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB1A0 + case);
+        let table = arbitrary_table(&mut rng);
+        let config = arbitrary_binning_config(&mut rng);
         let binner = Binner::fit(&table, &config).unwrap();
         let binned = binner.apply(&table).unwrap();
-        prop_assert_eq!(binned.num_rows(), table.num_rows());
-        prop_assert_eq!(binned.num_columns(), table.num_columns());
+        assert_eq!(binned.num_rows(), table.num_rows(), "case {case}");
+        assert_eq!(binned.num_columns(), table.num_columns(), "case {case}");
         for r in 0..table.num_rows() {
             for (c, col) in table.columns().iter().enumerate() {
                 let bin = binned.bin_id(r, c) as usize;
-                prop_assert!(bin < binned.num_bins(c));
-                prop_assert_eq!(col.get(r).is_null(), binned.is_null(r, c));
+                assert!(bin < binned.num_bins(c), "case {case} cell ({r},{c})");
+                assert_eq!(
+                    col.get(r).is_null(),
+                    binned.is_null(r, c),
+                    "case {case} cell ({r},{c})"
+                );
             }
         }
     }
+}
 
-    /// Diversity is always in [0, 1]; identical rows give 0, and a
-    /// single-row table gives 1.
-    #[test]
-    fn diversity_is_bounded(table in arbitrary_table()) {
+/// Diversity is always in [0, 1]; identical rows give 0, and a single-row
+/// table gives 1.
+#[test]
+fn diversity_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD1FE + case);
+        let table = arbitrary_table(&mut rng);
         let binner = Binner::fit(&table, &BinningConfig::default()).unwrap();
         let binned = binner.apply(&table).unwrap();
         let d = diversity(&binned);
-        prop_assert!((0.0..=1.0).contains(&d));
+        assert!((0.0..=1.0).contains(&d), "case {case}: diversity {d}");
         let single = binned.take_rows(&[0]);
-        prop_assert_eq!(diversity(&single), 1.0);
+        assert_eq!(diversity(&single), 1.0, "case {case}");
         let duplicated = binned.take_rows(&[0, 0, 0]);
-        prop_assert!(diversity(&duplicated).abs() < 1e-9);
+        assert!(diversity(&duplicated).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// Cell coverage is in [0, 1], monotone when adding rows or columns, and
-    /// the full table always reaches exactly 1 whenever any rule exists.
-    #[test]
-    fn coverage_is_bounded_and_monotone(table in arbitrary_table()) {
+/// Cell coverage is in [0, 1], monotone when adding rows or columns, and
+/// the full table always reaches exactly 1 whenever any rule exists.
+#[test]
+fn coverage_is_bounded_and_monotone() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0FE + case);
+        let table = arbitrary_table(&mut rng);
         let binner = Binner::fit(&table, &BinningConfig::default()).unwrap();
         let binned = binner.apply(&table).unwrap();
         let rules = RuleMiner::new(MiningConfig {
@@ -99,22 +120,30 @@ proptest! {
         let c_small = index.cell_coverage(&all_rows[..1.min(all_rows.len())], &all_cols);
         let c_half = index.cell_coverage(&all_rows[..all_rows.len() / 2 + 1], &all_cols);
         let c_full = index.cell_coverage(&all_rows, &all_cols);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&c_small));
-        prop_assert!(c_small <= c_half + 1e-12);
-        prop_assert!(c_half <= c_full + 1e-12);
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&c_small),
+            "case {case}: {c_small}"
+        );
+        assert!(c_small <= c_half + 1e-12, "case {case}");
+        assert!(c_half <= c_full + 1e-12, "case {case}");
         if index.num_rules() > 0 {
-            prop_assert!((c_full - 1.0).abs() < 1e-9);
+            assert!((c_full - 1.0).abs() < 1e-9, "case {case}: {c_full}");
         } else {
-            prop_assert_eq!(c_full, 0.0);
+            assert_eq!(c_full, 0.0, "case {case}");
         }
         // Fewer columns never increases coverage.
         let c_fewer = index.cell_coverage(&all_rows, &all_cols[..all_cols.len() - 1]);
-        prop_assert!(c_fewer <= c_full + 1e-12);
+        assert!(c_fewer <= c_full + 1e-12, "case {case}");
     }
+}
 
-    /// The combined score equals α·coverage + (1−α)·diversity for any α.
-    #[test]
-    fn combined_score_formula(table in arbitrary_table(), alpha in 0.0f64..1.0) {
+/// The combined score equals α·coverage + (1−α)·diversity for any α.
+#[test]
+fn combined_score_formula() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA1FA + case);
+        let table = arbitrary_table(&mut rng);
+        let alpha = rng.gen_range(0.0f64..1.0);
         let binner = Binner::fit(&table, &BinningConfig::default()).unwrap();
         let binned = binner.apply(&table).unwrap();
         let rules = RuleMiner::new(MiningConfig {
@@ -128,20 +157,29 @@ proptest! {
         let cols: Vec<usize> = (0..table.num_columns()).collect();
         let s = evaluator.score(&rows, &cols);
         let expected = alpha * s.cell_coverage + (1.0 - alpha) * s.diversity;
-        prop_assert!((s.combined - expected).abs() < 1e-12);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&s.combined));
+        assert!((s.combined - expected).abs() < 1e-12, "case {case}");
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&s.combined),
+            "case {case}: {}",
+            s.combined
+        );
     }
+}
 
-    /// The naive-clustering baseline always returns a structurally valid
-    /// selection, for any requested dimensions.
-    #[test]
-    fn baseline_selections_are_valid(
-        table in arbitrary_table(),
-        k in 1usize..12,
-        l in 1usize..5,
-        seed in 0u64..1000,
-    ) {
+/// The naive-clustering baseline always returns a structurally valid
+/// selection, for any requested dimensions.
+#[test]
+fn baseline_selections_are_valid() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5E1E + case);
+        let table = arbitrary_table(&mut rng);
+        let k = rng.gen_range(1usize..12);
+        let l = rng.gen_range(1usize..5);
+        let seed = rng.gen_range(0u64..1000);
         let s: Selection = naive_clustering_select(&table, k, l, &[], seed);
-        prop_assert!(s.is_valid(k, l, table.num_rows(), table.num_columns()));
+        assert!(
+            s.is_valid(k, l, table.num_rows(), table.num_columns()),
+            "case {case}: k={k} l={l} seed={seed}"
+        );
     }
 }

@@ -1,0 +1,15 @@
+//! Offline shim for the slice of `serde` this workspace touches: the
+//! `Serialize`/`Deserialize` trait names and their derive macros. The
+//! derives (from the vendored no-op `serde_derive`) expand to nothing;
+//! the traits here are empty markers so `use serde::{Serialize,
+//! Deserialize}` keeps resolving in both namespaces, exactly as with the
+//! real crate. Swap this for the real `serde` once the build environment
+//! has registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! No-op stand-in for `serde_derive`, for offline builds.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` to keep its
+//! types serialization-ready; nothing bounds on the traits or serializes at
+//! runtime (there is no `serde_json` in the tree). These derives therefore
+//! expand to nothing, while still accepting `#[serde(...)]` helper
+//! attributes so annotated fields keep compiling.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
