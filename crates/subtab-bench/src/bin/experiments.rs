@@ -8,44 +8,69 @@
 //! ```
 
 use subtab_bench::experiments::{
-    ablation, phases, quality, simulation, slow_baselines, tuning, user_study,
+    ablation, phases, preprocess_scaling, quality, simulation, slow_baselines, tuning, user_study,
 };
 use subtab_bench::ExperimentScale;
 
 const USAGE: &str = "\
-usage: experiments [--quick] <experiment>...
+usage: experiments [--quick] [--json PATH] [--baseline PATH] <experiment>...
 
 experiments:
-  table1     Table 1  — simulated user study (insight discovery)
-  figure5    Figure 5 — questionnaire-rating proxies
-  figure6    Figure 6 — captured next-query fragments vs sub-table width
-  figure7    Figure 7 — quality & time vs MAB / Greedy / EmbDI-style
-  figure8    Figure 8 — diversity / cell coverage / combined per dataset
-  figure9    Figure 9 — pre-processing vs centroid-selection time
-  figure10   Figure 10 — sensitivity to #bins / support / confidence
-  ablation   design-choice ablations (binning, corpus, dim, alpha)
-  all        everything above
+  table1      Table 1  — simulated user study (insight discovery)
+  figure5     Figure 5 — questionnaire-rating proxies
+  figure6     Figure 6 — captured next-query fragments vs sub-table width
+  figure7     Figure 7 — quality & time vs MAB / Greedy / EmbDI-style
+  figure8     Figure 8 — diversity / cell coverage / combined per dataset
+  figure9     Figure 9 — pre-processing vs centroid-selection time
+  figure10    Figure 10 — sensitivity to #bins / support / confidence
+  ablation    design-choice ablations (binning, corpus, dim, alpha)
+  preprocess  pre-processing hot-path scaling per trainer mode (CI gate)
+  all         everything above except `preprocess`
 
 flags:
-  --quick    tiny datasets and small budgets (seconds instead of minutes)";
+  --quick           tiny datasets and small budgets (seconds instead of minutes)
+  --json PATH       (preprocess) write the machine-readable report to PATH
+  --baseline PATH   (preprocess) compare against a baseline JSON; exit 1 on
+                    a >25% wall-time regression in any mode";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" | "--baseline" => {
+                let Some(value) = it.next() else {
+                    eprintln!("{a} requires a path argument\n\n{USAGE}");
+                    std::process::exit(2);
+                };
+                if a == "--json" {
+                    json_path = Some(value);
+                } else {
+                    baseline_path = Some(value);
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other:?}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+            _ => args.push(a),
+        }
+    }
     let scale = if quick {
         ExperimentScale::Quick
     } else {
         ExperimentScale::Paper
     };
-    let mut requested: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+    let mut requested: Vec<String> = args;
     if requested.iter().any(|a| a == "all") {
         requested = vec![
             "table1".into(),
@@ -59,6 +84,15 @@ fn main() {
     }
     if requested.is_empty() {
         eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    if (json_path.is_some() || baseline_path.is_some())
+        && !requested.iter().any(|r| r == "preprocess")
+    {
+        eprintln!(
+            "--json/--baseline only apply to the `preprocess` experiment \
+             (note: `all` does not include it)\n\n{USAGE}"
+        );
         std::process::exit(2);
     }
 
@@ -93,6 +127,34 @@ fn main() {
             "ablation" => {
                 let report = ablation::run(scale);
                 println!("{}", ablation::render(&report));
+            }
+            "preprocess" => {
+                let report = preprocess_scaling::run(scale);
+                println!("{}", preprocess_scaling::render(&report));
+                if let Some(path) = &json_path {
+                    let json = preprocess_scaling::to_json(&report);
+                    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                    println!("[wrote {path}]");
+                }
+                if let Some(path) = &baseline_path {
+                    let baseline = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+                    match preprocess_scaling::check_against_baseline(&report, &baseline, 0.25) {
+                        Ok(lines) => {
+                            println!("bench gate vs {path}: OK");
+                            for l in lines {
+                                println!("  {l}");
+                            }
+                        }
+                        Err(regressions) => {
+                            eprintln!("bench gate vs {path}: FAILED");
+                            for r in regressions {
+                                eprintln!("  {r}");
+                            }
+                            std::process::exit(1);
+                        }
+                    }
+                }
             }
             other => {
                 eprintln!("unknown experiment {other:?}\n\n{USAGE}");

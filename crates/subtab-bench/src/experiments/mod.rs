@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod common;
 pub mod phases;
+pub mod preprocess_scaling;
 pub mod quality;
 pub mod simulation;
 pub mod slow_baselines;

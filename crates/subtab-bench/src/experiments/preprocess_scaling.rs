@@ -1,0 +1,487 @@
+//! Pre-processing hot-path scaling: times `SubTab::preprocess` under each
+//! execution mode of the sharded SGNS trainer and emits machine-readable
+//! JSON (`BENCH_preprocess.json`) for the CI bench-regression gate.
+//!
+//! The JSON is intentionally one `results` object per line so the baseline
+//! checker can parse it without a JSON dependency; keep
+//! [`to_json`] and [`parse_results`] in sync.
+
+use crate::experiments::common::{format_table, ExperimentScale};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use subtab_binning::Binner;
+use subtab_core::SubTab;
+use subtab_datasets::DatasetKind;
+use subtab_embed::corpus::CorpusOptions;
+use subtab_embed::{build_corpus, CellEmbedding, Corpus, EmbeddingConfig};
+
+/// Wall time of one trainer mode.
+#[derive(Debug, Clone)]
+pub struct ScalingResult {
+    /// Mode label (also the key the CI gate matches baselines by).
+    pub mode: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Best-of-`reps` wall time of the full pre-processing phase, in ms.
+    pub wall_ms: f64,
+    /// Best-of-`reps` wall time of SGNS training alone (binning and corpus
+    /// construction excluded), in ms — the hot path the sharded trainer
+    /// parallelises.
+    pub train_ms: f64,
+}
+
+/// The scaling report for one dataset.
+#[derive(Debug, Clone)]
+pub struct PreprocessScalingReport {
+    /// Dataset label (FL by default — the paper's biggest stand-in).
+    pub dataset: String,
+    /// Rows of the generated table.
+    pub rows: usize,
+    /// Embedding dimensionality used.
+    pub dim: usize,
+    /// One entry per trainer mode.
+    pub results: Vec<ScalingResult>,
+    /// Training-wall ratio seed-legacy / fastest-threaded — the headline
+    /// number for the hot path this trainer parallelises.
+    pub speedup_threaded_vs_seed: f64,
+    /// Full-preprocess wall ratio seed-legacy / fastest-threaded (includes
+    /// the binning fit and corpus construction every mode shares).
+    pub preprocess_speedup_threaded_vs_seed: f64,
+}
+
+/// The modes the benchmark exercises: the preserved seed implementation
+/// (the comparator the speedup is quoted against), the bit-exact reference,
+/// the fast single-thread kernels, and the two 4-thread modes.
+const MODES: &[(&str, usize, bool)] = &[
+    (SEED_MODE, 1, true),
+    ("reference-1t", 1, true),
+    ("fast-1t", 1, false),
+    ("deterministic-4t", 4, true),
+    ("hogwild-4t", 4, false),
+];
+
+/// Label of the seed-legacy comparator mode.
+const SEED_MODE: &str = "seed-legacy-1t";
+
+/// The pre-refactor SGNS trainer, preserved verbatim (nested loops, a heap
+/// allocation per pair, exact-`exp` sigmoid, cumulative-table sampling and
+/// the original approximate pair count) so the benchmark keeps measuring
+/// speedups against the true seed single-thread path rather than against an
+/// already-optimised reference.
+fn train_seed_legacy(corpus: &Corpus, config: &EmbeddingConfig) -> CellEmbedding {
+    fn sigmoid(x: f32) -> f32 {
+        1.0 / (1.0 + (-x).exp())
+    }
+    fn i_slice(m: &[f32], idx: u32, dim: usize) -> &[f32] {
+        let start = idx as usize * dim;
+        &m[start..start + dim]
+    }
+    fn m_slice(m: &mut [f32], idx: u32, dim: usize) -> &mut [f32] {
+        let start = idx as usize * dim;
+        &mut m[start..start + dim]
+    }
+    let vocab_size = corpus.vocab.len();
+    let dim = config.dim.max(1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    if vocab_size == 0 {
+        return CellEmbedding::new(dim, Vec::new(), Vec::new());
+    }
+    let mut w_in: Vec<f32> = (0..vocab_size * dim)
+        .map(|_| (rng.gen::<f32>() - 0.5) / dim as f32)
+        .collect();
+    let mut w_out: Vec<f32> = vec![0.0; vocab_size * dim];
+    let count: usize = corpus
+        .sentences
+        .iter()
+        .map(|s| {
+            let len = s.len();
+            match config.window {
+                Some(w) => len * (2 * w).min(len.saturating_sub(1)),
+                None => len * len.saturating_sub(1),
+            }
+        })
+        .sum();
+    let total_pairs = count * config.epochs.max(1);
+    let mut processed = 0usize;
+    let lr0 = config.learning_rate;
+    let mut grad_in = vec![0.0f32; dim];
+    for _epoch in 0..config.epochs.max(1) {
+        for sentence in &corpus.sentences {
+            let len = sentence.len();
+            for (i, &center) in sentence.iter().enumerate() {
+                let (lo, hi) = match config.window {
+                    Some(w) => (i.saturating_sub(w), (i + w + 1).min(len)),
+                    None => (0, len),
+                };
+                for (j, &context) in sentence.iter().enumerate().take(hi).skip(lo) {
+                    if j == i {
+                        continue;
+                    }
+                    let lr = lr0 * (1.0 - processed as f32 / (total_pairs as f32 + 1.0)).max(0.1);
+                    processed += 1;
+                    grad_in.iter_mut().for_each(|g| *g = 0.0);
+                    let center_vec = i_slice(&w_in, center, dim).to_vec();
+                    for neg in 0..=config.negative_samples {
+                        let (target, label) = if neg == 0 {
+                            (context, 1.0f32)
+                        } else {
+                            (corpus.vocab.sample_negative(&mut rng), 0.0f32)
+                        };
+                        if label == 0.0 && target == context {
+                            continue;
+                        }
+                        let out = m_slice(&mut w_out, target, dim);
+                        let dot: f32 = center_vec.iter().zip(out.iter()).map(|(a, b)| a * b).sum();
+                        let pred = sigmoid(dot);
+                        let g = (label - pred) * lr;
+                        for d in 0..dim {
+                            grad_in[d] += g * out[d];
+                            out[d] += g * center_vec[d];
+                        }
+                    }
+                    let center_slice = m_slice(&mut w_in, center, dim);
+                    for d in 0..dim {
+                        center_slice[d] += grad_in[d];
+                    }
+                }
+            }
+        }
+    }
+    let tokens = corpus.vocab.tokens().to_vec();
+    let vectors: Vec<Vec<f32>> = (0..vocab_size)
+        .map(|i| i_slice(&w_in, i as u32, dim).to_vec())
+        .collect();
+    CellEmbedding::new(dim, tokens, vectors)
+}
+
+/// Builds the corpus exactly as `SubTab::preprocess` does, for the
+/// train-only timings.
+fn corpus_for(table: &subtab_data::Table, config: &subtab_core::SubTabConfig) -> Corpus {
+    let binner = Binner::fit(table, &config.binning).expect("fit");
+    let binned = binner.apply(table).expect("apply");
+    let e = &config.embedding;
+    build_corpus(
+        &binned,
+        &CorpusOptions {
+            max_sentences: e.max_sentences,
+            max_column_sentence_len: e.max_column_sentence_len,
+            include_column_sentences: e.include_column_sentences,
+            seed: e.seed,
+        },
+    )
+}
+
+/// Runs the seed-legacy pre-processing pipeline end to end (fit + apply +
+/// corpus + legacy trainer), mirroring what `SubTab::preprocess` composes.
+fn seed_legacy_preprocess(table: &subtab_data::Table, config: &subtab_core::SubTabConfig) {
+    let corpus = corpus_for(table, config);
+    let emb = train_seed_legacy(&corpus, &config.embedding);
+    assert!(emb.is_empty() == corpus.vocab.is_empty());
+}
+
+/// Runs the scaling benchmark on the Flights stand-in (the paper's largest).
+pub fn run(scale: ExperimentScale) -> PreprocessScalingReport {
+    run_on(DatasetKind::Flights, scale, 5)
+}
+
+/// Runs the benchmark on an explicit dataset with `reps` repetitions per
+/// mode (best-of wall time is reported, damping scheduler noise).
+pub fn run_on(kind: DatasetKind, scale: ExperimentScale, reps: usize) -> PreprocessScalingReport {
+    let dataset = kind.build(scale.dataset_size(), 31);
+    let base = scale.subtab_config();
+    // The corpus every mode trains on, built once for the train-only
+    // timings (all modes share identical binning + corpus work).
+    let corpus = corpus_for(&dataset.table, &base);
+    let mut results = Vec::new();
+    for &(mode, threads, deterministic) in MODES {
+        let config = base
+            .clone()
+            .with_threads(threads)
+            .with_deterministic(deterministic);
+        let mut best_ms = f64::INFINITY;
+        let mut best_train_ms = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            // Clone outside the timed region (and only where it is
+            // consumed): the seed-legacy comparator borrows the table, so
+            // timing the clone would skew every other mode against it.
+            let table = (mode != SEED_MODE).then(|| dataset.table.clone());
+            let start = Instant::now();
+            match table {
+                None => seed_legacy_preprocess(&dataset.table, &config),
+                Some(table) => {
+                    let subtab = SubTab::preprocess(table, config.clone()).expect("pre-processing");
+                    assert!(!subtab.preprocessed().embedding().is_empty());
+                }
+            }
+            best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+            let start = Instant::now();
+            let emb = if mode == SEED_MODE {
+                train_seed_legacy(&corpus, &config.embedding)
+            } else {
+                subtab_embed::sgns::train_on_corpus(&corpus, &config.embedding)
+            };
+            best_train_ms = best_train_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            assert!(!emb.is_empty());
+        }
+        results.push(ScalingResult {
+            mode: mode.to_string(),
+            threads,
+            wall_ms: best_ms,
+            train_ms: best_train_ms,
+        });
+    }
+    let seed_wall = results[0].wall_ms;
+    let seed_train = results[0].train_ms;
+    let threaded = |f: fn(&ScalingResult) -> f64| {
+        results
+            .iter()
+            .filter(|r| r.threads > 1)
+            .map(f)
+            .fold(f64::INFINITY, f64::min)
+    };
+    PreprocessScalingReport {
+        dataset: kind.label().to_string(),
+        rows: dataset.table.num_rows(),
+        dim: base.embedding.dim,
+        speedup_threaded_vs_seed: seed_train / threaded(|r| r.train_ms).max(1e-9),
+        preprocess_speedup_threaded_vs_seed: seed_wall / threaded(|r| r.wall_ms).max(1e-9),
+        results,
+    }
+}
+
+/// Renders the report as an aligned text table.
+pub fn render(report: &PreprocessScalingReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.threads.to_string(),
+                format!("{:.2}", r.wall_ms),
+                format!("{:.2}", r.train_ms),
+            ]
+        })
+        .collect();
+    format!(
+        "Preprocess scaling on {} ({} rows, dim {}): threaded SGNS speedup {:.2}x \
+         over the seed path ({:.2}x on the full preprocess incl. shared binning)\n{}",
+        report.dataset,
+        report.rows,
+        report.dim,
+        report.speedup_threaded_vs_seed,
+        report.preprocess_speedup_threaded_vs_seed,
+        format_table(&["mode", "threads", "wall-ms", "train-ms"], &rows)
+    )
+}
+
+/// Serialises the report as `BENCH_preprocess.json` (one result per line —
+/// the shape [`parse_results`] expects).
+pub fn to_json(report: &PreprocessScalingReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"preprocess_scaling\",\n");
+    out.push_str(&format!("  \"dataset\": \"{}\",\n", report.dataset));
+    out.push_str(&format!("  \"rows\": {},\n", report.rows));
+    out.push_str(&format!("  \"dim\": {},\n", report.dim));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in report.results.iter().enumerate() {
+        let comma = if i + 1 < report.results.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"train_ms\": {:.3}}}{}\n",
+            r.mode, r.threads, r.wall_ms, r.train_ms, comma
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup_threaded_vs_seed\": {:.3},\n",
+        report.speedup_threaded_vs_seed
+    ));
+    out.push_str(&format!(
+        "  \"preprocess_speedup_threaded_vs_seed\": {:.3}\n",
+        report.preprocess_speedup_threaded_vs_seed
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `(mode, wall_ms)` pairs from the one-object-per-line JSON that
+/// [`to_json`] writes. Tolerates unknown surrounding lines; a malformed
+/// result line is an error rather than a silently dropped measurement.
+pub fn parse_results(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.contains("\"mode\"") {
+            continue;
+        }
+        let mode = line
+            .split("\"mode\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .ok_or_else(|| format!("malformed result line: {line}"))?;
+        let wall = line
+            .split("\"wall_ms\": ")
+            .nth(1)
+            .and_then(|rest| {
+                rest.split([',', '}'])
+                    .next()
+                    .and_then(|v| v.trim().parse::<f64>().ok())
+            })
+            .ok_or_else(|| format!("malformed wall_ms in: {line}"))?;
+        out.push((mode.to_string(), wall));
+    }
+    if out.is_empty() {
+        return Err("no results found in baseline JSON".into());
+    }
+    Ok(out)
+}
+
+/// Compares a fresh report against a checked-in baseline JSON. Returns the
+/// human-readable comparison lines, or the list of regressions if any mode
+/// got more than `threshold` (fractional, e.g. 0.25) slower.
+///
+/// Wall times are normalised to the `seed-legacy-1t` mode of their *own*
+/// capture before comparison: the legacy trainer is a fixed algorithm that
+/// runs in the same process on the same data, so the ratio cancels out raw
+/// machine speed (CI runner generations vary by far more than the gate's
+/// threshold) while still catching any trainer-mode regression relative to
+/// it. If either side lacks the seed mode, absolute wall times are
+/// compared instead.
+pub fn check_against_baseline(
+    report: &PreprocessScalingReport,
+    baseline_json: &str,
+    threshold: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let baseline = match parse_results(baseline_json) {
+        Ok(b) => b,
+        Err(e) => return Err(vec![e]),
+    };
+    let seed_base = baseline
+        .iter()
+        .find(|(m, _)| m == SEED_MODE)
+        .map(|&(_, ms)| ms);
+    let seed_cur = report
+        .results
+        .iter()
+        .find(|r| r.mode == SEED_MODE)
+        .map(|r| r.wall_ms);
+    let normalise = seed_base.is_some() && seed_cur.is_some();
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    for r in &report.results {
+        if normalise && r.mode == SEED_MODE {
+            lines.push(format!(
+                "{}: {:.2} ms (normalisation reference)",
+                r.mode, r.wall_ms
+            ));
+            continue;
+        }
+        let Some((_, base_ms)) = baseline.iter().find(|(m, _)| *m == r.mode) else {
+            lines.push(format!("{}: {:.2} ms (no baseline)", r.mode, r.wall_ms));
+            continue;
+        };
+        let (cur, base, unit) = if normalise {
+            (
+                r.wall_ms / seed_cur.unwrap().max(1e-9),
+                base_ms / seed_base.unwrap().max(1e-9),
+                "x seed-legacy",
+            )
+        } else {
+            (r.wall_ms, *base_ms, "ms")
+        };
+        let ratio = cur / base.max(1e-9);
+        let line = format!(
+            "{}: {:.3} {} vs baseline {:.3} {} ({:+.1}%)",
+            r.mode,
+            cur,
+            unit,
+            base,
+            unit,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio > 1.0 + threshold {
+            regressions.push(format!(
+                "REGRESSION {line} exceeds {:.0}%",
+                threshold * 100.0
+            ));
+        } else {
+            lines.push(line);
+        }
+    }
+    if regressions.is_empty() {
+        Ok(lines)
+    } else {
+        Err(regressions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The benchmark is slow under the debug test profile, so every test
+    /// shares one report.
+    fn tiny_report() -> &'static PreprocessScalingReport {
+        static REPORT: OnceLock<PreprocessScalingReport> = OnceLock::new();
+        REPORT.get_or_init(|| run_on(DatasetKind::Spotify, ExperimentScale::Quick, 1))
+    }
+
+    #[test]
+    fn report_covers_every_mode_with_positive_times() {
+        let report = tiny_report();
+        assert_eq!(report.results.len(), MODES.len());
+        assert!(report.results.iter().all(|r| r.wall_ms > 0.0));
+        assert!(report.results.iter().all(|r| r.train_ms > 0.0));
+        assert!(report.speedup_threaded_vs_seed > 0.0);
+        assert!(report.preprocess_speedup_threaded_vs_seed > 0.0);
+        assert!(render(report).contains("wall-ms"));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let report = tiny_report();
+        let json = to_json(report);
+        let parsed = parse_results(&json).unwrap();
+        assert_eq!(parsed.len(), report.results.len());
+        for (r, (mode, wall)) in report.results.iter().zip(&parsed) {
+            assert_eq!(&r.mode, mode);
+            assert!((r.wall_ms - wall).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn gate_passes_against_itself_and_catches_regressions() {
+        let report = tiny_report();
+        let json = to_json(report);
+        // Identical baseline: never a regression.
+        assert!(check_against_baseline(report, &json, 0.25).is_ok());
+        // A uniformly faster machine (every mode 10x quicker, seed-legacy
+        // included) is NOT a regression — normalisation cancels it.
+        let mut faster_machine = report.clone();
+        for r in &mut faster_machine.results {
+            r.wall_ms /= 10.0;
+        }
+        assert!(check_against_baseline(report, &to_json(&faster_machine), 0.25).is_ok());
+        // A baseline whose *trainer modes* are 10x faster relative to the
+        // unchanged seed-legacy comparator: every non-seed mode regresses.
+        let mut fast = report.clone();
+        for r in &mut fast.results {
+            if r.mode != SEED_MODE {
+                r.wall_ms /= 10.0;
+            }
+        }
+        let err = check_against_baseline(report, &to_json(&fast), 0.25).unwrap_err();
+        assert_eq!(err.len(), report.results.len() - 1);
+        assert!(err[0].contains("REGRESSION"));
+        // Garbage baseline is an error, not a silent pass.
+        assert!(check_against_baseline(report, "not json", 0.25).is_err());
+    }
+}

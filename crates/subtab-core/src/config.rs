@@ -40,6 +40,22 @@ impl SubTabConfig {
         self.embedding.seed = seed;
         self
     }
+
+    /// Sets the worker-thread count of the embedding trainer (`0` = all
+    /// available cores, `1` = the bit-exact single-threaded reference).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.embedding.threads = threads;
+        self
+    }
+
+    /// Sets the embedding trainer's reproducibility mode: `true` keeps
+    /// training run-to-run reproducible at any thread count (replica
+    /// averaging when parallel), `false` unlocks the fastest kernels
+    /// (lock-free Hogwild updates when parallel).
+    pub fn with_deterministic(mut self, deterministic: bool) -> Self {
+        self.embedding.deterministic = deterministic;
+        self
+    }
 }
 
 /// Parameters of one sub-table selection: the requested dimensions `k × l`

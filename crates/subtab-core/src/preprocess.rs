@@ -2,7 +2,7 @@
 
 use crate::config::SubTabConfig;
 use crate::Result;
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use subtab_binning::{BinnedTable, Binner};
 use subtab_data::Table;
 use subtab_embed::{train_embedding, CellEmbedding};
@@ -21,8 +21,10 @@ pub struct PreprocessedTable {
     binned: BinnedTable,
     embedding: CellEmbedding,
     /// Lazily computed row vectors of the *full* table over all columns,
-    /// shared by selections that operate on the whole table.
-    full_row_vectors: RwLock<Option<Vec<Vec<f32>>>>,
+    /// shared by selections that operate on the whole table. `Arc`-shared so
+    /// handing the cache to a selection is a pointer bump, not an
+    /// O(rows × dim) deep clone.
+    full_row_vectors: RwLock<Option<Arc<Vec<Vec<f32>>>>>,
 }
 
 impl PreprocessedTable {
@@ -60,23 +62,29 @@ impl PreprocessedTable {
         &self.embedding
     }
 
-    /// Row vectors of the full table over all columns (computed on first use
-    /// and cached; cloned out to keep the lock scope minimal).
-    pub fn full_row_vectors(&self) -> Vec<Vec<f32>> {
+    /// Row vectors of the full table over all columns, computed on first use
+    /// and cached. Returns a shared handle — cloning it is O(1), so every
+    /// whole-table selection reuses the same backing storage instead of
+    /// deep-cloning O(rows × dim) floats out of the lock.
+    pub fn full_row_vectors(&self) -> Arc<Vec<Vec<f32>>> {
         if let Some(v) = self
             .full_row_vectors
             .read()
             .expect("lock poisoned")
             .as_ref()
         {
-            return v.clone();
+            return Arc::clone(v);
         }
         let cols: Vec<usize> = (0..self.binned.num_columns()).collect();
-        let vectors: Vec<Vec<f32>> = (0..self.binned.num_rows())
-            .map(|r| self.embedding.row_vector(&self.binned, r, &cols))
-            .collect();
-        *self.full_row_vectors.write().expect("lock poisoned") = Some(vectors.clone());
-        vectors
+        let vectors: Arc<Vec<Vec<f32>>> = Arc::new(
+            (0..self.binned.num_rows())
+                .map(|r| self.embedding.row_vector(&self.binned, r, &cols))
+                .collect(),
+        );
+        let mut slot = self.full_row_vectors.write().expect("lock poisoned");
+        // Another thread may have raced us here; keep whichever landed first
+        // so every caller shares one allocation.
+        Arc::clone(slot.get_or_insert(vectors))
     }
 }
 

@@ -78,18 +78,23 @@ pub fn select_sub_table(
     // --- Row selection: tuple-vectors, k-means, centroid representatives.
     let k = params.k.min(candidate_rows.len());
     let embedding = pre.embedding();
-    let row_vectors: Vec<Vec<f32>> =
+    // Whole-table selections borrow the Arc-cached full row vectors
+    // directly (candidate rows are exactly 0..num_rows, in order), so the
+    // hot query-free path never copies a single vector.
+    let cached;
+    let computed;
+    let row_vectors: &[Vec<f32>] =
         if query.is_none() && candidate_columns.len() == table.num_columns() {
-            // Whole-table selection reuses the cached full row vectors.
-            let all = pre.full_row_vectors();
-            candidate_rows.iter().map(|&r| all[r].clone()).collect()
+            cached = pre.full_row_vectors();
+            &cached
         } else {
-            candidate_rows
+            computed = candidate_rows
                 .iter()
                 .map(|&r| embedding.row_vector(binned, r, &candidate_columns))
-                .collect()
+                .collect::<Vec<_>>();
+            &computed
         };
-    let rep_positions = select_k_representatives(&row_vectors, k, seed);
+    let rep_positions = select_k_representatives(row_vectors, k, seed);
     let mut row_indices: Vec<usize> = rep_positions.iter().map(|&p| candidate_rows[p]).collect();
     row_indices.sort_unstable();
 

@@ -72,10 +72,33 @@ pub fn build_corpus(binned: &BinnedTable, options: &CorpusOptions) -> Corpus {
     let mut vocab = Vocab::default();
     let mut sentences: Vec<Vec<u32>> = Vec::new();
 
+    // A cell's token is fully determined by its (column, bin), so the token
+    // string is rendered and interned only on the first sight of each pair;
+    // every later cell is a table lookup plus a count bump. Identical vocab
+    // ids, order and counts to interning per cell — without the O(cells)
+    // string allocations.
+    let mut bin_ids: Vec<Vec<Option<u32>>> = (0..binned.num_columns())
+        .map(|c| vec![None; binned.num_bins(c)])
+        .collect();
+    let mut intern = |vocab: &mut Vocab, r: usize, c: usize| -> u32 {
+        let bin = binned.bin_id(r, c) as usize;
+        match bin_ids[c][bin] {
+            Some(id) => {
+                vocab.record_occurrence(id);
+                id
+            }
+            None => {
+                let id = vocab.add(&binned.cell_token(r, c));
+                bin_ids[c][bin] = Some(id);
+                id
+            }
+        }
+    };
+
     // Tuple-sentences: one per row.
     for r in 0..binned.num_rows() {
         let sentence: Vec<u32> = (0..binned.num_columns())
-            .map(|c| vocab.add(&binned.cell_token(r, c)))
+            .map(|c| intern(&mut vocab, r, c))
             .collect();
         if !sentence.is_empty() {
             sentences.push(sentence);
@@ -88,7 +111,7 @@ pub fn build_corpus(binned: &BinnedTable, options: &CorpusOptions) -> Corpus {
         for c in 0..binned.num_columns() {
             let mut sentence: Vec<u32> = Vec::with_capacity(chunk);
             for r in 0..binned.num_rows() {
-                sentence.push(vocab.add(&binned.cell_token(r, c)));
+                sentence.push(intern(&mut vocab, r, c));
                 if sentence.len() >= chunk {
                     sentences.push(std::mem::take(&mut sentence));
                 }

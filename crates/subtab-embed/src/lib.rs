@@ -16,13 +16,17 @@
 //!   at 100 000 sentences sampled uniformly at random),
 //! * [`vocab`] — the token vocabulary with a unigram^0.75 negative-sampling
 //!   table,
-//! * [`sgns`] — a skip-gram-with-negative-sampling trainer (the fast
-//!   Word2Vec variant of Mikolov et al. used by gensim),
+//! * [`sgns`] — a sharded skip-gram-with-negative-sampling trainer (the
+//!   fast Word2Vec variant of Mikolov et al. used by gensim) that scales
+//!   across cores Hogwild-style, with a bit-exact single-threaded reference
+//!   path and a reproducible parallel mode,
 //! * [`model`] — the resulting [`CellEmbedding`]: a map from (column, bin)
 //!   tokens to dense vectors, with helpers to average them into row and
 //!   column vectors.
 //!
-//! Everything is deterministic given the seed in [`EmbeddingConfig`].
+//! Everything is deterministic given the seed in [`EmbeddingConfig`] unless
+//! `deterministic = false` is combined with `threads > 1` (lock-free
+//! Hogwild updates race by design); see the mode table in [`sgns`].
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -35,4 +39,4 @@ pub mod vocab;
 pub use corpus::{build_corpus, Corpus};
 pub use model::CellEmbedding;
 pub use sgns::{train_embedding, EmbeddingConfig};
-pub use vocab::Vocab;
+pub use vocab::{AliasTable, Vocab};

@@ -30,6 +30,18 @@ impl CellEmbedding {
         }
     }
 
+    /// Assembles a model from a flat row-major `tokens.len() × dim` matrix,
+    /// as produced by the sharded trainer.
+    pub fn from_flat(dim: usize, tokens: Vec<String>, flat: Vec<f32>) -> Self {
+        assert_eq!(tokens.len() * dim, flat.len());
+        let vectors = if dim == 0 {
+            vec![Vec::new(); tokens.len()]
+        } else {
+            flat.chunks(dim).map(<[f32]>::to_vec).collect()
+        };
+        Self::new(dim, tokens, vectors)
+    }
+
     /// Vector dimensionality.
     pub fn dim(&self) -> usize {
         self.dim

@@ -6,7 +6,7 @@
 //!   of cells of the full table that are describable by association rules
 //!   *covered* by the sub-table (a rule is covered when all of its columns are
 //!   selected and at least one selected row satisfies it).
-//! * **Diversity** ([`diversity`]) — Definition 3.7: one minus the average
+//! * **Diversity** ([`mod@diversity`]) — Definition 3.7: one minus the average
 //!   pairwise Jaccard-on-bins similarity of the sub-table's rows.
 //! * **Combined score** ([`combined`]) — Equation 3:
 //!   `α · cellCov + (1 − α) · diversity` with `α = 0.5` by default.
