@@ -31,6 +31,17 @@ pub struct ScalingResult {
     pub train_ms: f64,
 }
 
+/// Wall time of `Binner::fit` under one evaluator mode.
+#[derive(Debug, Clone)]
+pub struct BinningResult {
+    /// Mode label (also the key the CI gate matches baselines by).
+    pub mode: String,
+    /// Worker threads used for the per-column fan-out.
+    pub threads: usize,
+    /// Best-of-`reps` wall time of `Binner::fit`, in ms.
+    pub wall_ms: f64,
+}
+
 /// The scaling report for one dataset.
 #[derive(Debug, Clone)]
 pub struct PreprocessScalingReport {
@@ -42,12 +53,18 @@ pub struct PreprocessScalingReport {
     pub dim: usize,
     /// One entry per trainer mode.
     pub results: Vec<ScalingResult>,
+    /// One entry per `Binner::fit` evaluator mode (exact dense reference vs
+    /// the windowed truncated-kernel evaluator, single- and multi-threaded).
+    pub binning: Vec<BinningResult>,
     /// Training-wall ratio seed-legacy / fastest-threaded — the headline
     /// number for the hot path this trainer parallelises.
     pub speedup_threaded_vs_seed: f64,
     /// Full-preprocess wall ratio seed-legacy / fastest-threaded (includes
     /// the binning fit and corpus construction every mode shares).
     pub preprocess_speedup_threaded_vs_seed: f64,
+    /// `Binner::fit` wall ratio exact-1t / fastest windowed mode — the
+    /// headline number for the windowed KDE evaluator.
+    pub binning_speedup_windowed_vs_exact: f64,
 }
 
 /// The modes the benchmark exercises: the preserved seed implementation
@@ -63,6 +80,19 @@ const MODES: &[(&str, usize, bool)] = &[
 
 /// Label of the seed-legacy comparator mode.
 const SEED_MODE: &str = "seed-legacy-1t";
+
+/// The `Binner::fit` evaluator modes: `(label, threads, exact)`. The exact
+/// mode evaluates the dense O(grid × samples) reference (infinite cutoff);
+/// the windowed modes use the default truncated-kernel evaluator, alone and
+/// with the per-column fan-out.
+const BINNING_MODES: &[(&str, usize, bool)] = &[
+    (BINNING_EXACT_MODE, 1, true),
+    ("binning-windowed-1t", 1, false),
+    ("binning-windowed-4t", 4, false),
+];
+
+/// Label of the exact-reference binning comparator mode.
+const BINNING_EXACT_MODE: &str = "binning-exact-1t";
 
 /// The pre-refactor SGNS trainer, preserved verbatim (nested loops, a heap
 /// allocation per pair, exact-`exp` sigmoid, cumulative-table sampling and
@@ -232,6 +262,27 @@ pub fn run_on(kind: DatasetKind, scale: ExperimentScale, reps: usize) -> Preproc
             train_ms: best_train_ms,
         });
     }
+    // --- Binning evaluator modes: time `Binner::fit` alone, the next
+    //     fixed cost of preprocess after SGNS training.
+    let mut binning = Vec::new();
+    for &(mode, threads, exact) in BINNING_MODES {
+        let mut cfg = base.binning.clone().threads(threads);
+        if exact {
+            cfg = cfg.kde_cutoff(f64::INFINITY);
+        }
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let binner = Binner::fit(&dataset.table, &cfg).expect("binning fit");
+            best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(binner.columns().len(), dataset.table.num_columns());
+        }
+        binning.push(BinningResult {
+            mode: mode.to_string(),
+            threads,
+            wall_ms: best_ms,
+        });
+    }
     let seed_wall = results[0].wall_ms;
     let seed_train = results[0].train_ms;
     let threaded = |f: fn(&ScalingResult) -> f64| {
@@ -241,13 +292,21 @@ pub fn run_on(kind: DatasetKind, scale: ExperimentScale, reps: usize) -> Preproc
             .map(f)
             .fold(f64::INFINITY, f64::min)
     };
+    let binning_exact = binning[0].wall_ms;
+    let binning_windowed = binning
+        .iter()
+        .filter(|r| r.mode != BINNING_EXACT_MODE)
+        .map(|r| r.wall_ms)
+        .fold(f64::INFINITY, f64::min);
     PreprocessScalingReport {
         dataset: kind.label().to_string(),
         rows: dataset.table.num_rows(),
         dim: base.embedding.dim,
         speedup_threaded_vs_seed: seed_train / threaded(|r| r.train_ms).max(1e-9),
         preprocess_speedup_threaded_vs_seed: seed_wall / threaded(|r| r.wall_ms).max(1e-9),
+        binning_speedup_windowed_vs_exact: binning_exact / binning_windowed.max(1e-9),
         results,
+        binning,
     }
 }
 
@@ -265,15 +324,29 @@ pub fn render(report: &PreprocessScalingReport) -> String {
             ]
         })
         .collect();
+    let binning_rows: Vec<Vec<String>> = report
+        .binning
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.threads.to_string(),
+                format!("{:.2}", r.wall_ms),
+            ]
+        })
+        .collect();
     format!(
         "Preprocess scaling on {} ({} rows, dim {}): threaded SGNS speedup {:.2}x \
-         over the seed path ({:.2}x on the full preprocess incl. shared binning)\n{}",
+         over the seed path ({:.2}x on the full preprocess incl. shared binning)\n{}\
+         Binner::fit: windowed KDE speedup {:.2}x over the exact dense evaluator\n{}",
         report.dataset,
         report.rows,
         report.dim,
         report.speedup_threaded_vs_seed,
         report.preprocess_speedup_threaded_vs_seed,
-        format_table(&["mode", "threads", "wall-ms", "train-ms"], &rows)
+        format_table(&["mode", "threads", "wall-ms", "train-ms"], &rows),
+        report.binning_speedup_windowed_vs_exact,
+        format_table(&["mode", "threads", "wall-ms"], &binning_rows)
     )
 }
 
@@ -299,13 +372,30 @@ pub fn to_json(report: &PreprocessScalingReport) -> String {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"binning\": [\n");
+    for (i, r) in report.binning.iter().enumerate() {
+        let comma = if i + 1 < report.binning.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}}}{}\n",
+            r.mode, r.threads, r.wall_ms, comma
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"speedup_threaded_vs_seed\": {:.3},\n",
         report.speedup_threaded_vs_seed
     ));
     out.push_str(&format!(
-        "  \"preprocess_speedup_threaded_vs_seed\": {:.3}\n",
+        "  \"preprocess_speedup_threaded_vs_seed\": {:.3},\n",
         report.preprocess_speedup_threaded_vs_seed
+    ));
+    out.push_str(&format!(
+        "  \"binning_speedup_windowed_vs_exact\": {:.3}\n",
+        report.binning_speedup_windowed_vs_exact
     ));
     out.push_str("}\n");
     out
@@ -345,7 +435,8 @@ pub fn parse_results(json: &str) -> Result<Vec<(String, f64)>, String> {
 
 /// Compares a fresh report against a checked-in baseline JSON. Returns the
 /// human-readable comparison lines, or the list of regressions if any mode
-/// got more than `threshold` (fractional, e.g. 0.25) slower.
+/// got more than `threshold` (fractional, e.g. 0.25) slower. Trainer modes
+/// and `Binner::fit` evaluator modes are both gated, matched by label.
 ///
 /// Wall times are normalised to the `seed-legacy-1t` mode of their *own*
 /// capture before comparison: the legacy trainer is a fixed algorithm that
@@ -375,31 +466,37 @@ pub fn check_against_baseline(
     let normalise = seed_base.is_some() && seed_cur.is_some();
     let mut lines = Vec::new();
     let mut regressions = Vec::new();
-    for r in &report.results {
-        if normalise && r.mode == SEED_MODE {
+    let gated: Vec<(&str, f64)> = report
+        .results
+        .iter()
+        .map(|r| (r.mode.as_str(), r.wall_ms))
+        .chain(report.binning.iter().map(|r| (r.mode.as_str(), r.wall_ms)))
+        .collect();
+    for (mode, wall_ms) in gated {
+        if normalise && mode == SEED_MODE {
             lines.push(format!(
                 "{}: {:.2} ms (normalisation reference)",
-                r.mode, r.wall_ms
+                mode, wall_ms
             ));
             continue;
         }
-        let Some((_, base_ms)) = baseline.iter().find(|(m, _)| *m == r.mode) else {
-            lines.push(format!("{}: {:.2} ms (no baseline)", r.mode, r.wall_ms));
+        let Some((_, base_ms)) = baseline.iter().find(|(m, _)| *m == mode) else {
+            lines.push(format!("{}: {:.2} ms (no baseline)", mode, wall_ms));
             continue;
         };
         let (cur, base, unit) = if normalise {
             (
-                r.wall_ms / seed_cur.unwrap().max(1e-9),
+                wall_ms / seed_cur.unwrap().max(1e-9),
                 base_ms / seed_base.unwrap().max(1e-9),
                 "x seed-legacy",
             )
         } else {
-            (r.wall_ms, *base_ms, "ms")
+            (wall_ms, *base_ms, "ms")
         };
         let ratio = cur / base.max(1e-9);
         let line = format!(
             "{}: {:.3} {} vs baseline {:.3} {} ({:+.1}%)",
-            r.mode,
+            mode,
             cur,
             unit,
             base,
@@ -442,7 +539,12 @@ mod tests {
         assert!(report.results.iter().all(|r| r.train_ms > 0.0));
         assert!(report.speedup_threaded_vs_seed > 0.0);
         assert!(report.preprocess_speedup_threaded_vs_seed > 0.0);
-        assert!(render(report).contains("wall-ms"));
+        assert_eq!(report.binning.len(), BINNING_MODES.len());
+        assert!(report.binning.iter().all(|r| r.wall_ms > 0.0));
+        assert!(report.binning_speedup_windowed_vs_exact > 0.0);
+        let rendered = render(report);
+        assert!(rendered.contains("wall-ms"));
+        assert!(rendered.contains(BINNING_EXACT_MODE));
     }
 
     #[test]
@@ -450,10 +552,17 @@ mod tests {
         let report = tiny_report();
         let json = to_json(report);
         let parsed = parse_results(&json).unwrap();
-        assert_eq!(parsed.len(), report.results.len());
-        for (r, (mode, wall)) in report.results.iter().zip(&parsed) {
-            assert_eq!(&r.mode, mode);
-            assert!((r.wall_ms - wall).abs() < 0.01);
+        // Trainer modes first, then the binning evaluator modes: the gate
+        // sees both.
+        assert_eq!(parsed.len(), report.results.len() + report.binning.len());
+        let expected = report
+            .results
+            .iter()
+            .map(|r| (r.mode.clone(), r.wall_ms))
+            .chain(report.binning.iter().map(|r| (r.mode.clone(), r.wall_ms)));
+        for ((mode, wall), (pmode, pwall)) in expected.zip(&parsed) {
+            assert_eq!(&mode, pmode);
+            assert!((wall - pwall).abs() < 0.01);
         }
     }
 
@@ -469,17 +578,28 @@ mod tests {
         for r in &mut faster_machine.results {
             r.wall_ms /= 10.0;
         }
+        for r in &mut faster_machine.binning {
+            r.wall_ms /= 10.0;
+        }
         assert!(check_against_baseline(report, &to_json(&faster_machine), 0.25).is_ok());
-        // A baseline whose *trainer modes* are 10x faster relative to the
-        // unchanged seed-legacy comparator: every non-seed mode regresses.
+        // A baseline whose *trainer and binning modes* are 10x faster
+        // relative to the unchanged seed-legacy comparator: every non-seed
+        // mode regresses.
         let mut fast = report.clone();
         for r in &mut fast.results {
             if r.mode != SEED_MODE {
                 r.wall_ms /= 10.0;
             }
         }
+        for r in &mut fast.binning {
+            r.wall_ms /= 10.0;
+        }
         let err = check_against_baseline(report, &to_json(&fast), 0.25).unwrap_err();
-        assert_eq!(err.len(), report.results.len() - 1);
+        assert_eq!(
+            err.len(),
+            report.results.len() + report.binning.len() - 1,
+            "every gated mode except the normalisation reference regresses"
+        );
         assert!(err[0].contains("REGRESSION"));
         // Garbage baseline is an error, not a silent pass.
         assert!(check_against_baseline(report, "not json", 0.25).is_err());

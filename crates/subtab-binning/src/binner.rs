@@ -3,15 +3,17 @@
 use crate::binned::BinnedTable;
 use crate::categorical::group_categories;
 use crate::equal_width::equal_width_cuts;
-use crate::kde::kde_cuts;
+use crate::kde::kde_cuts_with_cutoff;
 use crate::quantile::quantile_cuts;
 use crate::strategy::{BinId, BinLabel, BinningConfig, BinningError, BinningStrategy};
 use crate::Result;
 use std::collections::HashMap;
-use subtab_data::{ColumnType, Table, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use subtab_data::{Column, ColumnType, Table, Value};
 
 /// How the values of one column are mapped to bins.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum ColumnKind {
     /// Numeric column split at the given (sorted) cut points.
     Numeric { cuts: Vec<f64> },
@@ -25,7 +27,7 @@ enum ColumnKind {
 
 /// The fitted binning of a single column (Definition 3.2: a finite set of
 /// bins such that every value belongs to exactly one).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnBinner {
     name: String,
     kind: ColumnKind,
@@ -59,7 +61,10 @@ impl ColumnBinner {
     /// Every value maps to exactly one bin: nulls to the null bin, unseen
     /// categories to the `OTHER` bin if present (or the null bin otherwise —
     /// this only happens when applying a binner to data it was not fitted on),
-    /// and numeric values to the interval containing them.
+    /// and numeric values to the interval containing them. Non-finite
+    /// numerics (`NaN`, `±inf`) carry no interval information and land in
+    /// the null bin — `NaN` in particular fails every cut comparison, so it
+    /// would otherwise be silently mistaken for the first interval.
     pub fn bin_value(&self, value: &Value) -> BinId {
         if value.is_null() {
             return self.null_bin;
@@ -69,6 +74,9 @@ impl ColumnBinner {
                 let Some(x) = value.as_f64() else {
                     return self.null_bin;
                 };
+                if !x.is_finite() {
+                    return self.null_bin;
+                }
                 let mut idx = 0usize;
                 for &c in cuts {
                     if x >= c {
@@ -106,6 +114,10 @@ pub struct Binner {
 
 impl Binner {
     /// Fits a binning function on `table` using `config`.
+    ///
+    /// Columns are fitted independently; with `config.threads != 1` they fan
+    /// out across scoped worker threads (`0` = all available cores). The
+    /// result is bit-identical at every thread count.
     pub fn fit(table: &Table, config: &BinningConfig) -> Result<Self> {
         if config.num_bins < 1 {
             return Err(BinningError::InvalidConfig(
@@ -117,24 +129,18 @@ impl Binner {
                 "max_categories must be at least 1".into(),
             ));
         }
-        let mut columns = Vec::with_capacity(table.num_columns());
-        for col in table.columns() {
-            let binner = match col.column_type() {
-                ColumnType::Str | ColumnType::Bool => fit_categorical(col, config),
-                // Integer columns with few distinct values (flags, small codes
-                // like CANCELLED or MONTH) are treated as categorical; other
-                // numeric columns are binned by the configured strategy.
-                ColumnType::Int => {
-                    if col.distinct_count() <= config.categorical_int_threshold {
-                        fit_categorical(col, config)
-                    } else {
-                        fit_numeric(col, config)
-                    }
-                }
-                ColumnType::Float => fit_numeric(col, config),
-            };
-            columns.push(binner);
+        if config.kde_cutoff_bandwidths.is_nan() || config.kde_cutoff_bandwidths <= 0.0 {
+            return Err(BinningError::InvalidConfig(
+                "kde_cutoff_bandwidths must be positive".into(),
+            ));
         }
+        let cols = table.columns();
+        let threads = resolve_threads(config.threads, cols.len());
+        let columns = if threads <= 1 {
+            cols.iter().map(|c| fit_column(c, config)).collect()
+        } else {
+            fit_columns_parallel(cols, config, threads)
+        };
         let index = columns
             .iter()
             .enumerate()
@@ -194,6 +200,69 @@ impl Binner {
     }
 }
 
+/// Resolves a configured thread count: `0` means all available cores, and
+/// more workers than columns would only idle.
+fn resolve_threads(configured: usize, num_columns: usize) -> usize {
+    let threads = match configured {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    };
+    threads.min(num_columns.max(1))
+}
+
+/// Fits one column by its type (the unit of work the parallel fit fans out).
+fn fit_column(col: &Column, config: &BinningConfig) -> ColumnBinner {
+    match col.column_type() {
+        ColumnType::Str | ColumnType::Bool => fit_categorical(col, config),
+        // Integer columns with few distinct values (flags, small codes
+        // like CANCELLED or MONTH) are treated as categorical; other
+        // numeric columns are binned by the configured strategy.
+        ColumnType::Int => {
+            if col.distinct_count() <= config.categorical_int_threshold {
+                fit_categorical(col, config)
+            } else {
+                fit_numeric(col, config)
+            }
+        }
+        ColumnType::Float => fit_numeric(col, config),
+    }
+}
+
+/// Fans per-column fits out across `threads` scoped workers pulling column
+/// indices from a shared queue. Each fitted binner lands in its column's
+/// slot, so the output order (and content) matches the sequential fit
+/// exactly.
+fn fit_columns_parallel(
+    cols: &[Column],
+    config: &BinningConfig,
+    threads: usize,
+) -> Vec<ColumnBinner> {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ColumnBinner>>> = cols.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cols.len() {
+                    break;
+                }
+                let fitted = fit_column(&cols[i], config);
+                *slots[i].lock().expect("binner slot lock poisoned") = Some(fitted);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("binner slot lock poisoned")
+                .expect("every column index was drained by a worker")
+        })
+        .collect()
+}
+
 fn fit_categorical(col: &subtab_data::Column, config: &BinningConfig) -> ColumnBinner {
     let mut counts: HashMap<String, usize> = HashMap::new();
     for v in col.iter() {
@@ -230,7 +299,12 @@ fn fit_numeric(col: &subtab_data::Column, config: &BinningConfig) -> ColumnBinne
     let cuts = match config.strategy {
         BinningStrategy::EqualWidth => equal_width_cuts(&values, config.num_bins),
         BinningStrategy::Quantile => quantile_cuts(&values, config.num_bins),
-        BinningStrategy::Kde => kde_cuts(&values, config.num_bins, config.kde_grid_size),
+        BinningStrategy::Kde => kde_cuts_with_cutoff(
+            &values,
+            config.num_bins,
+            config.kde_grid_size,
+            config.kde_cutoff_bandwidths,
+        ),
     };
     let mut labels = Vec::with_capacity(cuts.len() + 2);
     let mut lower = f64::NEG_INFINITY;
@@ -419,6 +493,74 @@ mod tests {
             ..Default::default()
         };
         assert!(Binner::fit(&t, &bad).is_err());
+        for cutoff in [0.0, -1.0, f64::NAN] {
+            let bad = BinningConfig {
+                kde_cutoff_bandwidths: cutoff,
+                ..Default::default()
+            };
+            assert!(Binner::fit(&t, &bad).is_err(), "cutoff {cutoff} accepted");
+        }
+    }
+
+    #[test]
+    fn non_finite_numerics_map_to_the_null_bin() {
+        let t = sample_table();
+        let cfg = BinningConfig {
+            categorical_int_threshold: 1,
+            num_bins: 2,
+            ..Default::default()
+        };
+        let b = Binner::fit(&t, &cfg).unwrap();
+        let d = b.column("distance").unwrap();
+        // Regression: NaN fails every `x >= cut` comparison, so the old cut
+        // loop filed it under the first interval instead of the null bin.
+        assert_eq!(d.bin_value(&Value::Float(f64::NAN)), d.null_bin());
+        assert_eq!(d.bin_value(&Value::Float(f64::INFINITY)), d.null_bin());
+        assert_eq!(d.bin_value(&Value::Float(f64::NEG_INFINITY)), d.null_bin());
+        // Finite values are unaffected.
+        assert_ne!(d.bin_value(&Value::Float(105.0)), d.null_bin());
+        assert_ne!(d.bin_value(&Value::Float(2450.0)), d.null_bin());
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_sequential() {
+        // A wider table than the fixtures: several numeric KDE columns plus
+        // categorical ones, so the worker queue actually interleaves.
+        let rows = 400usize;
+        let mut builder = Table::builder();
+        for c in 0..6 {
+            builder = builder.column_f64(
+                &format!("num{c}"),
+                (0..rows)
+                    .map(|i| {
+                        let base = if i % 2 == 0 {
+                            0.0
+                        } else {
+                            500.0 + c as f64 * 37.0
+                        };
+                        Some(base + (i % 13) as f64 * 1.7)
+                    })
+                    .collect(),
+            );
+        }
+        let t = builder
+            .column_str(
+                "cat",
+                (0..rows).map(|i| Some(["a", "b", "c"][i % 3])).collect(),
+            )
+            .column_i64("code", (0..rows).map(|i| Some((i % 40) as i64)).collect())
+            .build()
+            .unwrap();
+        let sequential = Binner::fit(&t, &BinningConfig::default()).unwrap();
+        for threads in [0, 2, 5] {
+            let cfg = BinningConfig::default().threads(threads);
+            let parallel = Binner::fit(&t, &cfg).unwrap();
+            assert_eq!(
+                sequential.columns(),
+                parallel.columns(),
+                "threads = {threads} diverged from the sequential fit"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Golden-value tests for the KDE cut-point evaluators.
+//!
+//! The fixture in `tests/golden/kde_cuts_ref.txt` pins the **exact** dense
+//! evaluator (`kde_cuts_with_cutoff(…, f64::INFINITY)`): for every planted
+//! evaluation dataset and every column the binner treats numerically, it
+//! records the cut points as hex `f64::to_bits`. The exact evaluator must
+//! keep reproducing it byte for byte, and the windowed evaluator (the
+//! binner's default) must select bit-identical cuts on all of these
+//! datasets — the truncated tail it drops is below the rounding noise of the
+//! dense sum.
+
+use subtab_binning::kde::{kde_cuts, kde_cuts_with_cutoff};
+use subtab_binning::BinningConfig;
+use subtab_data::ColumnType;
+use subtab_datasets::{DatasetKind, DatasetSize};
+
+const DATASETS: &[DatasetKind] = &[
+    DatasetKind::Flights,
+    DatasetKind::Cyber,
+    DatasetKind::Spotify,
+    DatasetKind::CreditCard,
+    DatasetKind::UsFunds,
+    DatasetKind::BankLoans,
+];
+
+/// The seed the `preprocess` benchmark builds its datasets with.
+const SEED: u64 = 31;
+
+/// Numeric values of every column the binner would cut numerically, exactly
+/// as `fit_numeric` collects them.
+fn numeric_columns(kind: DatasetKind, config: &BinningConfig) -> Vec<(String, Vec<f64>)> {
+    let ds = kind.build(DatasetSize::Tiny, SEED);
+    let mut out = Vec::new();
+    for col in ds.table.columns() {
+        let numeric = match col.column_type() {
+            ColumnType::Float => true,
+            ColumnType::Int => col.distinct_count() > config.categorical_int_threshold,
+            ColumnType::Str | ColumnType::Bool => false,
+        };
+        if !numeric {
+            continue;
+        }
+        let values: Vec<f64> = (0..col.len()).filter_map(|r| col.get_f64(r)).collect();
+        out.push((col.name().to_string(), values));
+    }
+    out
+}
+
+/// Renders one dataset's exact cuts in the fixture format:
+/// `<dataset> <column> <hex bits of each cut>`.
+fn render_exact_cuts(kind: DatasetKind, config: &BinningConfig) -> String {
+    let mut out = String::new();
+    for (name, values) in numeric_columns(kind, config) {
+        let cuts = kde_cuts_with_cutoff(
+            &values,
+            config.num_bins,
+            config.kde_grid_size,
+            f64::INFINITY,
+        );
+        out.push_str(kind.label());
+        out.push(' ');
+        out.push_str(&name);
+        for c in cuts {
+            out.push_str(&format!(" {:016x}", c.to_bits()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn exact_evaluator_matches_the_golden_fixture() {
+    let config = BinningConfig::default();
+    let mut rendered = String::new();
+    for &kind in DATASETS {
+        rendered.push_str(&render_exact_cuts(kind, &config));
+    }
+    let golden = include_str!("golden/kde_cuts_ref.txt");
+    assert_eq!(
+        rendered, golden,
+        "exact KDE cuts drifted from the golden fixture \
+         (run the ignored `regenerate_golden_fixture` test if the drift is intentional)"
+    );
+}
+
+#[test]
+fn windowed_cuts_match_exact_cuts_on_every_planted_dataset() {
+    let config = BinningConfig::default();
+    for &kind in DATASETS {
+        for (name, values) in numeric_columns(kind, &config) {
+            let exact = kde_cuts_with_cutoff(
+                &values,
+                config.num_bins,
+                config.kde_grid_size,
+                f64::INFINITY,
+            );
+            let windowed = kde_cuts(&values, config.num_bins, config.kde_grid_size);
+            assert_eq!(
+                exact,
+                windowed,
+                "windowed cuts diverged from the exact evaluator on {} column {name}",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// Regenerates the golden fixture in the source tree. Run explicitly with
+/// `cargo test -p subtab-binning --test kde_golden -- --ignored` after an
+/// intentional change to the exact evaluator, and review the diff.
+#[test]
+#[ignore]
+fn regenerate_golden_fixture() {
+    let config = BinningConfig::default();
+    let mut rendered = String::new();
+    for &kind in DATASETS {
+        rendered.push_str(&render_exact_cuts(kind, &config));
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/kde_cuts_ref.txt");
+    std::fs::write(path, rendered).expect("write fixture");
+}

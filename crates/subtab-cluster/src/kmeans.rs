@@ -4,26 +4,37 @@ use crate::distance::squared_euclidean;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Below this many points a parallel assignment pass costs more in thread
+/// setup than it saves; the sequential path is used regardless of `threads`.
+const PARALLEL_MIN_POINTS: usize = 1024;
+
 /// Result of a k-means run.
 #[derive(Debug, Clone)]
 pub struct KMeansResult {
     /// Final cluster centroids (`k` vectors, possibly fewer if there were
     /// fewer distinct points than clusters).
     pub centroids: Vec<Vec<f32>>,
-    /// Cluster assignment of every input point.
+    /// Cluster assignment of every input point, consistent with `centroids`:
+    /// each point is assigned to its nearest final centroid.
     pub assignments: Vec<usize>,
-    /// Sum of squared distances of points to their centroid.
+    /// Sum of squared distances of points to their assigned centroid.
     pub inertia: f32,
     /// Number of Lloyd iterations executed.
     pub iterations: usize,
 }
 
 /// K-means clustering with deterministic seeding.
+///
+/// The assignment step (the O(n·k·dim) hot loop) can fan out across scoped
+/// worker threads via [`KMeans::threads`]; every point's nearest centroid is
+/// an independent read-only computation, so the result is bit-identical at
+/// any thread count.
 #[derive(Debug, Clone)]
 pub struct KMeans {
     k: usize,
     max_iterations: usize,
     seed: u64,
+    threads: usize,
 }
 
 impl KMeans {
@@ -33,12 +44,20 @@ impl KMeans {
             k,
             max_iterations: 100,
             seed,
+            threads: 1,
         }
     }
 
     /// Overrides the maximum number of Lloyd iterations (default 100).
     pub fn max_iterations(mut self, iters: usize) -> Self {
         self.max_iterations = iters.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count of the assignment step (`0` = all
+    /// available cores, `1` = sequential, the default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -60,23 +79,19 @@ impl KMeans {
         }
         let k = self.k.min(n);
         let dim = points[0].len();
+        let threads = resolve_threads(self.threads);
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         let mut centroids = kmeanspp_init(points, k, &mut rng);
         let mut assignments = vec![0usize; n];
+        let mut dists = vec![0.0f32; n];
         let mut iterations = 0usize;
+        let mut stale = true;
 
         for iter in 0..self.max_iterations {
             iterations = iter + 1;
             // Assignment step.
-            let mut changed = false;
-            for (i, p) in points.iter().enumerate() {
-                let (best, _) = nearest_centroid(p, &centroids);
-                if assignments[i] != best {
-                    assignments[i] = best;
-                    changed = true;
-                }
-            }
+            let changed = assign_points(points, &centroids, &mut assignments, &mut dists, threads);
             // Update step.
             let mut sums = vec![vec![0.0f32; dim]; centroids.len()];
             let mut counts = vec![0usize; centroids.len()];
@@ -87,6 +102,7 @@ impl KMeans {
                     *s += x;
                 }
             }
+            let mut empty = Vec::new();
             for (c, sum) in sums.iter_mut().enumerate() {
                 if counts[c] > 0 {
                     let inv = 1.0 / counts[c] as f32;
@@ -94,37 +110,119 @@ impl KMeans {
                         *dst = s * inv;
                     }
                 } else {
-                    // Empty cluster: re-seed it at the point farthest from its
-                    // current centroid assignment.
-                    let far = points
-                        .iter()
-                        .enumerate()
-                        .max_by(|(_, a), (_, b)| {
-                            let da = nearest_centroid(a, &centroids).1;
-                            let db = nearest_centroid(b, &centroids).1;
-                            da.total_cmp(&db)
-                        })
-                        .map(|(i, _)| i)
-                        .unwrap_or(0);
-                    centroids[c] = points[far].clone();
+                    empty.push(c);
                 }
             }
+            if !empty.is_empty() {
+                reseed_empty_clusters(points, &mut centroids, &empty);
+            }
+            // With unchanged assignments and no re-seeding, this update
+            // recomputed bit-identical centroids, so `assignments`/`dists`
+            // already pair with the final centroids. Iteration 0 is always
+            // stale: its update moves the centroids off the k-means++ seeds
+            // even when no assignment changed.
+            stale = changed || !empty.is_empty() || iter == 0;
             if !changed && iter > 0 {
                 break;
             }
         }
 
-        let inertia = points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| squared_euclidean(p, &centroids[assignments[i]]))
-            .sum();
+        // Final consistency pass: the loop may have exited via the iteration
+        // cap (or an empty-cluster re-seed) right after moving the
+        // centroids, which would leave `assignments` paired with the
+        // *previous* centroids and the inertia mixing the two. Re-assign
+        // against the final centroids so the reported triple is
+        // self-consistent; at a clean convergent exit the pass is skipped.
+        if stale {
+            assign_points(points, &centroids, &mut assignments, &mut dists, threads);
+        }
+        let inertia = dists.iter().sum();
         KMeansResult {
             centroids,
             assignments,
             inertia,
             iterations,
         }
+    }
+}
+
+/// Resolves a configured thread count (`0` = all available cores).
+fn resolve_threads(configured: usize) -> usize {
+    match configured {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Assigns every point to its nearest centroid, recording the squared
+/// distance, and reports whether any assignment changed.
+///
+/// With `threads > 1` (and enough points to amortise thread setup) the
+/// points are split into contiguous chunks processed by scoped workers; each
+/// point's result is independent of the others, so the outcome is identical
+/// to the sequential pass.
+fn assign_points(
+    points: &[Vec<f32>],
+    centroids: &[Vec<f32>],
+    assignments: &mut [usize],
+    dists: &mut [f32],
+    threads: usize,
+) -> bool {
+    let assign_chunk = |pts: &[Vec<f32>], asg: &mut [usize], ds: &mut [f32]| -> bool {
+        let mut changed = false;
+        for ((p, a), d) in pts.iter().zip(asg.iter_mut()).zip(ds.iter_mut()) {
+            let (best, best_d) = nearest_centroid(p, centroids);
+            if *a != best {
+                *a = best;
+                changed = true;
+            }
+            *d = best_d;
+        }
+        changed
+    };
+    if threads <= 1 || points.len() < PARALLEL_MIN_POINTS {
+        return assign_chunk(points, assignments, dists);
+    }
+    let chunk = points.len().div_ceil(threads);
+    let changed = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for ((pts, asg), ds) in points
+            .chunks(chunk)
+            .zip(assignments.chunks_mut(chunk))
+            .zip(dists.chunks_mut(chunk))
+        {
+            let changed = &changed;
+            scope.spawn(move || {
+                if assign_chunk(pts, asg, ds) {
+                    changed.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    changed.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Re-seeds each empty cluster at a distinct far-away point.
+///
+/// Distances of every point to its nearest current centroid are computed
+/// once (the previous implementation recomputed them inside a `max_by` per
+/// empty cluster, O(n²k)); the empty clusters then claim the farthest points
+/// in order, each taking the next unclaimed one, so two clusters emptied in
+/// the same iteration can no longer be re-seeded onto the same point (which
+/// produced duplicate centroids).
+fn reseed_empty_clusters(points: &[Vec<f32>], centroids: &mut [Vec<f32>], empty: &[usize]) {
+    let dists: Vec<f32> = points
+        .iter()
+        .map(|p| nearest_centroid(p, centroids).1)
+        .collect();
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Farthest first; the stable sort keeps ties in index order so the
+    // re-seeding stays deterministic.
+    order.sort_by(|&a, &b| dists[b].total_cmp(&dists[a]));
+    for (&c, &far) in empty.iter().zip(order.iter()) {
+        centroids[c] = points[far].clone();
     }
 }
 
@@ -257,5 +355,89 @@ mod tests {
         let pts = blobs();
         let r = KMeans::new(3, 1).max_iterations(1).fit(&pts);
         assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn empty_cluster_reseeding_claims_distinct_points() {
+        // One populated cluster at the origin, two empty ones far away.
+        // Regression: the old re-seeder picked "the farthest point" once per
+        // empty cluster without tracking claims, so both empty clusters
+        // landed on the same point and produced duplicate centroids.
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![30.0, 0.0],
+            vec![29.0, 0.0],
+        ];
+        let mut centroids = vec![vec![0.0, 0.0], vec![500.0, 500.0], vec![600.0, 600.0]];
+        reseed_empty_clusters(&points, &mut centroids, &[1, 2]);
+        assert_ne!(
+            centroids[1], centroids[2],
+            "empty clusters were re-seeded onto the same point"
+        );
+        // They claim the two farthest points, in distance order.
+        assert_eq!(centroids[1], vec![30.0, 0.0]);
+        assert_eq!(centroids[2], vec![29.0, 0.0]);
+    }
+
+    #[test]
+    fn result_is_self_consistent_at_the_iteration_cap() {
+        // Regression: when `fit` exits via max_iterations, the assignments
+        // must still pair with the *returned* centroids (the old code paired
+        // pre-update assignments with post-update centroids, and reported an
+        // inertia mixing the two).
+        let pts = blobs();
+        for seed in 0..20 {
+            for cap in [1, 2] {
+                let r = KMeans::new(3, seed).max_iterations(cap).fit(&pts);
+                let mut expected_inertia = 0.0f32;
+                for (i, p) in pts.iter().enumerate() {
+                    let (best, d) = nearest_centroid(p, &r.centroids);
+                    assert_eq!(
+                        r.assignments[i], best,
+                        "seed {seed} cap {cap}: point {i} not assigned to its nearest centroid"
+                    );
+                    expected_inertia += d;
+                }
+                let tol = f32::EPSILON * expected_inertia.max(1.0) * pts.len() as f32;
+                assert!(
+                    (r.inertia - expected_inertia).abs() <= tol,
+                    "seed {seed} cap {cap}: inertia {} != recomputed {expected_inertia}",
+                    r.inertia
+                );
+            }
+        }
+        // k = 1 at the cap: iteration 0 moves the centroid off its k-means++
+        // seed without changing any assignment, so the reported inertia must
+        // still be measured against the moved centroid.
+        let r = KMeans::new(1, 3).max_iterations(1).fit(&pts);
+        let expected: f32 = pts
+            .iter()
+            .map(|p| squared_euclidean(p, &r.centroids[0]))
+            .sum();
+        assert!((r.inertia - expected).abs() <= f32::EPSILON * expected * pts.len() as f32);
+    }
+
+    #[test]
+    fn threaded_fit_is_bit_identical_to_sequential() {
+        // Enough points to cross PARALLEL_MIN_POINTS so the chunked path
+        // actually runs.
+        let mut pts = Vec::new();
+        for i in 0..PARALLEL_MIN_POINTS + 500 {
+            let blob = (i % 3) as f32;
+            pts.push(vec![
+                blob * 25.0 + (i % 7) as f32 * 0.1,
+                blob * -10.0 + (i % 11) as f32 * 0.1,
+            ]);
+        }
+        let sequential = KMeans::new(3, 5).fit(&pts);
+        for threads in [0, 2, 4] {
+            let parallel = KMeans::new(3, 5).threads(threads).fit(&pts);
+            assert_eq!(sequential.assignments, parallel.assignments);
+            assert_eq!(sequential.centroids, parallel.centroids);
+            assert_eq!(sequential.inertia, parallel.inertia);
+            assert_eq!(sequential.iterations, parallel.iterations);
+        }
     }
 }

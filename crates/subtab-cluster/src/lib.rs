@@ -9,7 +9,8 @@
 //! embedding column-vectors and one-hot-encoded rows.
 //!
 //! * [`kmeans`] — Lloyd's algorithm with k-means++ initialisation, empty
-//!   cluster repair and deterministic seeding,
+//!   cluster repair, deterministic seeding and an optional scoped-thread
+//!   fan-out of the assignment step (bit-identical at any thread count),
 //! * [`representative`] — mapping centroids back to *actual* data points
 //!   (the sub-table must contain real rows of the table, so the row nearest
 //!   to each centroid is selected, with duplicates resolved to the next
@@ -38,4 +39,6 @@ pub mod representative;
 
 pub use distance::{euclidean, squared_euclidean};
 pub use kmeans::{KMeans, KMeansResult};
-pub use representative::{select_k_representatives, select_representatives};
+pub use representative::{
+    select_k_representatives, select_k_representatives_threaded, select_representatives,
+};

@@ -31,13 +31,27 @@ pub fn select_representatives(points: &[Vec<f32>], result: &KMeansResult) -> Vec
 /// Clusters `points` into `k` clusters and returns the indices of the `k`
 /// representative points (fewer if there are fewer points than `k`).
 pub fn select_k_representatives(points: &[Vec<f32>], k: usize, seed: u64) -> Vec<usize> {
+    select_k_representatives_threaded(points, k, seed, 1)
+}
+
+/// [`select_k_representatives`] with the k-means assignment step fanned out
+/// across `threads` scoped workers (`0` = all available cores).
+///
+/// The assignment step is read-only per point, so the selection is
+/// bit-identical at every thread count; the knob only changes wall time.
+pub fn select_k_representatives_threaded(
+    points: &[Vec<f32>],
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<usize> {
     if k == 0 || points.is_empty() {
         return Vec::new();
     }
     if points.len() <= k {
         return (0..points.len()).collect();
     }
-    let result = KMeans::new(k, seed).fit(points);
+    let result = KMeans::new(k, seed).threads(threads).fit(points);
     select_representatives(points, &result)
 }
 
@@ -102,6 +116,24 @@ mod tests {
     fn degenerate_inputs() {
         assert!(select_k_representatives(&[], 3, 0).is_empty());
         assert!(select_k_representatives(&[vec![1.0]], 0, 0).is_empty());
+        assert!(select_k_representatives_threaded(&[], 3, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn threaded_selection_matches_sequential() {
+        let mut points = Vec::new();
+        for i in 0..1800 {
+            let blob = (i % 3) as f32;
+            points.push(vec![blob * 40.0 + (i % 9) as f32 * 0.05, blob]);
+        }
+        let sequential = select_k_representatives(&points, 3, 11);
+        for threads in [0, 2, 4] {
+            assert_eq!(
+                sequential,
+                select_k_representatives_threaded(&points, 3, 11, threads),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

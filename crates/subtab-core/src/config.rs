@@ -5,7 +5,7 @@ use subtab_binning::BinningConfig;
 use subtab_embed::EmbeddingConfig;
 
 /// Configuration of the pre-processing phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SubTabConfig {
     /// Binning configuration (strategy, number of bins, …).
     pub binning: BinningConfig,
@@ -13,6 +13,23 @@ pub struct SubTabConfig {
     pub embedding: EmbeddingConfig,
     /// Seed for the clustering step of each selection.
     pub seed: u64,
+    /// Worker threads for query-time selection (the k-means assignment step
+    /// over row/column vectors). `0` uses all available cores; `1` (the
+    /// default) runs sequentially. Selections are bit-identical at every
+    /// thread count. Usually set together with the binning and embedding
+    /// thread counts via [`SubTabConfig::with_threads`].
+    pub threads: usize,
+}
+
+impl Default for SubTabConfig {
+    fn default() -> Self {
+        SubTabConfig {
+            binning: BinningConfig::default(),
+            embedding: EmbeddingConfig::default(),
+            seed: 0,
+            threads: 1,
+        }
+    }
 }
 
 impl SubTabConfig {
@@ -30,6 +47,7 @@ impl SubTabConfig {
                 ..Default::default()
             },
             seed: 42,
+            threads: 1,
         }
     }
 
@@ -41,9 +59,13 @@ impl SubTabConfig {
         self
     }
 
-    /// Sets the worker-thread count of the embedding trainer (`0` = all
-    /// available cores, `1` = the bit-exact single-threaded reference).
+    /// Sets the worker-thread count of every parallel stage: the embedding
+    /// trainer, the per-column binning fit and the selection-time k-means
+    /// assignment (`0` = all available cores, `1` = single-threaded; for
+    /// the trainer, `1` selects the bit-exact reference).
     pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self.binning.threads = threads;
         self.embedding.threads = threads;
         self
     }
@@ -123,5 +145,15 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert_eq!(c.embedding.seed, 7);
         assert!(c.embedding.dim <= SubTabConfig::default().embedding.dim);
+    }
+
+    #[test]
+    fn with_threads_sets_every_parallel_stage() {
+        let c = SubTabConfig::default();
+        assert_eq!(c.threads, 1);
+        let c = c.with_threads(4);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.binning.threads, 4);
+        assert_eq!(c.embedding.threads, 4);
     }
 }

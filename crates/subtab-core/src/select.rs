@@ -5,7 +5,7 @@ use crate::error::CoreError;
 use crate::preprocess::PreprocessedTable;
 use crate::result::SubTableResult;
 use crate::Result;
-use subtab_cluster::select_k_representatives;
+use subtab_cluster::select_k_representatives_threaded;
 use subtab_data::Query;
 
 /// Selects a sub-table of the full table or of a query result over it.
@@ -16,11 +16,16 @@ use subtab_data::Query;
 /// the same centroid selection over the restricted rows and columns — this is
 /// the cheap query-time path of the paper, which reuses the pre-processed
 /// binning and embedding.
+///
+/// `threads` fans the k-means assignment step of the row/column clustering
+/// out across scoped workers (`0` = all available cores); the selection is
+/// bit-identical at every thread count.
 pub fn select_sub_table(
     pre: &PreprocessedTable,
     query: Option<&Query>,
     params: &SelectionParams,
     seed: u64,
+    threads: usize,
 ) -> Result<SubTableResult> {
     if params.k == 0 || params.l == 0 {
         return Err(CoreError::InvalidParams(
@@ -94,7 +99,7 @@ pub fn select_sub_table(
                 .collect::<Vec<_>>();
             &computed
         };
-    let rep_positions = select_k_representatives(row_vectors, k, seed);
+    let rep_positions = select_k_representatives_threaded(row_vectors, k, seed, threads);
     let mut row_indices: Vec<usize> = rep_positions.iter().map(|&p| candidate_rows[p]).collect();
     row_indices.sort_unstable();
 
@@ -120,7 +125,8 @@ pub fn select_sub_table(
             .iter()
             .map(|&c| embedding.column_vector(binned, c, &candidate_rows))
             .collect();
-        let reps = select_k_representatives(&col_vectors, l_free, seed.wrapping_add(1));
+        let reps =
+            select_k_representatives_threaded(&col_vectors, l_free, seed.wrapping_add(1), threads);
         selected_columns.extend(reps.into_iter().map(|p| free_columns[p]));
     }
     // Preserve the original schema order for display.
@@ -195,7 +201,7 @@ mod tests {
     #[test]
     fn selects_requested_dimensions() {
         let pre = preprocessed(100);
-        let r = select_sub_table(&pre, None, &SelectionParams::new(8, 3), 1).unwrap();
+        let r = select_sub_table(&pre, None, &SelectionParams::new(8, 3), 1, 1).unwrap();
         assert_eq!(r.sub_table.num_rows(), 8);
         assert_eq!(r.sub_table.num_columns(), 3);
         assert_eq!(r.row_indices.len(), 8);
@@ -211,7 +217,7 @@ mod tests {
     fn target_columns_are_always_included() {
         let pre = preprocessed(80);
         let params = SelectionParams::new(5, 2).with_targets(&["cancelled"]);
-        let r = select_sub_table(&pre, None, &params, 3).unwrap();
+        let r = select_sub_table(&pre, None, &params, 3, 1).unwrap();
         assert!(r.columns.contains(&"cancelled".to_string()));
         assert_eq!(r.sub_table.num_columns(), 2);
     }
@@ -219,7 +225,7 @@ mod tests {
     #[test]
     fn row_selection_spans_both_archetypes() {
         let pre = preprocessed(100);
-        let r = select_sub_table(&pre, None, &SelectionParams::new(6, 4), 5).unwrap();
+        let r = select_sub_table(&pre, None, &SelectionParams::new(6, 4), 5, 1).unwrap();
         // Both short-WN and long-DL rows should be represented among 6
         // centroid representatives.
         let airlines: Vec<String> = r
@@ -237,7 +243,7 @@ mod tests {
         let q = Query::new()
             .filter(Predicate::eq("airline", Value::from("DL")))
             .select(&["distance", "dep_time", "airline"]);
-        let r = select_sub_table(&pre, Some(&q), &SelectionParams::new(4, 2), 2).unwrap();
+        let r = select_sub_table(&pre, Some(&q), &SelectionParams::new(4, 2), 2, 1).unwrap();
         assert_eq!(r.sub_table.num_rows(), 4);
         assert!(r.sub_table.num_columns() <= 3);
         for &row in &r.row_indices {
@@ -258,14 +264,14 @@ mod tests {
             .filter(Predicate::eq("airline", Value::from("WN")))
             .select(&["distance"]);
         let params = SelectionParams::new(3, 2).with_targets(&["cancelled"]);
-        let r = select_sub_table(&pre, Some(&q), &params, 0).unwrap();
+        let r = select_sub_table(&pre, Some(&q), &params, 0, 1).unwrap();
         assert!(r.columns.contains(&"cancelled".to_string()));
     }
 
     #[test]
     fn dimensions_larger_than_data_are_clamped() {
         let pre = preprocessed(6);
-        let r = select_sub_table(&pre, None, &SelectionParams::new(50, 50), 1).unwrap();
+        let r = select_sub_table(&pre, None, &SelectionParams::new(50, 50), 1, 1).unwrap();
         assert_eq!(r.sub_table.num_rows(), 6);
         assert_eq!(r.sub_table.num_columns(), 4);
     }
@@ -274,17 +280,17 @@ mod tests {
     fn invalid_params_are_rejected() {
         let pre = preprocessed(20);
         assert!(matches!(
-            select_sub_table(&pre, None, &SelectionParams::new(0, 3), 0),
+            select_sub_table(&pre, None, &SelectionParams::new(0, 3), 0, 1),
             Err(CoreError::InvalidParams(_))
         ));
         let too_many_targets = SelectionParams::new(3, 1).with_targets(&["airline", "cancelled"]);
         assert!(matches!(
-            select_sub_table(&pre, None, &too_many_targets, 0),
+            select_sub_table(&pre, None, &too_many_targets, 0, 1),
             Err(CoreError::InvalidParams(_))
         ));
         let unknown = SelectionParams::new(3, 2).with_targets(&["nope"]);
         assert!(matches!(
-            select_sub_table(&pre, None, &unknown, 0),
+            select_sub_table(&pre, None, &unknown, 0, 1),
             Err(CoreError::UnknownColumn(_))
         ));
     }
@@ -294,7 +300,7 @@ mod tests {
         let pre = preprocessed(20);
         let q = Query::new().filter(Predicate::eq("airline", Value::from("ZZ")));
         assert!(matches!(
-            select_sub_table(&pre, Some(&q), &SelectionParams::new(3, 2), 0),
+            select_sub_table(&pre, Some(&q), &SelectionParams::new(3, 2), 0, 1),
             Err(CoreError::EmptyQueryResult)
         ));
     }
@@ -302,9 +308,22 @@ mod tests {
     #[test]
     fn selection_is_deterministic_for_a_seed() {
         let pre = preprocessed(80);
-        let a = select_sub_table(&pre, None, &SelectionParams::new(5, 3), 11).unwrap();
-        let b = select_sub_table(&pre, None, &SelectionParams::new(5, 3), 11).unwrap();
+        let a = select_sub_table(&pre, None, &SelectionParams::new(5, 3), 11, 1).unwrap();
+        let b = select_sub_table(&pre, None, &SelectionParams::new(5, 3), 11, 1).unwrap();
         assert_eq!(a.row_indices, b.row_indices);
         assert_eq!(a.columns, b.columns);
+    }
+
+    #[test]
+    fn threaded_selection_matches_sequential() {
+        // Enough rows that the clustering crosses the parallel threshold.
+        let pre = preprocessed(1500);
+        let params = SelectionParams::new(7, 3);
+        let sequential = select_sub_table(&pre, None, &params, 13, 1).unwrap();
+        for threads in [0, 2, 4] {
+            let parallel = select_sub_table(&pre, None, &params, 13, threads).unwrap();
+            assert_eq!(sequential.row_indices, parallel.row_indices);
+            assert_eq!(sequential.columns, parallel.columns);
+        }
     }
 }

@@ -45,7 +45,13 @@ impl SubTab {
 
     /// Selects a `k × l` sub-table of the full table.
     pub fn select(&self, params: &SelectionParams) -> Result<SubTableResult> {
-        select_sub_table(&self.pre, None, params, self.config.seed)
+        select_sub_table(
+            &self.pre,
+            None,
+            params,
+            self.config.seed,
+            self.config.threads,
+        )
     }
 
     /// Selects a `k × l` sub-table of the result of an SP query over the
@@ -56,7 +62,13 @@ impl SubTab {
         query: &Query,
         params: &SelectionParams,
     ) -> Result<SubTableResult> {
-        select_sub_table(&self.pre, Some(query), params, self.config.seed)
+        select_sub_table(
+            &self.pre,
+            Some(query),
+            params,
+            self.config.seed,
+            self.config.threads,
+        )
     }
 
     /// Attaches per-row rule highlights to a selection result (the optional
