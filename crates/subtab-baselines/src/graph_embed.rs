@@ -18,7 +18,7 @@ use crate::selection::Selection;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use subtab_binning::BinnedTable;
-use subtab_cluster::select_k_representatives;
+use subtab_cluster::{select_k_representatives, Matrix};
 use subtab_embed::corpus::Corpus;
 use subtab_embed::sgns::train_on_corpus;
 use subtab_embed::vocab::Vocab;
@@ -154,32 +154,32 @@ pub fn graph_embedding_select(
     let corpus = Corpus { sentences, vocab };
     let embedding = train_on_corpus(&corpus, &config.embedding);
 
-    // --- Node vectors → centroid selection, exactly as in SubTab.
-    let zero = vec![0.0f32; config.embedding.dim];
-    let row_vectors: Vec<Vec<f32>> = (0..n)
-        .map(|r| {
-            embedding
-                .vector(&format!("R{r}"))
-                .map(|v| v.to_vec())
-                .unwrap_or_else(|| zero.clone())
-        })
-        .collect();
-    let rows = select_k_representatives(&row_vectors, k.min(n), config.seed);
+    // --- Node vectors → centroid selection, exactly as in SubTab. Node
+    //     vectors are written straight into a flat matrix (zero row for
+    //     nodes the walks never embedded), no allocation per node.
+    let dim = config.embedding.dim;
+    let mut row_vectors = Matrix::with_capacity(n, dim);
+    for r in 0..n {
+        match embedding.vector(&format!("R{r}")) {
+            Some(v) => row_vectors.push_row(v),
+            None => row_vectors.push_zero_row(),
+        }
+    }
+    let rows = select_k_representatives(row_vectors.view(), k.min(n), config.seed);
 
     let free_cols: Vec<usize> = (0..m).filter(|c| !target_columns.contains(c)).collect();
     let l_free = l.saturating_sub(target_columns.len()).min(free_cols.len());
     let mut cols: Vec<usize> = target_columns.to_vec();
     if l_free > 0 {
-        let col_vectors: Vec<Vec<f32>> = free_cols
-            .iter()
-            .map(|&c| {
-                embedding
-                    .vector(&format!("C{c}"))
-                    .map(|v| v.to_vec())
-                    .unwrap_or_else(|| zero.clone())
-            })
-            .collect();
-        let reps = select_k_representatives(&col_vectors, l_free, config.seed.wrapping_add(1));
+        let mut col_vectors = Matrix::with_capacity(free_cols.len(), dim);
+        for &c in &free_cols {
+            match embedding.vector(&format!("C{c}")) {
+                Some(v) => col_vectors.push_row(v),
+                None => col_vectors.push_zero_row(),
+            }
+        }
+        let reps =
+            select_k_representatives(col_vectors.view(), l_free, config.seed.wrapping_add(1));
         cols.extend(reps.into_iter().map(|p| free_cols[p]));
     }
     Selection::new(rows, cols)

@@ -9,7 +9,7 @@
 
 use crate::encode::{encode_columns, encode_rows};
 use crate::selection::Selection;
-use subtab_cluster::select_k_representatives;
+use subtab_cluster::{select_k_representatives, Matrix};
 use subtab_data::Table;
 
 /// Selects a `k × l` sub-table by clustering one-hot encoded rows and
@@ -29,17 +29,23 @@ pub fn naive_clustering_select(
     }
 
     // Rows.
-    let row_vectors = encode_rows(table);
-    let rows = select_k_representatives(&row_vectors, k.min(n), seed);
+    let encoded_rows = encode_rows(table);
+    let row_dim = encoded_rows.first().map_or(0, Vec::len);
+    let row_vectors = Matrix::from_rows(&encoded_rows, row_dim);
+    let rows = select_k_representatives(row_vectors.view(), k.min(n), seed);
 
     // Columns: cluster the non-target columns, then add the targets.
     let col_vectors = encode_columns(table);
     let free: Vec<usize> = (0..m).filter(|c| !target_columns.contains(c)).collect();
-    let free_vectors: Vec<Vec<f32>> = free.iter().map(|&c| col_vectors[c].clone()).collect();
+    let col_dim = col_vectors.first().map_or(0, Vec::len);
+    let mut free_vectors = Matrix::with_capacity(free.len(), col_dim);
+    for &c in &free {
+        free_vectors.push_row(&col_vectors[c]);
+    }
     let l_free = l.saturating_sub(target_columns.len()).min(free.len());
     let mut cols: Vec<usize> = target_columns.to_vec();
     if l_free > 0 {
-        let reps = select_k_representatives(&free_vectors, l_free, seed.wrapping_add(1));
+        let reps = select_k_representatives(free_vectors.view(), l_free, seed.wrapping_add(1));
         cols.extend(reps.into_iter().map(|p| free[p]));
     }
     Selection::new(rows, cols)

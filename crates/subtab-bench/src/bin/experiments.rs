@@ -8,7 +8,8 @@
 //! ```
 
 use subtab_bench::experiments::{
-    ablation, phases, preprocess_scaling, quality, simulation, slow_baselines, tuning, user_study,
+    ablation, phases, preprocess_scaling, quality, query_scaling, simulation, slow_baselines,
+    tuning, user_study,
 };
 use subtab_bench::ExperimentScale;
 
@@ -25,13 +26,14 @@ experiments:
   figure10    Figure 10 — sensitivity to #bins / support / confidence
   ablation    design-choice ablations (binning, corpus, dim, alpha)
   preprocess  pre-processing hot-path scaling per trainer mode (CI gate)
-  all         everything above except `preprocess`
+  query       query-time selection scaling per engine mode (CI gate)
+  all         everything above except `preprocess` and `query`
 
 flags:
   --quick           tiny datasets and small budgets (seconds instead of minutes)
-  --json PATH       (preprocess) write the machine-readable report to PATH
-  --baseline PATH   (preprocess) compare against a baseline JSON; exit 1 on
-                    a >25% wall-time regression in any mode";
+  --json PATH       (preprocess | query) write the machine-readable report to PATH
+  --baseline PATH   (preprocess | query) compare against a baseline JSON; exit 1
+                    on a >25% wall-time regression in any mode";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -86,12 +88,14 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
-    if (json_path.is_some() || baseline_path.is_some())
-        && !requested.iter().any(|r| r == "preprocess")
-    {
+    let gated_requested = requested
+        .iter()
+        .filter(|r| *r == "preprocess" || *r == "query")
+        .count();
+    if (json_path.is_some() || baseline_path.is_some()) && gated_requested != 1 {
         eprintln!(
-            "--json/--baseline only apply to the `preprocess` experiment \
-             (note: `all` does not include it)\n\n{USAGE}"
+            "--json/--baseline apply to exactly one of the `preprocess` / `query` \
+             experiments per invocation (note: `all` includes neither)\n\n{USAGE}"
         );
         std::process::exit(2);
     }
@@ -131,30 +135,22 @@ fn main() {
             "preprocess" => {
                 let report = preprocess_scaling::run(scale);
                 println!("{}", preprocess_scaling::render(&report));
-                if let Some(path) = &json_path {
-                    let json = preprocess_scaling::to_json(&report);
-                    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-                    println!("[wrote {path}]");
-                }
-                if let Some(path) = &baseline_path {
-                    let baseline = std::fs::read_to_string(path)
-                        .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
-                    match preprocess_scaling::check_against_baseline(&report, &baseline, 0.25) {
-                        Ok(lines) => {
-                            println!("bench gate vs {path}: OK");
-                            for l in lines {
-                                println!("  {l}");
-                            }
-                        }
-                        Err(regressions) => {
-                            eprintln!("bench gate vs {path}: FAILED");
-                            for r in regressions {
-                                eprintln!("  {r}");
-                            }
-                            std::process::exit(1);
-                        }
-                    }
-                }
+                write_and_gate(
+                    json_path.as_deref(),
+                    baseline_path.as_deref(),
+                    &preprocess_scaling::to_json(&report),
+                    |baseline| preprocess_scaling::check_against_baseline(&report, baseline, 0.25),
+                );
+            }
+            "query" => {
+                let report = query_scaling::run(scale);
+                println!("{}", query_scaling::render(&report));
+                write_and_gate(
+                    json_path.as_deref(),
+                    baseline_path.as_deref(),
+                    &query_scaling::to_json(&report),
+                    |baseline| query_scaling::check_against_baseline(&report, baseline, 0.25),
+                );
             }
             other => {
                 eprintln!("unknown experiment {other:?}\n\n{USAGE}");
@@ -162,5 +158,39 @@ fn main() {
             }
         }
         println!("[{experiment} finished in {:.2?}]", start.elapsed());
+    }
+}
+
+/// Shared `--json` / `--baseline` handling of the gated experiments: writes
+/// the machine-readable report and exits 1 when the gate reports a
+/// regression.
+fn write_and_gate(
+    json_path: Option<&str>,
+    baseline_path: Option<&str>,
+    json: &str,
+    gate: impl FnOnce(&str) -> Result<Vec<String>, Vec<String>>,
+) {
+    if let Some(path) = json_path {
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("[wrote {path}]");
+    }
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+        match gate(&baseline) {
+            Ok(lines) => {
+                println!("bench gate vs {path}: OK");
+                for l in lines {
+                    println!("  {l}");
+                }
+            }
+            Err(regressions) => {
+                eprintln!("bench gate vs {path}: FAILED");
+                for r in regressions {
+                    eprintln!("  {r}");
+                }
+                std::process::exit(1);
+            }
+        }
     }
 }

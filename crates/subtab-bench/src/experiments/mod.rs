@@ -5,6 +5,7 @@ pub mod common;
 pub mod phases;
 pub mod preprocess_scaling;
 pub mod quality;
+pub mod query_scaling;
 pub mod simulation;
 pub mod slow_baselines;
 pub mod tuning;

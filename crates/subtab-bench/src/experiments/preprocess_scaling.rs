@@ -450,37 +450,51 @@ pub fn check_against_baseline(
     baseline_json: &str,
     threshold: f64,
 ) -> Result<Vec<String>, Vec<String>> {
+    let gated: Vec<(String, f64)> = report
+        .results
+        .iter()
+        .map(|r| (r.mode.clone(), r.wall_ms))
+        .chain(report.binning.iter().map(|r| (r.mode.clone(), r.wall_ms)))
+        .collect();
+    check_gated_modes(&gated, baseline_json, SEED_MODE, threshold)
+}
+
+/// The mode-by-mode regression check shared by every bench gate (preprocess
+/// and query experiments): compares `(mode, wall_ms)` pairs against a
+/// baseline JSON, normalising both sides to `reference_mode` of their own
+/// capture when present (see [`check_against_baseline`] for why). Baseline
+/// entries for modes absent from `gated` — e.g. another experiment's modes
+/// sharing the baseline file — are ignored.
+pub fn check_gated_modes(
+    gated: &[(String, f64)],
+    baseline_json: &str,
+    reference_mode: &str,
+    threshold: f64,
+) -> Result<Vec<String>, Vec<String>> {
     let baseline = match parse_results(baseline_json) {
         Ok(b) => b,
         Err(e) => return Err(vec![e]),
     };
     let seed_base = baseline
         .iter()
-        .find(|(m, _)| m == SEED_MODE)
+        .find(|(m, _)| m == reference_mode)
         .map(|&(_, ms)| ms);
-    let seed_cur = report
-        .results
+    let seed_cur = gated
         .iter()
-        .find(|r| r.mode == SEED_MODE)
-        .map(|r| r.wall_ms);
+        .find(|(m, _)| m == reference_mode)
+        .map(|&(_, ms)| ms);
     let normalise = seed_base.is_some() && seed_cur.is_some();
     let mut lines = Vec::new();
     let mut regressions = Vec::new();
-    let gated: Vec<(&str, f64)> = report
-        .results
-        .iter()
-        .map(|r| (r.mode.as_str(), r.wall_ms))
-        .chain(report.binning.iter().map(|r| (r.mode.as_str(), r.wall_ms)))
-        .collect();
-    for (mode, wall_ms) in gated {
-        if normalise && mode == SEED_MODE {
+    for &(ref mode, wall_ms) in gated {
+        if normalise && mode == reference_mode {
             lines.push(format!(
                 "{}: {:.2} ms (normalisation reference)",
                 mode, wall_ms
             ));
             continue;
         }
-        let Some((_, base_ms)) = baseline.iter().find(|(m, _)| *m == mode) else {
+        let Some((_, base_ms)) = baseline.iter().find(|(m, _)| m == mode) else {
             lines.push(format!("{}: {:.2} ms (no baseline)", mode, wall_ms));
             continue;
         };
@@ -488,10 +502,10 @@ pub fn check_against_baseline(
             (
                 wall_ms / seed_cur.unwrap().max(1e-9),
                 base_ms / seed_base.unwrap().max(1e-9),
-                "x seed-legacy",
+                format!("x {reference_mode}"),
             )
         } else {
-            (wall_ms, *base_ms, "ms")
+            (wall_ms, *base_ms, "ms".to_string())
         };
         let ratio = cur / base.max(1e-9);
         let line = format!(

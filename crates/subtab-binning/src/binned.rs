@@ -64,6 +64,13 @@ impl BinnedTable {
         self.codes[col][row]
     }
 
+    /// The full bin-code column of `col` (one entry per row) — the integer
+    /// access path used to build token-id planes without going through
+    /// per-cell string tokens.
+    pub fn codes(&self, col: usize) -> &[BinId] {
+        &self.codes[col]
+    }
+
     /// Number of bins of column `col` (including the null bin).
     pub fn num_bins(&self, col: usize) -> usize {
         self.labels[col].len()
@@ -154,6 +161,18 @@ mod tests {
         assert_eq!(bt.column_index("cancelled"), Some(1));
         assert_eq!(bt.column_index("nope"), None);
         assert_eq!(bt.column_names()[0], "airline");
+    }
+
+    #[test]
+    fn codes_column_matches_per_cell_lookup() {
+        let bt = binned();
+        for c in 0..bt.num_columns() {
+            let codes = bt.codes(c);
+            assert_eq!(codes.len(), bt.num_rows());
+            for (r, &code) in codes.iter().enumerate() {
+                assert_eq!(code, bt.bin_id(r, c));
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Lloyd's k-means with k-means++ initialisation.
 
 use crate::distance::squared_euclidean;
+use crate::matrix::MatrixView;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,10 +26,11 @@ pub struct KMeansResult {
 
 /// K-means clustering with deterministic seeding.
 ///
-/// The assignment step (the O(n·k·dim) hot loop) can fan out across scoped
-/// worker threads via [`KMeans::threads`]; every point's nearest centroid is
-/// an independent read-only computation, so the result is bit-identical at
-/// any thread count.
+/// Points are supplied as a contiguous row-major [`MatrixView`] — one flat
+/// buffer instead of a heap allocation per point. The assignment step (the
+/// O(n·k·dim) hot loop) can fan out across scoped worker threads via
+/// [`KMeans::threads`]; every point's nearest centroid is an independent
+/// read-only computation, so the result is bit-identical at any thread count.
 #[derive(Debug, Clone)]
 pub struct KMeans {
     k: usize,
@@ -67,8 +69,8 @@ impl KMeans {
     /// empty; with `k = 0` every point is assigned to a single implicit
     /// cluster 0 and no centroids are returned; with `k >= n` every point
     /// becomes its own centroid.
-    pub fn fit(&self, points: &[Vec<f32>]) -> KMeansResult {
-        let n = points.len();
+    pub fn fit(&self, points: MatrixView) -> KMeansResult {
+        let n = points.num_rows();
         if n == 0 || self.k == 0 {
             return KMeansResult {
                 centroids: Vec::new(),
@@ -78,35 +80,51 @@ impl KMeans {
             };
         }
         let k = self.k.min(n);
-        let dim = points[0].len();
+        let dim = points.dim();
         let threads = resolve_threads(self.threads);
         let mut rng = StdRng::seed_from_u64(self.seed);
 
+        // Centroids live in one contiguous `k × dim` buffer for the duration
+        // of the fit (the assignment hot loop scans them sequentially per
+        // point); they are only split into per-centroid vectors for the
+        // returned result.
         let mut centroids = kmeanspp_init(points, k, &mut rng);
         let mut assignments = vec![0usize; n];
         let mut dists = vec![0.0f32; n];
+        let mut sums = vec![0.0f32; k * dim];
+        let mut counts = vec![0usize; k];
         let mut iterations = 0usize;
         let mut stale = true;
 
         for iter in 0..self.max_iterations {
             iterations = iter + 1;
             // Assignment step.
-            let changed = assign_points(points, &centroids, &mut assignments, &mut dists, threads);
+            let changed = assign_points(
+                points,
+                &centroids,
+                dim,
+                &mut assignments,
+                &mut dists,
+                threads,
+            );
             // Update step.
-            let mut sums = vec![vec![0.0f32; dim]; centroids.len()];
-            let mut counts = vec![0usize; centroids.len()];
-            for (i, p) in points.iter().enumerate() {
+            sums.fill(0.0);
+            counts.fill(0);
+            for (i, p) in points.rows().enumerate() {
                 let c = assignments[i];
                 counts[c] += 1;
-                for (s, x) in sums[c].iter_mut().zip(p) {
+                for (s, x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(p) {
                     *s += x;
                 }
             }
             let mut empty = Vec::new();
-            for (c, sum) in sums.iter_mut().enumerate() {
-                if counts[c] > 0 {
-                    let inv = 1.0 / counts[c] as f32;
-                    for (dst, s) in centroids[c].iter_mut().zip(sum.iter()) {
+            for (c, &count) in counts.iter().enumerate() {
+                if count > 0 {
+                    let inv = 1.0 / count as f32;
+                    for (dst, s) in centroids[c * dim..(c + 1) * dim]
+                        .iter_mut()
+                        .zip(&sums[c * dim..(c + 1) * dim])
+                    {
                         *dst = s * inv;
                     }
                 } else {
@@ -114,7 +132,7 @@ impl KMeans {
                 }
             }
             if !empty.is_empty() {
-                reseed_empty_clusters(points, &mut centroids, &empty);
+                reseed_empty_clusters(points, &mut centroids, dim, &empty);
             }
             // With unchanged assignments and no re-seeding, this update
             // recomputed bit-identical centroids, so `assignments`/`dists`
@@ -134,11 +152,18 @@ impl KMeans {
         // against the final centroids so the reported triple is
         // self-consistent; at a clean convergent exit the pass is skipped.
         if stale {
-            assign_points(points, &centroids, &mut assignments, &mut dists, threads);
+            assign_points(
+                points,
+                &centroids,
+                dim,
+                &mut assignments,
+                &mut dists,
+                threads,
+            );
         }
         let inertia = dists.iter().sum();
         KMeansResult {
-            centroids,
+            centroids: centroids.chunks(dim.max(1)).map(<[f32]>::to_vec).collect(),
             assignments,
             inertia,
             iterations,
@@ -164,16 +189,18 @@ fn resolve_threads(configured: usize) -> usize {
 /// point's result is independent of the others, so the outcome is identical
 /// to the sequential pass.
 fn assign_points(
-    points: &[Vec<f32>],
-    centroids: &[Vec<f32>],
+    points: MatrixView,
+    centroids: &[f32],
+    dim: usize,
     assignments: &mut [usize],
     dists: &mut [f32],
     threads: usize,
 ) -> bool {
-    let assign_chunk = |pts: &[Vec<f32>], asg: &mut [usize], ds: &mut [f32]| -> bool {
+    let dim = dim.max(1);
+    let assign_chunk = |pts: &[f32], asg: &mut [usize], ds: &mut [f32]| -> bool {
         let mut changed = false;
-        for ((p, a), d) in pts.iter().zip(asg.iter_mut()).zip(ds.iter_mut()) {
-            let (best, best_d) = nearest_centroid(p, centroids);
+        for ((p, a), d) in pts.chunks_exact(dim).zip(asg.iter_mut()).zip(ds.iter_mut()) {
+            let (best, best_d) = nearest_centroid(p, centroids, dim);
             if *a != best {
                 *a = best;
                 changed = true;
@@ -182,14 +209,15 @@ fn assign_points(
         }
         changed
     };
-    if threads <= 1 || points.len() < PARALLEL_MIN_POINTS {
-        return assign_chunk(points, assignments, dists);
+    if threads <= 1 || points.num_rows() < PARALLEL_MIN_POINTS {
+        return assign_chunk(points.data(), assignments, dists);
     }
-    let chunk = points.len().div_ceil(threads);
+    let chunk = points.num_rows().div_ceil(threads);
     let changed = std::sync::atomic::AtomicBool::new(false);
     std::thread::scope(|scope| {
         for ((pts, asg), ds) in points
-            .chunks(chunk)
+            .data()
+            .chunks(chunk * dim)
             .zip(assignments.chunks_mut(chunk))
             .zip(dists.chunks_mut(chunk))
         {
@@ -212,45 +240,83 @@ fn assign_points(
 /// in order, each taking the next unclaimed one, so two clusters emptied in
 /// the same iteration can no longer be re-seeded onto the same point (which
 /// produced duplicate centroids).
-fn reseed_empty_clusters(points: &[Vec<f32>], centroids: &mut [Vec<f32>], empty: &[usize]) {
+fn reseed_empty_clusters(points: MatrixView, centroids: &mut [f32], dim: usize, empty: &[usize]) {
     let dists: Vec<f32> = points
-        .iter()
-        .map(|p| nearest_centroid(p, centroids).1)
+        .rows()
+        .map(|p| nearest_centroid(p, centroids, dim).1)
         .collect();
-    let mut order: Vec<usize> = (0..points.len()).collect();
+    let mut order: Vec<usize> = (0..points.num_rows()).collect();
     // Farthest first; the stable sort keeps ties in index order so the
     // re-seeding stays deterministic.
     order.sort_by(|&a, &b| dists[b].total_cmp(&dists[a]));
     for (&c, &far) in empty.iter().zip(order.iter()) {
-        centroids[c] = points[far].clone();
+        centroids[c * dim..(c + 1) * dim].copy_from_slice(points.row(far));
     }
 }
 
-fn nearest_centroid(point: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+/// Nearest centroid of `point` over a flat `k × dim` centroid buffer
+/// (candidates scanned in centroid order, first strict improvement wins —
+/// ties keep the earlier centroid).
+///
+/// Centroids are processed four at a time with one independent accumulator
+/// per centroid: each distance still accumulates its squared differences in
+/// element order exactly like [`squared_euclidean`] (no reassociation), and
+/// the best-so-far comparisons run in centroid order, so the result is
+/// bit-identical to a one-centroid-at-a-time scan — the blocking only lets
+/// the CPU overlap the four serial addition chains instead of waiting out
+/// one chain's latency per candidate.
+fn nearest_centroid(point: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
     let mut best = 0usize;
     let mut best_d = f32::INFINITY;
-    for (c, centroid) in centroids.iter().enumerate() {
-        let d = squared_euclidean(point, centroid);
+    let mut update = |c: usize, d: f32| {
         if d < best_d {
             best_d = d;
             best = c;
         }
+    };
+    let mut blocks = centroids.chunks_exact(dim * 4);
+    let mut c = 0usize;
+    for block in &mut blocks {
+        let (c0, rest) = block.split_at(dim);
+        let (c1, rest) = rest.split_at(dim);
+        let (c2, c3) = rest.split_at(dim);
+        let (mut d0, mut d1, mut d2, mut d3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for ((((&x, y0), y1), y2), y3) in point.iter().zip(c0).zip(c1).zip(c2).zip(c3) {
+            let e0 = x - y0;
+            d0 += e0 * e0;
+            let e1 = x - y1;
+            d1 += e1 * e1;
+            let e2 = x - y2;
+            d2 += e2 * e2;
+            let e3 = x - y3;
+            d3 += e3 * e3;
+        }
+        update(c, d0);
+        update(c + 1, d1);
+        update(c + 2, d2);
+        update(c + 3, d3);
+        c += 4;
+    }
+    for centroid in blocks.remainder().chunks_exact(dim) {
+        update(c, squared_euclidean(point, centroid));
+        c += 1;
     }
     (best, best_d)
 }
 
 /// k-means++ seeding: the first centroid is uniform, subsequent centroids are
 /// drawn with probability proportional to the squared distance to the nearest
-/// already-chosen centroid.
-fn kmeanspp_init(points: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
-    let n = points.len();
-    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
-    centroids.push(points[rng.gen_range(0..n)].clone());
+/// already-chosen centroid. Returns the seeds as one flat `k × dim` buffer.
+fn kmeanspp_init(points: MatrixView, k: usize, rng: &mut StdRng) -> Vec<f32> {
+    let n = points.num_rows();
+    let dim = points.dim();
+    let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
+    centroids.extend_from_slice(points.row(rng.gen_range(0..n)));
     let mut dists: Vec<f32> = points
-        .iter()
-        .map(|p| squared_euclidean(p, &centroids[0]))
+        .rows()
+        .map(|p| squared_euclidean(p, &centroids[..dim]))
         .collect();
-    while centroids.len() < k {
+    while centroids.len() < k * dim {
         let total: f32 = dists.iter().sum();
         let next = if total <= f32::EPSILON {
             // All remaining points coincide with existing centroids.
@@ -267,9 +333,10 @@ fn kmeanspp_init(points: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32
             }
             chosen
         };
-        centroids.push(points[next].clone());
-        for (i, p) in points.iter().enumerate() {
-            let d = squared_euclidean(p, centroids.last().expect("just pushed"));
+        centroids.extend_from_slice(points.row(next));
+        let latest = &centroids[centroids.len() - dim..];
+        for (i, p) in points.rows().enumerate() {
+            let d = squared_euclidean(p, latest);
             if d < dists[i] {
                 dists[i] = d;
             }
@@ -281,13 +348,14 @@ fn kmeanspp_init(points: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::Matrix;
 
-    fn blobs() -> Vec<Vec<f32>> {
-        let mut pts = Vec::new();
+    fn blobs() -> Matrix {
+        let mut pts = Matrix::with_capacity(60, 2);
         for i in 0..20 {
-            pts.push(vec![0.0 + (i % 5) as f32 * 0.01, 0.0]);
-            pts.push(vec![10.0 + (i % 5) as f32 * 0.01, 10.0]);
-            pts.push(vec![-10.0, 5.0 + (i % 5) as f32 * 0.01]);
+            pts.push_row(&[0.0 + (i % 5) as f32 * 0.01, 0.0]);
+            pts.push_row(&[10.0 + (i % 5) as f32 * 0.01, 10.0]);
+            pts.push_row(&[-10.0, 5.0 + (i % 5) as f32 * 0.01]);
         }
         pts
     }
@@ -295,9 +363,9 @@ mod tests {
     #[test]
     fn separates_well_separated_blobs() {
         let pts = blobs();
-        let result = KMeans::new(3, 1).fit(&pts);
+        let result = KMeans::new(3, 1).fit(pts.view());
         assert_eq!(result.centroids.len(), 3);
-        assert_eq!(result.assignments.len(), pts.len());
+        assert_eq!(result.assignments.len(), pts.num_rows());
         // Points in the same blob share an assignment.
         assert_eq!(result.assignments[0], result.assignments[3]);
         assert_eq!(result.assignments[1], result.assignments[4]);
@@ -309,43 +377,44 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let pts = blobs();
-        let a = KMeans::new(3, 9).fit(&pts);
-        let b = KMeans::new(3, 9).fit(&pts);
+        let a = KMeans::new(3, 9).fit(pts.view());
+        let b = KMeans::new(3, 9).fit(pts.view());
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.centroids, b.centroids);
     }
 
     #[test]
     fn k_greater_than_n() {
-        let pts = vec![vec![0.0], vec![1.0]];
-        let result = KMeans::new(5, 0).fit(&pts);
+        let pts = Matrix::new(vec![0.0, 1.0], 1);
+        let result = KMeans::new(5, 0).fit(pts.view());
         assert_eq!(result.centroids.len(), 2);
     }
 
     #[test]
     fn degenerate_inputs() {
-        let empty: Vec<Vec<f32>> = Vec::new();
-        let r = KMeans::new(3, 0).fit(&empty);
+        let empty = Matrix::with_capacity(0, 2);
+        let r = KMeans::new(3, 0).fit(empty.view());
         assert!(r.centroids.is_empty());
         assert!(r.assignments.is_empty());
 
-        let r = KMeans::new(0, 0).fit(&[vec![1.0], vec![2.0]]);
+        let pts = Matrix::new(vec![1.0, 2.0], 1);
+        let r = KMeans::new(0, 0).fit(pts.view());
         assert!(r.centroids.is_empty());
         assert_eq!(r.assignments, vec![0, 0]);
     }
 
     #[test]
     fn identical_points_do_not_crash() {
-        let pts = vec![vec![2.0, 2.0]; 12];
-        let r = KMeans::new(3, 4).fit(&pts);
+        let pts = Matrix::from_rows(&vec![vec![2.0, 2.0]; 12], 2);
+        let r = KMeans::new(3, 4).fit(pts.view());
         assert_eq!(r.assignments.len(), 12);
         assert!(r.inertia < 1e-6);
     }
 
     #[test]
     fn single_cluster_centroid_is_mean() {
-        let pts = vec![vec![0.0], vec![2.0], vec![4.0]];
-        let r = KMeans::new(1, 0).fit(&pts);
+        let pts = Matrix::new(vec![0.0, 2.0, 4.0], 1);
+        let r = KMeans::new(1, 0).fit(pts.view());
         assert_eq!(r.centroids.len(), 1);
         assert!((r.centroids[0][0] - 2.0).abs() < 1e-6);
     }
@@ -353,7 +422,7 @@ mod tests {
     #[test]
     fn max_iterations_is_respected() {
         let pts = blobs();
-        let r = KMeans::new(3, 1).max_iterations(1).fit(&pts);
+        let r = KMeans::new(3, 1).max_iterations(1).fit(pts.view());
         assert_eq!(r.iterations, 1);
     }
 
@@ -363,22 +432,26 @@ mod tests {
         // Regression: the old re-seeder picked "the farthest point" once per
         // empty cluster without tracking claims, so both empty clusters
         // landed on the same point and produced duplicate centroids.
-        let points = vec![
-            vec![0.0, 0.0],
-            vec![0.1, 0.0],
-            vec![0.0, 0.1],
-            vec![30.0, 0.0],
-            vec![29.0, 0.0],
-        ];
-        let mut centroids = vec![vec![0.0, 0.0], vec![500.0, 500.0], vec![600.0, 600.0]];
-        reseed_empty_clusters(&points, &mut centroids, &[1, 2]);
+        let points = Matrix::from_rows(
+            &[
+                vec![0.0, 0.0],
+                vec![0.1, 0.0],
+                vec![0.0, 0.1],
+                vec![30.0, 0.0],
+                vec![29.0, 0.0],
+            ],
+            2,
+        );
+        let mut centroids = vec![0.0, 0.0, 500.0, 500.0, 600.0, 600.0];
+        reseed_empty_clusters(points.view(), &mut centroids, 2, &[1, 2]);
         assert_ne!(
-            centroids[1], centroids[2],
+            centroids[2..4],
+            centroids[4..6],
             "empty clusters were re-seeded onto the same point"
         );
         // They claim the two farthest points, in distance order.
-        assert_eq!(centroids[1], vec![30.0, 0.0]);
-        assert_eq!(centroids[2], vec![29.0, 0.0]);
+        assert_eq!(&centroids[2..4], &[30.0, 0.0]);
+        assert_eq!(&centroids[4..6], &[29.0, 0.0]);
     }
 
     #[test]
@@ -390,17 +463,18 @@ mod tests {
         let pts = blobs();
         for seed in 0..20 {
             for cap in [1, 2] {
-                let r = KMeans::new(3, seed).max_iterations(cap).fit(&pts);
+                let r = KMeans::new(3, seed).max_iterations(cap).fit(pts.view());
+                let flat_centroids: Vec<f32> = r.centroids.concat();
                 let mut expected_inertia = 0.0f32;
-                for (i, p) in pts.iter().enumerate() {
-                    let (best, d) = nearest_centroid(p, &r.centroids);
+                for (i, p) in pts.view().rows().enumerate() {
+                    let (best, d) = nearest_centroid(p, &flat_centroids, 2);
                     assert_eq!(
                         r.assignments[i], best,
                         "seed {seed} cap {cap}: point {i} not assigned to its nearest centroid"
                     );
                     expected_inertia += d;
                 }
-                let tol = f32::EPSILON * expected_inertia.max(1.0) * pts.len() as f32;
+                let tol = f32::EPSILON * expected_inertia.max(1.0) * pts.num_rows() as f32;
                 assert!(
                     (r.inertia - expected_inertia).abs() <= tol,
                     "seed {seed} cap {cap}: inertia {} != recomputed {expected_inertia}",
@@ -411,29 +485,65 @@ mod tests {
         // k = 1 at the cap: iteration 0 moves the centroid off its k-means++
         // seed without changing any assignment, so the reported inertia must
         // still be measured against the moved centroid.
-        let r = KMeans::new(1, 3).max_iterations(1).fit(&pts);
+        let r = KMeans::new(1, 3).max_iterations(1).fit(pts.view());
         let expected: f32 = pts
-            .iter()
+            .view()
+            .rows()
             .map(|p| squared_euclidean(p, &r.centroids[0]))
             .sum();
-        assert!((r.inertia - expected).abs() <= f32::EPSILON * expected * pts.len() as f32);
+        assert!((r.inertia - expected).abs() <= f32::EPSILON * expected * pts.num_rows() as f32);
+    }
+
+    #[test]
+    fn pruned_nearest_centroid_matches_full_evaluation() {
+        // The early-abandon refinement must decide every comparison exactly
+        // like an unpruned scan, ties (equal distances) included.
+        let dims = [1usize, 3, 4, 7, 16];
+        for &dim in &dims {
+            let mut centroids = Vec::new();
+            for c in 0..6 {
+                for j in 0..dim {
+                    centroids.push(((c * 7 + j * 3) % 5) as f32 - 2.0);
+                }
+            }
+            // Duplicate centroid 0 as centroid 5 to force an exact tie.
+            let dup = centroids[..dim].to_vec();
+            let start = 5 * dim;
+            centroids[start..start + dim].copy_from_slice(&dup);
+            for p in 0..40 {
+                let point: Vec<f32> = (0..dim).map(|j| ((p * 5 + j) % 11) as f32 * 0.3).collect();
+                let (best, best_d) = nearest_centroid(&point, &centroids, dim);
+                // Reference: full evaluation, first strict improvement wins.
+                let mut ref_best = 0usize;
+                let mut ref_d = f32::INFINITY;
+                for (c, centroid) in centroids.chunks_exact(dim).enumerate() {
+                    let d = squared_euclidean(&point, centroid);
+                    if d < ref_d {
+                        ref_d = d;
+                        ref_best = c;
+                    }
+                }
+                assert_eq!(best, ref_best, "dim {dim} point {p}");
+                assert_eq!(best_d.to_bits(), ref_d.to_bits(), "dim {dim} point {p}");
+            }
+        }
     }
 
     #[test]
     fn threaded_fit_is_bit_identical_to_sequential() {
         // Enough points to cross PARALLEL_MIN_POINTS so the chunked path
         // actually runs.
-        let mut pts = Vec::new();
+        let mut pts = Matrix::with_capacity(PARALLEL_MIN_POINTS + 500, 2);
         for i in 0..PARALLEL_MIN_POINTS + 500 {
             let blob = (i % 3) as f32;
-            pts.push(vec![
+            pts.push_row(&[
                 blob * 25.0 + (i % 7) as f32 * 0.1,
                 blob * -10.0 + (i % 11) as f32 * 0.1,
             ]);
         }
-        let sequential = KMeans::new(3, 5).fit(&pts);
+        let sequential = KMeans::new(3, 5).fit(pts.view());
         for threads in [0, 2, 4] {
-            let parallel = KMeans::new(3, 5).threads(threads).fit(&pts);
+            let parallel = KMeans::new(3, 5).threads(threads).fit(pts.view());
             assert_eq!(sequential.assignments, parallel.assignments);
             assert_eq!(sequential.centroids, parallel.centroids);
             assert_eq!(sequential.inertia, parallel.inertia);

@@ -4,10 +4,13 @@
 //! step" machinery of the SubTab algorithm (Algorithm 2, lines 11–17) and of
 //! the naive-clustering baseline.
 //!
-//! The crate is deliberately generic: it operates on plain `&[Vec<f32>]`
-//! point sets so that the same code clusters embedding row-vectors,
-//! embedding column-vectors and one-hot-encoded rows.
+//! The crate is deliberately generic: it operates on contiguous row-major
+//! point matrices ([`Matrix`] / [`MatrixView`] — one flat `f32` buffer, no
+//! heap allocation per point) so that the same code clusters embedding
+//! row-vectors, embedding column-vectors and one-hot-encoded rows.
 //!
+//! * [`matrix`] — the owned/borrowed flat point-matrix types every API
+//!   consumes,
 //! * [`kmeans`] — Lloyd's algorithm with k-means++ initialisation, empty
 //!   cluster repair, deterministic seeding and an optional scoped-thread
 //!   fan-out of the assignment step (bit-identical at any thread count),
@@ -18,16 +21,17 @@
 //! * [`distance`] — the Euclidean distance helpers shared by both.
 //!
 //! ```
-//! use subtab_cluster::{kmeans::KMeans, representative::select_representatives};
+//! use subtab_cluster::{KMeans, Matrix, select_representatives};
 //!
-//! let points = vec![
-//!     vec![0.0, 0.0], vec![0.1, 0.0], vec![10.0, 10.0], vec![10.1, 9.9],
-//! ];
-//! let result = KMeans::new(2, 42).fit(&points);
-//! let reps = select_representatives(&points, &result);
+//! let points = Matrix::new(
+//!     vec![0.0, 0.0, 0.1, 0.0, 10.0, 10.0, 10.1, 9.9],
+//!     2,
+//! );
+//! let result = KMeans::new(2, 42).fit(points.view());
+//! let reps = select_representatives(points.view(), &result);
 //! assert_eq!(reps.len(), 2);
 //! // One representative from each blob.
-//! assert_ne!(points[reps[0]][0] > 5.0, points[reps[1]][0] > 5.0);
+//! assert_ne!(points.row(reps[0])[0] > 5.0, points.row(reps[1])[0] > 5.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -35,10 +39,12 @@
 
 pub mod distance;
 pub mod kmeans;
+pub mod matrix;
 pub mod representative;
 
 pub use distance::{euclidean, squared_euclidean};
 pub use kmeans::{KMeans, KMeansResult};
+pub use matrix::{Matrix, MatrixView};
 pub use representative::{
     select_k_representatives, select_k_representatives_threaded, select_representatives,
 };

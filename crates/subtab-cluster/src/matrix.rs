@@ -1,0 +1,202 @@
+//! Contiguous row-major point matrices.
+//!
+//! The clustering APIs operate on a flat `rows × dim` `f32` buffer instead of
+//! `&[Vec<f32>]`: one allocation for an entire point set, cache-friendly
+//! sequential scans, and callers (embedding gathers, one-hot encoders) can
+//! write their vectors straight into the buffer without a heap allocation per
+//! point. [`Matrix`] owns such a buffer; [`MatrixView`] borrows one.
+
+/// A borrowed row-major `rows × dim` matrix of `f32` points.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixView<'a> {
+    data: &'a [f32],
+    dim: usize,
+}
+
+impl<'a> MatrixView<'a> {
+    /// Wraps a flat row-major buffer of `data.len() / dim` points.
+    ///
+    /// Panics if `data.len()` is not a multiple of `dim`, or if `dim == 0`
+    /// with a non-empty buffer (the row count would be undefined).
+    pub fn new(data: &'a [f32], dim: usize) -> Self {
+        if dim == 0 {
+            assert!(data.is_empty(), "dim = 0 requires an empty buffer");
+        } else {
+            assert_eq!(data.len() % dim, 0, "buffer is not a whole number of rows");
+        }
+        MatrixView { data, dim }
+    }
+
+    /// Number of points.
+    pub fn num_rows(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// Whether the matrix holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality of each point.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The underlying flat buffer.
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// The `i`-th point.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterator over the points, in order.
+    pub fn rows(&self) -> std::slice::ChunksExact<'a, f32> {
+        // `chunks_exact(0)` panics; an empty view yields no rows either way.
+        self.data.chunks_exact(self.dim.max(1))
+    }
+}
+
+/// An owned row-major `rows × dim` matrix of `f32` points.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Matrix {
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl Matrix {
+    /// Takes ownership of a flat row-major buffer (same validity rules as
+    /// [`MatrixView::new`]).
+    pub fn new(data: Vec<f32>, dim: usize) -> Self {
+        // Validate through the view constructor.
+        let _ = MatrixView::new(&data, dim);
+        Matrix { data, dim }
+    }
+
+    /// An empty matrix that will hold `dim`-dimensional points, with space
+    /// reserved for `rows` of them.
+    pub fn with_capacity(rows: usize, dim: usize) -> Self {
+        Matrix {
+            data: Vec::with_capacity(rows * dim),
+            dim,
+        }
+    }
+
+    /// Flattens nested per-point vectors (every point must have length `dim`).
+    pub fn from_rows(rows: &[Vec<f32>], dim: usize) -> Self {
+        let mut m = Matrix::with_capacity(rows.len(), dim);
+        for r in rows {
+            m.push_row(r);
+        }
+        m
+    }
+
+    /// Appends one point.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "point dimensionality mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Appends a zero point.
+    pub fn push_zero_row(&mut self) {
+        self.data.resize(self.data.len() + self.dim, 0.0);
+    }
+
+    /// Number of points.
+    pub fn num_rows(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// Whether the matrix holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality of each point.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `i`-th point.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The underlying flat buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// A borrowed view of the whole matrix.
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView {
+            data: &self.data,
+            dim: self.dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_shape_and_rows() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let v = MatrixView::new(&data, 2);
+        assert_eq!(v.num_rows(), 3);
+        assert_eq!(v.dim(), 2);
+        assert_eq!(v.row(1), &[3.0, 4.0]);
+        let rows: Vec<&[f32]> = v.rows().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0], &[5.0, 6.0]]);
+    }
+
+    #[test]
+    fn empty_views() {
+        let v = MatrixView::new(&[], 4);
+        assert!(v.is_empty());
+        assert_eq!(v.num_rows(), 0);
+        assert_eq!(v.rows().count(), 0);
+        let z = MatrixView::new(&[], 0);
+        assert_eq!(z.num_rows(), 0);
+        assert_eq!(z.rows().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn ragged_buffer_is_rejected() {
+        let _ = MatrixView::new(&[1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn matrix_building() {
+        let mut m = Matrix::with_capacity(2, 3);
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_zero_row();
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.row(1), &[0.0, 0.0, 0.0]);
+        let v = m.view();
+        assert_eq!(v.num_rows(), 2);
+        assert_eq!(v.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let m = Matrix::from_rows(&rows, 2);
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.row(0), rows[0].as_slice());
+        assert_eq!(m.row(1), rows[1].as_slice());
+        assert_eq!(Matrix::from_rows(&[], 5).num_rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn push_row_checks_dim() {
+        Matrix::with_capacity(1, 2).push_row(&[1.0]);
+    }
+}

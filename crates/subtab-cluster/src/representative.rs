@@ -10,18 +10,29 @@
 
 use crate::distance::squared_euclidean;
 use crate::kmeans::{KMeans, KMeansResult};
+use crate::matrix::MatrixView;
 
 /// For each centroid of `result`, the index of the nearest point in `points`,
 /// with duplicates resolved to the next nearest unused point.
-pub fn select_representatives(points: &[Vec<f32>], result: &KMeansResult) -> Vec<usize> {
+pub fn select_representatives(points: MatrixView, result: &KMeansResult) -> Vec<usize> {
     let mut chosen: Vec<usize> = Vec::with_capacity(result.centroids.len());
     for centroid in &result.centroids {
-        let mut order: Vec<usize> = (0..points.len()).collect();
-        order.sort_by(|&a, &b| {
-            squared_euclidean(&points[a], centroid)
-                .total_cmp(&squared_euclidean(&points[b], centroid))
-        });
-        if let Some(&idx) = order.iter().find(|i| !chosen.contains(i)) {
+        // Linear argmin over the unused points. The original implementation
+        // stably argsorted all points by distance and took the first unused
+        // one; a strict `<` scan in index order picks the same point (lowest
+        // index among the minimal unused distances) in O(n) instead of
+        // O(n log n) with a distance evaluation per comparison.
+        let mut best: Option<(usize, f32)> = None;
+        for (i, p) in points.rows().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            let d = squared_euclidean(p, centroid);
+            if best.is_none_or(|(_, bd)| d.total_cmp(&bd).is_lt()) {
+                best = Some((i, d));
+            }
+        }
+        if let Some((idx, _)) = best {
             chosen.push(idx);
         }
     }
@@ -30,7 +41,7 @@ pub fn select_representatives(points: &[Vec<f32>], result: &KMeansResult) -> Vec
 
 /// Clusters `points` into `k` clusters and returns the indices of the `k`
 /// representative points (fewer if there are fewer points than `k`).
-pub fn select_k_representatives(points: &[Vec<f32>], k: usize, seed: u64) -> Vec<usize> {
+pub fn select_k_representatives(points: MatrixView, k: usize, seed: u64) -> Vec<usize> {
     select_k_representatives_threaded(points, k, seed, 1)
 }
 
@@ -40,7 +51,7 @@ pub fn select_k_representatives(points: &[Vec<f32>], k: usize, seed: u64) -> Vec
 /// The assignment step is read-only per point, so the selection is
 /// bit-identical at every thread count; the knob only changes wall time.
 pub fn select_k_representatives_threaded(
-    points: &[Vec<f32>],
+    points: MatrixView,
     k: usize,
     seed: u64,
     threads: usize,
@@ -48,8 +59,8 @@ pub fn select_k_representatives_threaded(
     if k == 0 || points.is_empty() {
         return Vec::new();
     }
-    if points.len() <= k {
-        return (0..points.len()).collect();
+    if points.num_rows() <= k {
+        return (0..points.num_rows()).collect();
     }
     let result = KMeans::new(k, seed).threads(threads).fit(points);
     select_representatives(points, &result)
@@ -58,16 +69,17 @@ pub fn select_k_representatives_threaded(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::Matrix;
 
     #[test]
     fn representatives_are_distinct_and_one_per_cluster() {
-        let mut points = Vec::new();
+        let mut points = Matrix::with_capacity(30, 2);
         for i in 0..10 {
-            points.push(vec![0.0, i as f32 * 0.01]);
-            points.push(vec![100.0, i as f32 * 0.01]);
-            points.push(vec![-100.0, i as f32 * 0.01]);
+            points.push_row(&[0.0, i as f32 * 0.01]);
+            points.push_row(&[100.0, i as f32 * 0.01]);
+            points.push_row(&[-100.0, i as f32 * 0.01]);
         }
-        let reps = select_k_representatives(&points, 3, 7);
+        let reps = select_k_representatives(points.view(), 3, 7);
         assert_eq!(reps.len(), 3);
         let mut sorted = reps.clone();
         sorted.sort_unstable();
@@ -77,9 +89,9 @@ mod tests {
         let blobs: Vec<i32> = reps
             .iter()
             .map(|&i| {
-                if points[i][0] > 50.0 {
+                if points.row(i)[0] > 50.0 {
                     1
-                } else if points[i][0] < -50.0 {
+                } else if points.row(i)[0] < -50.0 {
                     -1
                 } else {
                     0
@@ -96,8 +108,8 @@ mod tests {
     fn duplicate_centroids_fall_back_to_unused_points() {
         // All points identical: k-means centroids coincide, but the selected
         // representatives must still be distinct indices.
-        let points = vec![vec![1.0, 1.0]; 6];
-        let reps = select_k_representatives(&points, 3, 0);
+        let points = Matrix::from_rows(&vec![vec![1.0, 1.0]; 6], 2);
+        let reps = select_k_representatives(points.view(), 3, 0);
         assert_eq!(reps.len(), 3);
         let mut sorted = reps;
         sorted.sort_unstable();
@@ -107,30 +119,32 @@ mod tests {
 
     #[test]
     fn fewer_points_than_k_returns_all() {
-        let points = vec![vec![0.0], vec![1.0]];
-        let reps = select_k_representatives(&points, 10, 0);
+        let points = Matrix::new(vec![0.0, 1.0], 1);
+        let reps = select_k_representatives(points.view(), 10, 0);
         assert_eq!(reps, vec![0, 1]);
     }
 
     #[test]
     fn degenerate_inputs() {
-        assert!(select_k_representatives(&[], 3, 0).is_empty());
-        assert!(select_k_representatives(&[vec![1.0]], 0, 0).is_empty());
-        assert!(select_k_representatives_threaded(&[], 3, 0, 4).is_empty());
+        let empty = Matrix::with_capacity(0, 1);
+        assert!(select_k_representatives(empty.view(), 3, 0).is_empty());
+        let one = Matrix::new(vec![1.0], 1);
+        assert!(select_k_representatives(one.view(), 0, 0).is_empty());
+        assert!(select_k_representatives_threaded(empty.view(), 3, 0, 4).is_empty());
     }
 
     #[test]
     fn threaded_selection_matches_sequential() {
-        let mut points = Vec::new();
+        let mut points = Matrix::with_capacity(1800, 2);
         for i in 0..1800 {
             let blob = (i % 3) as f32;
-            points.push(vec![blob * 40.0 + (i % 9) as f32 * 0.05, blob]);
+            points.push_row(&[blob * 40.0 + (i % 9) as f32 * 0.05, blob]);
         }
-        let sequential = select_k_representatives(&points, 3, 11);
+        let sequential = select_k_representatives(points.view(), 3, 11);
         for threads in [0, 2, 4] {
             assert_eq!(
                 sequential,
-                select_k_representatives_threaded(&points, 3, 11, threads),
+                select_k_representatives_threaded(points.view(), 3, 11, threads),
                 "threads = {threads}"
             );
         }
@@ -138,14 +152,14 @@ mod tests {
 
     #[test]
     fn representative_is_the_nearest_member() {
-        let points = vec![vec![0.0], vec![0.9], vec![10.0], vec![10.4]];
-        let result = KMeans::new(2, 3).fit(&points);
-        let reps = select_representatives(&points, &result);
+        let points = Matrix::new(vec![0.0, 0.9, 10.0, 10.4], 1);
+        let result = KMeans::new(2, 3).fit(points.view());
+        let reps = select_representatives(points.view(), &result);
         // Each representative must belong to the cluster whose centroid it
         // represents (i.e. be closest to that centroid among all points).
         for (ci, &rep) in reps.iter().enumerate() {
-            let d_rep = squared_euclidean(&points[rep], &result.centroids[ci]);
-            for p in &points {
+            let d_rep = squared_euclidean(points.row(rep), &result.centroids[ci]);
+            for p in points.view().rows() {
                 // Allow ties; the representative is at least as close as any
                 // unused point.
                 assert!(d_rep <= squared_euclidean(p, &result.centroids[ci]) + 1e-6);

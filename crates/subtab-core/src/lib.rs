@@ -56,6 +56,7 @@ pub use error::CoreError;
 pub use highlight::{highlight_rules, RuleHighlight};
 pub use preprocess::PreprocessedTable;
 pub use result::SubTableResult;
+pub use select::{select_sub_table, select_sub_table_strkey};
 pub use subtab::SubTab;
 
 /// Result alias for SubTab operations.

@@ -4,27 +4,36 @@ use crate::config::SubTabConfig;
 use crate::Result;
 use std::sync::{Arc, RwLock};
 use subtab_binning::{BinnedTable, Binner};
+use subtab_cluster::Matrix;
 use subtab_data::Table;
-use subtab_embed::{train_embedding, CellEmbedding};
+use subtab_embed::{train_embedding, CellEmbedding, TokenPlane};
 
 /// The output of SubTab's pre-processing phase for one table.
 ///
 /// Pre-processing is executed once, when the table is loaded; every
 /// subsequent sub-table selection (for the table itself or for query results
-/// over it) reuses the fitted [`Binner`], the binned table and the trained
-/// [`CellEmbedding`], which is what makes query-time selection interactive
-/// (Figure 9 of the paper).
+/// over it) reuses the fitted [`Binner`], the binned table, the trained
+/// [`CellEmbedding`] and the precomputed [`TokenPlane`] of per-cell
+/// embedding-row ids, which is what makes query-time selection interactive
+/// (Figure 9 of the paper): after this constructor returns, no selection
+/// ever formats or hashes a token string again.
 #[derive(Debug)]
 pub struct PreprocessedTable {
     table: Table,
     binner: Binner,
     binned: BinnedTable,
     embedding: CellEmbedding,
+    /// Dense `num_rows × num_cols` matrix of embedding-row ids (sentinel for
+    /// unembedded bins) — the integer plane every query-time gather indexes.
+    plane: TokenPlane,
+    /// Worker threads used by the cached full-table row-vector computation
+    /// (from [`SubTabConfig::threads`] at preprocess time).
+    threads: usize,
     /// Lazily computed row vectors of the *full* table over all columns,
-    /// shared by selections that operate on the whole table. `Arc`-shared so
-    /// handing the cache to a selection is a pointer bump, not an
-    /// O(rows × dim) deep clone.
-    full_row_vectors: RwLock<Option<Arc<Vec<Vec<f32>>>>>,
+    /// shared by selections that operate on the whole table. One flat
+    /// row-major matrix behind an `Arc`, so handing the cache to a selection
+    /// is a pointer bump, not an O(rows × dim) deep clone.
+    full_row_vectors: RwLock<Option<Arc<Matrix>>>,
 }
 
 impl PreprocessedTable {
@@ -33,11 +42,14 @@ impl PreprocessedTable {
         let binner = Binner::fit(&table, &config.binning)?;
         let binned = binner.apply(&table)?;
         let embedding = train_embedding(&binned, &config.embedding);
+        let plane = embedding.token_plane(&binned);
         Ok(PreprocessedTable {
             table,
             binner,
             binned,
             embedding,
+            plane,
+            threads: config.threads,
             full_row_vectors: RwLock::new(None),
         })
     }
@@ -62,11 +74,17 @@ impl PreprocessedTable {
         &self.embedding
     }
 
-    /// Row vectors of the full table over all columns, computed on first use
-    /// and cached. Returns a shared handle — cloning it is O(1), so every
-    /// whole-table selection reuses the same backing storage instead of
-    /// deep-cloning O(rows × dim) floats out of the lock.
-    pub fn full_row_vectors(&self) -> Arc<Vec<Vec<f32>>> {
+    /// The precomputed token-id plane of the full table.
+    pub fn plane(&self) -> &TokenPlane {
+        &self.plane
+    }
+
+    /// Row vectors of the full table over all columns as one flat row-major
+    /// `num_rows × dim` matrix, computed on first use and cached. Returns a
+    /// shared handle — cloning it is O(1), so every whole-table selection
+    /// reuses the same backing storage instead of deep-cloning
+    /// O(rows × dim) floats out of the lock.
+    pub fn full_row_vectors(&self) -> Arc<Matrix> {
         if let Some(v) = self
             .full_row_vectors
             .read()
@@ -75,16 +93,22 @@ impl PreprocessedTable {
         {
             return Arc::clone(v);
         }
-        let cols: Vec<usize> = (0..self.binned.num_columns()).collect();
-        let vectors: Arc<Vec<Vec<f32>>> = Arc::new(
-            (0..self.binned.num_rows())
-                .map(|r| self.embedding.row_vector(&self.binned, r, &cols))
-                .collect(),
-        );
+        // Double-checked locking: take the write lock *before* computing and
+        // re-check, so two threads racing past the read miss cannot both pay
+        // for the O(rows × cols × dim) gather — the loser blocks here and
+        // finds the winner's matrix.
         let mut slot = self.full_row_vectors.write().expect("lock poisoned");
-        // Another thread may have raced us here; keep whichever landed first
-        // so every caller shares one allocation.
-        Arc::clone(slot.get_or_insert(vectors))
+        if let Some(v) = slot.as_ref() {
+            return Arc::clone(v);
+        }
+        let cols: Vec<usize> = (0..self.binned.num_columns()).collect();
+        let rows: Vec<usize> = (0..self.binned.num_rows()).collect();
+        let flat = self
+            .embedding
+            .row_vectors(&self.plane, &rows, &cols, self.threads);
+        let vectors = Arc::new(Matrix::new(flat, self.embedding.dim()));
+        *slot = Some(Arc::clone(&vectors));
+        vectors
     }
 }
 
@@ -123,6 +147,8 @@ mod tests {
         assert_eq!(pre.binned().num_columns(), 3);
         assert!(!pre.embedding().is_empty());
         assert!(pre.binner().column("distance").is_some());
+        assert_eq!(pre.plane().num_rows(), 60);
+        assert_eq!(pre.plane().num_cols(), 3);
     }
 
     #[test]
@@ -130,9 +156,35 @@ mod tests {
         let pre = PreprocessedTable::new(table(30), &SubTabConfig::fast()).unwrap();
         let a = pre.full_row_vectors();
         let b = pre.full_row_vectors();
-        assert_eq!(a.len(), 30);
+        assert_eq!(a.num_rows(), 30);
         assert_eq!(a, b);
-        assert_eq!(a[0].len(), pre.embedding().dim());
+        assert!(Arc::ptr_eq(&a, &b), "second call must reuse the cache");
+        assert_eq!(a.dim(), pre.embedding().dim());
+        // The cached matrix matches the per-row gather.
+        let cols: Vec<usize> = (0..3).collect();
+        for r in 0..30 {
+            assert_eq!(
+                a.row(r),
+                pre.embedding().row_vector(pre.plane(), r, &cols).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_first_use_computes_one_shared_matrix() {
+        let pre = PreprocessedTable::new(table(40), &SubTabConfig::fast()).unwrap();
+        let handles: Vec<Arc<Matrix>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| pre.full_row_vectors()))
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        for h in &handles[1..] {
+            assert!(
+                Arc::ptr_eq(&handles[0], h),
+                "every racer must share one allocation"
+            );
+        }
     }
 
     #[test]
@@ -142,7 +194,7 @@ mod tests {
             .build()
             .unwrap();
         let pre = PreprocessedTable::new(t, &SubTabConfig::fast()).unwrap();
-        assert_eq!(pre.full_row_vectors().len(), 0);
+        assert_eq!(pre.full_row_vectors().num_rows(), 0);
         assert_eq!(pre.embedding().len(), 0);
     }
 }

@@ -5,7 +5,7 @@ use crate::error::CoreError;
 use crate::preprocess::PreprocessedTable;
 use crate::result::SubTableResult;
 use crate::Result;
-use subtab_cluster::select_k_representatives_threaded;
+use subtab_cluster::{select_k_representatives_threaded, Matrix, MatrixView};
 use subtab_data::Query;
 
 /// Selects a sub-table of the full table or of a query result over it.
@@ -17,9 +17,12 @@ use subtab_data::Query;
 /// the cheap query-time path of the paper, which reuses the pre-processed
 /// binning and embedding.
 ///
-/// `threads` fans the k-means assignment step of the row/column clustering
-/// out across scoped workers (`0` = all available cores); the selection is
-/// bit-identical at every thread count.
+/// Row and column vectors are integer-indexed gathers over the preprocessed
+/// token-id plane (no string is formatted or hashed at query time), written
+/// into flat matrices consumed directly by the clustering. `threads` fans
+/// both the vector gathers and the k-means assignment step out across scoped
+/// workers (`0` = all available cores); the selection is bit-identical at
+/// every thread count.
 pub fn select_sub_table(
     pre: &PreprocessedTable,
     query: Option<&Query>,
@@ -27,107 +30,223 @@ pub fn select_sub_table(
     seed: u64,
     threads: usize,
 ) -> Result<SubTableResult> {
-    if params.k == 0 || params.l == 0 {
-        return Err(CoreError::InvalidParams(
-            "k and l must both be at least 1".into(),
-        ));
-    }
-    if params.target_columns.len() > params.l {
-        return Err(CoreError::InvalidParams(format!(
-            "{} target columns do not fit into l = {}",
-            params.target_columns.len(),
-            params.l
-        )));
-    }
-    let table = pre.table();
-    let binned = pre.binned();
-    for t in &params.target_columns {
-        if table.schema().index_of(t).is_none() {
-            return Err(CoreError::UnknownColumn(t.clone()));
-        }
-    }
-
-    // Candidate rows: all rows, or the rows matching the query's predicates.
-    let candidate_rows: Vec<usize> = match query {
-        None => (0..table.num_rows()).collect(),
-        Some(q) => q.matching_rows(table)?,
-    };
-    if candidate_rows.is_empty() {
-        return Err(CoreError::EmptyQueryResult);
-    }
-
-    // Candidate columns: the query's projection if present, otherwise all.
-    let candidate_columns: Vec<usize> = match query.and_then(|q| q.projection.as_ref()) {
-        Some(proj) => {
-            let mut cols = Vec::with_capacity(proj.len());
-            for name in proj {
-                let idx = table
-                    .schema()
-                    .index_of(name)
-                    .ok_or_else(|| CoreError::UnknownColumn(name.clone()))?;
-                cols.push(idx);
-            }
-            // Target columns are always candidates even if the projection
-            // dropped them (the paper requires U* ⊆ U_sub).
-            for t in &params.target_columns {
-                let idx = table.schema().index_of(t).expect("validated above");
-                if !cols.contains(&idx) {
-                    cols.push(idx);
-                }
-            }
-            cols
-        }
-        None => (0..table.num_columns()).collect(),
-    };
-
-    // --- Row selection: tuple-vectors, k-means, centroid representatives.
-    let k = params.k.min(candidate_rows.len());
+    let ctx = SelectionContext::prepare(pre, query, params)?;
     let embedding = pre.embedding();
+    let plane = pre.plane();
+
     // Whole-table selections borrow the Arc-cached full row vectors
     // directly (candidate rows are exactly 0..num_rows, in order), so the
     // hot query-free path never copies a single vector.
     let cached;
     let computed;
-    let row_vectors: &[Vec<f32>] =
-        if query.is_none() && candidate_columns.len() == table.num_columns() {
-            cached = pre.full_row_vectors();
-            &cached
-        } else {
-            computed = candidate_rows
-                .iter()
-                .map(|&r| embedding.row_vector(binned, r, &candidate_columns))
-                .collect::<Vec<_>>();
-            &computed
+    let row_vectors: MatrixView = if ctx.whole_table {
+        cached = pre.full_row_vectors();
+        cached.view()
+    } else {
+        computed = Matrix::new(
+            embedding.row_vectors(plane, &ctx.candidate_rows, &ctx.candidate_columns, threads),
+            embedding.dim(),
+        );
+        computed.view()
+    };
+
+    let col_vectors = if ctx.l_free > 0 {
+        Matrix::new(
+            embedding.column_vectors(plane, &ctx.free_columns, &ctx.candidate_rows, threads),
+            embedding.dim(),
+        )
+    } else {
+        Matrix::default()
+    };
+
+    finish_selection(pre, &ctx, row_vectors, col_vectors.view(), seed, threads)
+}
+
+/// The pre-refactor string-keyed selection path, preserved as the reference
+/// implementation: every cell vector is resolved by formatting a
+/// `"column=label"` token and hashing it into the embedding's string index,
+/// and whole-table selections recompute their row vectors rather than using
+/// the cache. The equivalence suite asserts [`select_sub_table`] is
+/// bit-identical to this on every planted dataset, and the query benchmark
+/// quotes its speedup against it.
+pub fn select_sub_table_strkey(
+    pre: &PreprocessedTable,
+    query: Option<&Query>,
+    params: &SelectionParams,
+    seed: u64,
+    threads: usize,
+) -> Result<SubTableResult> {
+    let ctx = SelectionContext::prepare(pre, query, params)?;
+    let embedding = pre.embedding();
+    let binned = pre.binned();
+
+    let mut row_vectors = Matrix::with_capacity(ctx.candidate_rows.len(), embedding.dim());
+    for &r in &ctx.candidate_rows {
+        row_vectors.push_row(&embedding.row_vector_strkey(binned, r, &ctx.candidate_columns));
+    }
+    let mut col_vectors = Matrix::with_capacity(ctx.free_columns.len(), embedding.dim());
+    if ctx.l_free > 0 {
+        for &c in &ctx.free_columns {
+            col_vectors.push_row(&embedding.column_vector_strkey(binned, c, &ctx.candidate_rows));
+        }
+    }
+
+    finish_selection(
+        pre,
+        &ctx,
+        row_vectors.view(),
+        col_vectors.view(),
+        seed,
+        threads,
+    )
+}
+
+/// Validated candidate sets shared by both selection engines.
+struct SelectionContext {
+    candidate_rows: Vec<usize>,
+    candidate_columns: Vec<usize>,
+    /// Indices of the target columns (`U*`).
+    target_idx: Vec<usize>,
+    /// Candidate columns that are not targets, in candidate order.
+    free_columns: Vec<usize>,
+    /// Requested row count clamped to the candidate rows.
+    k: usize,
+    /// Column-cluster count after reserving room for the targets.
+    l_free: usize,
+    /// Whether the selection runs over the full table with all columns (the
+    /// cached-row-vector fast path).
+    whole_table: bool,
+}
+
+impl SelectionContext {
+    fn prepare(
+        pre: &PreprocessedTable,
+        query: Option<&Query>,
+        params: &SelectionParams,
+    ) -> Result<Self> {
+        if params.k == 0 || params.l == 0 {
+            return Err(CoreError::InvalidParams(
+                "k and l must both be at least 1".into(),
+            ));
+        }
+        if params.target_columns.len() > params.l {
+            return Err(CoreError::InvalidParams(format!(
+                "{} target columns do not fit into l = {}",
+                params.target_columns.len(),
+                params.l
+            )));
+        }
+        let table = pre.table();
+        let num_columns = table.num_columns();
+        for t in &params.target_columns {
+            if table.schema().index_of(t).is_none() {
+                return Err(CoreError::UnknownColumn(t.clone()));
+            }
+        }
+
+        // Candidate rows: all rows, or the rows matching the query's
+        // predicates.
+        let candidate_rows: Vec<usize> = match query {
+            None => (0..table.num_rows()).collect(),
+            Some(q) => q.matching_rows(table)?,
         };
-    let rep_positions = select_k_representatives_threaded(row_vectors, k, seed, threads);
-    let mut row_indices: Vec<usize> = rep_positions.iter().map(|&p| candidate_rows[p]).collect();
+        if candidate_rows.is_empty() {
+            return Err(CoreError::EmptyQueryResult);
+        }
+
+        // Candidate columns: the query's projection if present, otherwise
+        // all. Membership bookkeeping uses index masks over the schema, so
+        // wide-table queries stay linear instead of the old
+        // O(|targets| × |cols|) `Vec::contains` scans.
+        let mut in_candidates = vec![false; num_columns];
+        let candidate_columns: Vec<usize> = match query.and_then(|q| q.projection.as_ref()) {
+            Some(proj) => {
+                let mut cols = Vec::with_capacity(proj.len());
+                for name in proj {
+                    let idx = table
+                        .schema()
+                        .index_of(name)
+                        .ok_or_else(|| CoreError::UnknownColumn(name.clone()))?;
+                    cols.push(idx);
+                    in_candidates[idx] = true;
+                }
+                // Target columns are always candidates even if the projection
+                // dropped them (the paper requires U* ⊆ U_sub).
+                for t in &params.target_columns {
+                    let idx = table.schema().index_of(t).expect("validated above");
+                    if !in_candidates[idx] {
+                        in_candidates[idx] = true;
+                        cols.push(idx);
+                    }
+                }
+                cols
+            }
+            None => {
+                in_candidates.fill(true);
+                (0..num_columns).collect()
+            }
+        };
+
+        let k = params.k.min(candidate_rows.len());
+        let target_idx: Vec<usize> = params
+            .target_columns
+            .iter()
+            .map(|t| table.schema().index_of(t).expect("validated above"))
+            .collect();
+        let mut is_target = vec![false; num_columns];
+        for &t in &target_idx {
+            is_target[t] = true;
+        }
+        let free_columns: Vec<usize> = candidate_columns
+            .iter()
+            .copied()
+            .filter(|&c| !is_target[c])
+            .collect();
+        let l_free = params
+            .l
+            .saturating_sub(target_idx.len())
+            .min(free_columns.len());
+        let whole_table = query.is_none() && candidate_columns.len() == num_columns;
+        Ok(SelectionContext {
+            candidate_rows,
+            candidate_columns,
+            target_idx,
+            free_columns,
+            k,
+            l_free,
+            whole_table,
+        })
+    }
+}
+
+/// The clustering + assembly tail shared by both engines: k-means centroid
+/// representatives over the row matrix, column clustering into
+/// `l − |U*|` clusters over the column matrix, schema-ordered assembly.
+fn finish_selection(
+    pre: &PreprocessedTable,
+    ctx: &SelectionContext,
+    row_vectors: MatrixView,
+    col_vectors: MatrixView,
+    seed: u64,
+    threads: usize,
+) -> Result<SubTableResult> {
+    let table = pre.table();
+    let rep_positions = select_k_representatives_threaded(row_vectors, ctx.k, seed, threads);
+    let mut row_indices: Vec<usize> = rep_positions
+        .iter()
+        .map(|&p| ctx.candidate_rows[p])
+        .collect();
     row_indices.sort_unstable();
 
-    // --- Column selection: column-vectors over the candidate rows, k-means
-    //     into l − |U*| clusters, representatives, plus the target columns.
-    let target_idx: Vec<usize> = params
-        .target_columns
-        .iter()
-        .map(|t| table.schema().index_of(t).expect("validated above"))
-        .collect();
-    let free_columns: Vec<usize> = candidate_columns
-        .iter()
-        .copied()
-        .filter(|c| !target_idx.contains(c))
-        .collect();
-    let l_free = params
-        .l
-        .saturating_sub(target_idx.len())
-        .min(free_columns.len());
-    let mut selected_columns: Vec<usize> = target_idx.clone();
-    if l_free > 0 {
-        let col_vectors: Vec<Vec<f32>> = free_columns
-            .iter()
-            .map(|&c| embedding.column_vector(binned, c, &candidate_rows))
-            .collect();
-        let reps =
-            select_k_representatives_threaded(&col_vectors, l_free, seed.wrapping_add(1), threads);
-        selected_columns.extend(reps.into_iter().map(|p| free_columns[p]));
+    let mut selected_columns: Vec<usize> = ctx.target_idx.clone();
+    if ctx.l_free > 0 {
+        let reps = select_k_representatives_threaded(
+            col_vectors,
+            ctx.l_free,
+            seed.wrapping_add(1),
+            threads,
+        );
+        selected_columns.extend(reps.into_iter().map(|p| ctx.free_columns[p]));
     }
     // Preserve the original schema order for display.
     selected_columns.sort_unstable();
@@ -325,5 +444,22 @@ mod tests {
             assert_eq!(sequential.row_indices, parallel.row_indices);
             assert_eq!(sequential.columns, parallel.columns);
         }
+    }
+
+    #[test]
+    fn strkey_reference_path_matches_the_token_id_engine() {
+        let pre = preprocessed(120);
+        let params = SelectionParams::new(6, 3).with_targets(&["cancelled"]);
+        let a = select_sub_table(&pre, None, &params, 9, 1).unwrap();
+        let b = select_sub_table_strkey(&pre, None, &params, 9, 1).unwrap();
+        assert_eq!(a.row_indices, b.row_indices);
+        assert_eq!(a.columns, b.columns);
+        let q = Query::new()
+            .filter(Predicate::eq("airline", Value::from("DL")))
+            .select(&["distance", "airline"]);
+        let a = select_sub_table(&pre, Some(&q), &params, 9, 1).unwrap();
+        let b = select_sub_table_strkey(&pre, Some(&q), &params, 9, 1).unwrap();
+        assert_eq!(a.row_indices, b.row_indices);
+        assert_eq!(a.columns, b.columns);
     }
 }

@@ -35,11 +35,13 @@
 #![warn(clippy::all)]
 
 pub mod generator;
+pub mod queries;
 pub mod sessions;
 pub mod spec;
 pub mod zoo;
 
 pub use generator::{generate, PlantedDataset};
+pub use queries::{benchmark_filter, benchmark_filter_query, benchmark_projected_query};
 pub use sessions::{generate_sessions, Session, SessionConfig};
 pub use spec::{Archetype, CellSpec, ColumnSpec, DatasetSize, DatasetSpec};
 pub use zoo::{bank_loans, credit_card, cyber, flights, spotify, us_funds, DatasetKind};

@@ -1,0 +1,103 @@
+//! Canonical benchmark queries over the planted datasets.
+//!
+//! The query benchmark and the token-ID equivalence suite must exercise the
+//! *same* query shapes, so the builders live here — next to the dataset
+//! generators whose schemas they assume — instead of being duplicated at
+//! each consumer.
+
+use subtab_data::{Predicate, Query, Table};
+
+/// An equality filter guaranteed to match a non-trivial subset of rows on
+/// any planted dataset: the first column whose row-0 value is non-null and
+/// repeats at least 4 times within the first 64 rows (every generator
+/// plants low-cardinality categorical columns, so the scan always finds
+/// one).
+///
+/// Panics if no column qualifies — that would mean a dataset generator no
+/// longer plants a repeated categorical value, which both the benchmark and
+/// the equivalence suite rely on.
+pub fn benchmark_filter(table: &Table) -> Predicate {
+    let probe = table.num_rows().min(64);
+    let (filter_col, filter_value) = column_names(table)
+        .iter()
+        .find_map(|name| {
+            let v0 = table.value(0, name).ok()?;
+            if v0.is_null() {
+                return None;
+            }
+            let repeats = (1..probe)
+                .filter(|&r| table.value(r, name).is_ok_and(|v| v == v0))
+                .count();
+            (repeats >= 4).then_some((name.clone(), v0))
+        })
+        .expect("every planted dataset has a repeated categorical value");
+    Predicate::eq(&filter_col, filter_value)
+}
+
+/// The selection-only benchmark query: [`benchmark_filter`] with no
+/// projection, so candidate columns are the full schema — the
+/// gather-heaviest canonical query shape.
+pub fn benchmark_filter_query(table: &Table) -> Query {
+    Query::new().filter(benchmark_filter(table))
+}
+
+/// The selection–projection benchmark query: the same filter plus the first
+/// half of the columns (at least 2) projected.
+pub fn benchmark_projected_query(table: &Table) -> Query {
+    let names = column_names(table);
+    let projected: Vec<&str> = names
+        .iter()
+        .take((names.len() / 2).max(2))
+        .map(String::as_str)
+        .collect();
+    Query::new()
+        .filter(benchmark_filter(table))
+        .select(&projected)
+}
+
+fn column_names(table: &Table) -> Vec<String> {
+    (0..table.num_columns())
+        .map(|c| {
+            table
+                .schema()
+                .field_at(c)
+                .expect("index valid")
+                .name
+                .clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetKind, DatasetSize};
+
+    #[test]
+    fn benchmark_queries_hold_on_every_planted_dataset() {
+        for kind in [
+            DatasetKind::Flights,
+            DatasetKind::Cyber,
+            DatasetKind::Spotify,
+            DatasetKind::CreditCard,
+            DatasetKind::UsFunds,
+            DatasetKind::BankLoans,
+        ] {
+            let dataset = kind.build(DatasetSize::Tiny, 5);
+            let fq = benchmark_filter_query(&dataset.table);
+            let matched = fq.matching_rows(&dataset.table).unwrap();
+            assert!(!matched.is_empty(), "{kind:?}: filter must match rows");
+            assert!(matched.len() <= dataset.table.num_rows());
+            assert!(fq.projection.is_none());
+            let pq = benchmark_projected_query(&dataset.table);
+            assert_eq!(
+                pq.matching_rows(&dataset.table).unwrap(),
+                matched,
+                "{kind:?}: both queries share the filter"
+            );
+            let proj = pq.projection.as_ref().expect("projection set");
+            assert!(proj.len() >= 2);
+            assert!(proj.len() <= dataset.table.num_columns());
+        }
+    }
+}

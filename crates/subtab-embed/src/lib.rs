@@ -20,9 +20,10 @@
 //!   fast Word2Vec variant of Mikolov et al. used by gensim) that scales
 //!   across cores Hogwild-style, with a bit-exact single-threaded reference
 //!   path and a reproducible parallel mode,
-//! * [`model`] — the resulting [`CellEmbedding`]: a map from (column, bin)
-//!   tokens to dense vectors, with helpers to average them into row and
-//!   column vectors.
+//! * [`model`] — the resulting [`CellEmbedding`]: one flat row-major vector
+//!   matrix over the (column, bin) tokens, plus the [`TokenPlane`] of
+//!   precomputed per-cell embedding-row ids that makes query-time row/column
+//!   gathers string-free (the string index is kept only for the cold API).
 //!
 //! Everything is deterministic given the seed in [`EmbeddingConfig`] unless
 //! `deterministic = false` is combined with `threads > 1` (lock-free
@@ -37,6 +38,6 @@ pub mod sgns;
 pub mod vocab;
 
 pub use corpus::{build_corpus, Corpus};
-pub use model::CellEmbedding;
+pub use model::{CellEmbedding, TokenPlane, NO_TOKEN};
 pub use sgns::{train_embedding, EmbeddingConfig};
 pub use vocab::{AliasTable, Vocab};
