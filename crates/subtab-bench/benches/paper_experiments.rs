@@ -176,6 +176,42 @@ fn bench_ablation_binning(c: &mut Criterion) {
     group.finish();
 }
 
+/// Rule engine: bitmap vs Apriori mining and indexed vs linear
+/// highlighting (the load-path costs gated by the `rules` experiment).
+fn bench_rule_engine(c: &mut Criterion) {
+    use subtab_binning::Binner;
+    use subtab_core::{highlight_rules, highlight_rules_linear};
+    use subtab_datasets::benchmark_target_column;
+    use subtab_rules::{MiningConfig, RuleMiner};
+    let mut group = c.benchmark_group("rule_engine");
+    group.sample_size(10);
+    let dataset = DatasetKind::Cyber.build(ExperimentScale::Quick.dataset_size(), 31);
+    let binner = Binner::fit(
+        &dataset.table,
+        &ExperimentScale::Quick.subtab_config().binning,
+    )
+    .expect("binning fits");
+    let binned = binner.apply(&dataset.table).expect("binning applies");
+    let target = binned
+        .column_index(&benchmark_target_column(&dataset.table))
+        .expect("target column exists");
+    let miner = RuleMiner::new(MiningConfig::default());
+    group.bench_function("mine_bitmap", |b| b.iter(|| black_box(miner.mine(&binned))));
+    group.bench_function("mine_apriori", |b| {
+        b.iter(|| black_box(miner.mine_apriori(&binned)))
+    });
+    let rules = miner.mine_with_targets(&binned, &[target]);
+    let cols: Vec<String> = binned.column_names().to_vec();
+    let rows: Vec<usize> = (0..binned.num_rows().min(256)).collect();
+    group.bench_function("highlight_indexed", |b| {
+        b.iter(|| black_box(highlight_rules(&binned, &rules, &rows, &cols)))
+    });
+    group.bench_function("highlight_linear", |b| {
+        b.iter(|| black_box(highlight_rules_linear(&binned, &rules, &rows, &cols)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = configure(&mut Criterion::default());
@@ -186,6 +222,7 @@ criterion_group! {
         bench_quality_metrics,
         bench_phases,
         bench_parameter_tuning,
-        bench_ablation_binning
+        bench_ablation_binning,
+        bench_rule_engine
 }
 criterion_main!(benches);

@@ -8,8 +8,8 @@
 //! ```
 
 use subtab_bench::experiments::{
-    ablation, phases, preprocess_scaling, quality, query_scaling, simulation, slow_baselines,
-    tuning, user_study,
+    ablation, phases, preprocess_scaling, quality, query_scaling, rules_mining, simulation,
+    slow_baselines, tuning, user_study,
 };
 use subtab_bench::ExperimentScale;
 
@@ -27,12 +27,13 @@ experiments:
   ablation    design-choice ablations (binning, corpus, dim, alpha)
   preprocess  pre-processing hot-path scaling per trainer mode (CI gate)
   query       query-time selection scaling per engine mode (CI gate)
-  all         everything above except `preprocess` and `query`
+  rules       rule-engine scaling: bitmap vs Apriori mining, highlight index (CI gate)
+  all         everything above except `preprocess`, `query` and `rules`
 
 flags:
   --quick           tiny datasets and small budgets (seconds instead of minutes)
-  --json PATH       (preprocess | query) write the machine-readable report to PATH
-  --baseline PATH   (preprocess | query) compare against a baseline JSON; exit 1
+  --json PATH       (preprocess | query | rules) write the machine-readable report to PATH
+  --baseline PATH   (preprocess | query | rules) compare against a baseline JSON; exit 1
                     on a >25% wall-time regression in any mode";
 
 fn main() {
@@ -90,12 +91,12 @@ fn main() {
     }
     let gated_requested = requested
         .iter()
-        .filter(|r| *r == "preprocess" || *r == "query")
+        .filter(|r| *r == "preprocess" || *r == "query" || *r == "rules")
         .count();
     if (json_path.is_some() || baseline_path.is_some()) && gated_requested != 1 {
         eprintln!(
-            "--json/--baseline apply to exactly one of the `preprocess` / `query` \
-             experiments per invocation (note: `all` includes neither)\n\n{USAGE}"
+            "--json/--baseline apply to exactly one of the `preprocess` / `query` / `rules` \
+             experiments per invocation (note: `all` includes none of them)\n\n{USAGE}"
         );
         std::process::exit(2);
     }
@@ -150,6 +151,16 @@ fn main() {
                     baseline_path.as_deref(),
                     &query_scaling::to_json(&report),
                     |baseline| query_scaling::check_against_baseline(&report, baseline, 0.25),
+                );
+            }
+            "rules" => {
+                let report = rules_mining::run(scale);
+                println!("{}", rules_mining::render(&report));
+                write_and_gate(
+                    json_path.as_deref(),
+                    baseline_path.as_deref(),
+                    &rules_mining::to_json(&report),
+                    |baseline| rules_mining::check_against_baseline(&report, baseline, 0.25),
                 );
             }
             other => {

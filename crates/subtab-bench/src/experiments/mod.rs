@@ -6,6 +6,7 @@ pub mod phases;
 pub mod preprocess_scaling;
 pub mod quality;
 pub mod query_scaling;
+pub mod rules_mining;
 pub mod simulation;
 pub mod slow_baselines;
 pub mod tuning;

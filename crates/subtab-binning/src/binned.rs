@@ -76,6 +76,14 @@ impl BinnedTable {
         self.labels[col].len()
     }
 
+    /// Number of bins of every column, in column order — the shape the rule
+    /// engine's dense item interner is built from (item ids are column-major
+    /// offsets into this layout, with [`BinnedTable::codes`] as the
+    /// per-column transaction source).
+    pub fn bin_counts(&self) -> Vec<usize> {
+        self.labels.iter().map(Vec::len).collect()
+    }
+
     /// Label of bin `bin` of column `col`.
     pub fn label(&self, col: usize, bin: BinId) -> &BinLabel {
         &self.labels[col][bin as usize]
@@ -213,6 +221,16 @@ mod tests {
         assert_eq!(cols.num_columns(), 1);
         assert_eq!(cols.column_names()[0], "cancelled");
         assert_eq!(cols.bin_id(3, 0), bt.bin_id(3, 1));
+    }
+
+    #[test]
+    fn bin_counts_match_per_column_lookup() {
+        let bt = binned();
+        let counts = bt.bin_counts();
+        assert_eq!(counts.len(), bt.num_columns());
+        for (c, &n) in counts.iter().enumerate() {
+            assert_eq!(n, bt.num_bins(c));
+        }
     }
 
     #[test]

@@ -1,29 +1,177 @@
 //! Per-row association-rule highlighting (the optional UI extension of the
 //! paper, shown in Figures 1–3: in each displayed row, the cells that
 //! participate in one covered rule are coloured).
+//!
+//! Highlighting is an indexed probe over integer item ids: rules are
+//! bucketed by their column mask, so a row only ever tests rules whose
+//! columns are all currently selected, and each test is a merge of the
+//! rule's sorted item-id slice against the row's own (column-ordered)
+//! item-id list — no string comparison, no per-rule column materialisation.
+//! The pre-refactor linear scan is preserved as
+//! [`highlight_rules_linear`], the reference twin the index is pinned
+//! against.
 
+use std::collections::HashMap;
 use subtab_binning::BinnedTable;
-use subtab_rules::RuleSet;
+use subtab_rules::{ColumnMask, ItemId, RuleSet};
 
 /// A rule highlighted for one sub-table row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuleHighlight {
+    /// Index of the rule within the [`RuleSet`] it was probed from — the
+    /// stable id a UI can use to deduplicate, colour or look the rule up
+    /// without re-parsing the description.
+    pub rule_index: usize,
     /// Columns participating in the rule (cells to colour).
     pub columns: Vec<String>,
     /// Human-readable rendering of the rule.
     pub description: String,
 }
 
-/// For every selected row, picks at most one rule to highlight: among the
-/// rules whose columns are all selected and which hold for the row, the
-/// largest one (most cells highlighted), ties broken by support. This mirrors
-/// the paper's "to avoid visual clutter we only highlight one rule per row".
+/// Rules bucketed by column mask, ready to be probed for any selection.
+///
+/// Build once per rule set (one pass over the rules); probing a selection
+/// touches only the buckets whose mask is a subset of the selected columns.
+#[derive(Debug)]
+pub struct HighlightIndex<'r> {
+    rules: &'r RuleSet,
+    /// One bucket per distinct column mask, with the indices of its rules
+    /// ascending.
+    buckets: Vec<(ColumnMask, Vec<usize>)>,
+}
+
+impl<'r> HighlightIndex<'r> {
+    /// Buckets the rules of `rules` by their column masks.
+    pub fn build(rules: &'r RuleSet) -> Self {
+        let mut by_mask: HashMap<&ColumnMask, Vec<usize>> = HashMap::new();
+        for (i, rule) in rules.iter().enumerate() {
+            by_mask.entry(&rule.column_mask).or_default().push(i);
+        }
+        let mut buckets: Vec<(ColumnMask, Vec<usize>)> = by_mask
+            .into_iter()
+            .map(|(mask, idxs)| (mask.clone(), idxs))
+            .collect();
+        // Deterministic bucket order (probe output is order-independent,
+        // but determinism keeps Debug output and iteration stable).
+        buckets.sort_by(|a, b| a.1[0].cmp(&b.1[0]));
+        HighlightIndex { rules, buckets }
+    }
+
+    /// Number of distinct column-mask buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// For every probed row, picks at most one rule to highlight: among the
+    /// rules whose columns are all in `selected_columns` and which hold for
+    /// the row, the largest one (most cells highlighted), ties broken by
+    /// support, then by rule index. This mirrors the paper's "to avoid
+    /// visual clutter we only highlight one rule per row".
+    pub fn probe(
+        &self,
+        binned_full: &BinnedTable,
+        row_indices: &[usize],
+        selected_columns: &[String],
+    ) -> Vec<Option<RuleHighlight>> {
+        let interner = self.rules.interner();
+        let selected = ColumnMask::from_columns(
+            selected_columns
+                .iter()
+                .filter_map(|c| binned_full.column_index(c)),
+        );
+        // Candidate rules: every rule in a bucket whose mask is a subset of
+        // the selection, ordered best-first — the probe stops at the first
+        // candidate that holds for the row. Best-first is (size desc,
+        // support desc, index asc), which picks exactly the rule the linear
+        // reference twin picks.
+        let mut candidates: Vec<usize> = self
+            .buckets
+            .iter()
+            .filter(|(mask, _)| mask.is_subset_of(&selected))
+            .flat_map(|(_, idxs)| idxs.iter().copied())
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            let (ra, rb) = (&self.rules.rules[a], &self.rules.rules[b]);
+            // Rank by distinct-column count (what the UI colours), exactly
+            // like the linear twin's `rule.columns().len()`.
+            rb.column_mask
+                .len()
+                .cmp(&ra.column_mask.len())
+                .then_with(|| rb.support.total_cmp(&ra.support))
+                .then_with(|| a.cmp(&b))
+        });
+        if candidates.is_empty() {
+            // No eligible rule (possibly an empty set with an empty
+            // interner) — nothing to probe, nothing to decode.
+            return vec![None; row_indices.len()];
+        }
+        // Rendered highlights are cached per rule: a rule highlighted on
+        // many rows is decoded to strings once.
+        let mut rendered: HashMap<usize, RuleHighlight> = HashMap::new();
+        let num_cols = binned_full.num_columns();
+        let mut row_ids: Vec<ItemId> = vec![0; num_cols];
+        row_indices
+            .iter()
+            .map(|&row| {
+                // The row's own item-id list, indexed by column (ids are
+                // column-major, so this is also ascending by id).
+                for (c, slot) in row_ids.iter_mut().enumerate() {
+                    *slot = interner.row_item_id(binned_full, row, c);
+                }
+                let hit = candidates.iter().find(|&&i| {
+                    // A rule holds iff each of its ids equals the row's id
+                    // at that id's column — one item per column makes the
+                    // jump direct, no per-candidate decoding needed.
+                    self.rules.rules[i]
+                        .item_ids()
+                        .all(|id| row_ids[interner.column_of(id)] == id)
+                })?;
+                let i = *hit;
+                Some(
+                    rendered
+                        .entry(i)
+                        .or_insert_with(|| {
+                            let rule = &self.rules.rules[i];
+                            RuleHighlight {
+                                rule_index: i,
+                                columns: rule
+                                    .columns()
+                                    .iter()
+                                    .map(|&c| binned_full.column_names()[c].clone())
+                                    .collect(),
+                                description: rule.render(interner),
+                            }
+                        })
+                        .clone(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Indexed per-row highlighting: builds a [`HighlightIndex`] and probes the
+/// given rows. See [`HighlightIndex::probe`] for the selection semantics.
 pub fn highlight_rules(
     binned_full: &BinnedTable,
     rules: &RuleSet,
     row_indices: &[usize],
     selected_columns: &[String],
 ) -> Vec<Option<RuleHighlight>> {
+    HighlightIndex::build(rules).probe(binned_full, row_indices, selected_columns)
+}
+
+/// The pre-refactor linear scan, preserved as the reference twin: for every
+/// row, every rule of the set is tested (column containment and per-item
+/// match), keeping the largest holding rule with support as the
+/// tie-breaker. Output is pinned identical to [`highlight_rules`]; the
+/// `rules` benchmark quotes the index's speedup against this path.
+pub fn highlight_rules_linear(
+    binned_full: &BinnedTable,
+    rules: &RuleSet,
+    row_indices: &[usize],
+    selected_columns: &[String],
+) -> Vec<Option<RuleHighlight>> {
+    let interner = rules.interner();
     let selected_idx: Vec<usize> = selected_columns
         .iter()
         .filter_map(|c| binned_full.column_index(c))
@@ -31,32 +179,37 @@ pub fn highlight_rules(
     row_indices
         .iter()
         .map(|&row| {
-            let mut best: Option<(&subtab_rules::AssociationRule, usize)> = None;
-            for rule in rules.iter() {
+            let mut best: Option<(usize, usize)> = None;
+            for (i, rule) in rules.iter().enumerate() {
                 let cols = rule.columns();
                 if !cols.iter().all(|c| selected_idx.contains(c)) {
                     continue;
                 }
-                if !rule.holds_for_row(binned_full, row) {
+                if !rule.holds_for_row(interner, binned_full, row) {
                     continue;
                 }
                 let better = match best {
                     None => true,
                     Some((b, size)) => {
-                        cols.len() > size || (cols.len() == size && rule.support > b.support)
+                        cols.len() > size
+                            || (cols.len() == size && rule.support > rules.rules[b].support)
                     }
                 };
                 if better {
-                    best = Some((rule, cols.len()));
+                    best = Some((i, cols.len()));
                 }
             }
-            best.map(|(rule, _)| RuleHighlight {
-                columns: rule
-                    .columns()
-                    .iter()
-                    .map(|&c| binned_full.column_names()[c].clone())
-                    .collect(),
-                description: rule.render(binned_full),
+            best.map(|(i, _)| {
+                let rule = &rules.rules[i];
+                RuleHighlight {
+                    rule_index: i,
+                    columns: rule
+                        .columns()
+                        .iter()
+                        .map(|&c| binned_full.column_names()[c].clone())
+                        .collect(),
+                    description: rule.render(interner),
+                }
             })
         })
         .collect()
@@ -114,6 +267,7 @@ mod tests {
         let h0 = highlights[0].as_ref().expect("row 0 should be highlighted");
         assert!(h0.columns.len() >= 2);
         assert!(h0.description.contains('→'));
+        assert!(h0.rule_index < rules.len());
     }
 
     #[test]
@@ -130,5 +284,31 @@ mod tests {
         let cols: Vec<String> = binned.column_names().to_vec();
         let highlights = highlight_rules(&binned, &RuleSet::default(), &[0, 1], &cols);
         assert!(highlights.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn indexed_probe_matches_the_linear_twin() {
+        let (binned, rules) = setup();
+        let all_cols: Vec<String> = binned.column_names().to_vec();
+        let all_rows: Vec<usize> = (0..binned.num_rows()).collect();
+        let selections: Vec<Vec<String>> = vec![
+            all_cols.clone(),
+            all_cols[..2].to_vec(),
+            vec![all_cols[0].clone(), all_cols[2].clone()],
+            vec![],
+        ];
+        for cols in &selections {
+            let indexed = highlight_rules(&binned, &rules, &all_rows, cols);
+            let linear = highlight_rules_linear(&binned, &rules, &all_rows, cols);
+            assert_eq!(indexed, linear, "selection {cols:?}");
+        }
+    }
+
+    #[test]
+    fn buckets_group_rules_with_identical_masks() {
+        let (_, rules) = setup();
+        let index = HighlightIndex::build(&rules);
+        assert!(index.num_buckets() >= 1);
+        assert!(index.num_buckets() <= rules.len());
     }
 }

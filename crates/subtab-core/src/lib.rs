@@ -53,7 +53,7 @@ pub mod subtab;
 
 pub use config::{SelectionParams, SubTabConfig};
 pub use error::CoreError;
-pub use highlight::{highlight_rules, RuleHighlight};
+pub use highlight::{highlight_rules, highlight_rules_linear, HighlightIndex, RuleHighlight};
 pub use preprocess::PreprocessedTable;
 pub use result::SubTableResult;
 pub use select::{select_sub_table, select_sub_table_strkey};

@@ -58,6 +58,7 @@ mod tests {
                 columns: vec!["b".to_string()],
                 highlights: vec![
                     Some(RuleHighlight {
+                        rule_index: 0,
                         columns: vec!["b".to_string()],
                         description: "b=x → a=1".to_string(),
                     }),

@@ -1,13 +1,13 @@
 //! The [`SubTab`] facade: preprocess once, select many times.
 
 use crate::config::{SelectionParams, SubTabConfig};
-use crate::highlight::highlight_rules;
+use crate::highlight::HighlightIndex;
 use crate::preprocess::PreprocessedTable;
 use crate::result::SubTableResult;
 use crate::select::select_sub_table;
 use crate::Result;
 use subtab_data::{Query, Table};
-use subtab_rules::RuleSet;
+use subtab_rules::{MiningConfig, RuleMiner, RuleSet};
 
 /// The SubTab system for one loaded table.
 ///
@@ -71,16 +71,52 @@ impl SubTab {
         )
     }
 
+    /// Mines association rules over the binned table — the load-time step
+    /// that feeds [`SubTab::with_highlights`] and the quality metrics. Runs
+    /// the vertical bitmap engine with this SubTab's configured thread
+    /// budget (the `threads` field of `mining` is overridden).
+    pub fn mine_rules(&self, mining: &MiningConfig) -> RuleSet {
+        let config = MiningConfig {
+            threads: self.config.threads,
+            ..mining.clone()
+        };
+        RuleMiner::new(config).mine(self.pre.binned())
+    }
+
+    /// Like [`SubTab::mine_rules`], but partitioned by the binned values of
+    /// the given target columns (Section 6.1 of the paper).
+    pub fn mine_rules_for_targets(
+        &self,
+        mining: &MiningConfig,
+        target_columns: &[usize],
+    ) -> RuleSet {
+        let config = MiningConfig {
+            threads: self.config.threads,
+            ..mining.clone()
+        };
+        RuleMiner::new(config).mine_with_targets(self.pre.binned(), target_columns)
+    }
+
     /// Attaches per-row rule highlights to a selection result (the optional
     /// coloured-pattern display of the paper's UI). The rules are typically
-    /// mined once per table with `subtab_rules::RuleMiner`.
-    pub fn with_highlights(&self, mut result: SubTableResult, rules: &RuleSet) -> SubTableResult {
-        result.highlights = highlight_rules(
-            self.pre.binned(),
-            rules,
-            &result.row_indices,
-            &result.columns,
-        );
+    /// mined once per table with [`SubTab::mine_rules`].
+    ///
+    /// Builds a fresh [`HighlightIndex`] per call; an interactive session
+    /// displaying many sub-tables against one rule set should build the
+    /// index once and use [`SubTab::with_highlights_indexed`].
+    pub fn with_highlights(&self, result: SubTableResult, rules: &RuleSet) -> SubTableResult {
+        self.with_highlights_indexed(result, &HighlightIndex::build(rules))
+    }
+
+    /// Like [`SubTab::with_highlights`], but probing a pre-built
+    /// [`HighlightIndex`] — the build-once / probe-many path: one index per
+    /// mined rule set, one probe per displayed sub-table.
+    pub fn with_highlights_indexed(
+        &self,
+        mut result: SubTableResult,
+        index: &HighlightIndex<'_>,
+    ) -> SubTableResult {
+        result.highlights = index.probe(self.pre.binned(), &result.row_indices, &result.columns);
         result
     }
 }
@@ -90,7 +126,6 @@ mod tests {
     use super::*;
     use subtab_data::{Predicate, Value};
     use subtab_datasets::{flights, DatasetSize};
-    use subtab_rules::{MiningConfig, RuleMiner};
 
     fn flights_subtab() -> SubTab {
         let ds = flights(DatasetSize::Tiny, 7);
@@ -126,12 +161,10 @@ mod tests {
     #[test]
     fn highlights_attach_rules_to_rows() {
         let subtab = flights_subtab();
-        let binned = subtab.preprocessed().binned();
-        let rules = RuleMiner::new(MiningConfig {
+        let rules = subtab.mine_rules(&MiningConfig {
             min_rule_size: 2,
             ..Default::default()
-        })
-        .mine(binned);
+        });
         let params = SelectionParams::new(8, 10).with_targets(&["CANCELLED"]);
         let r = subtab.select(&params).unwrap();
         let r = subtab.with_highlights(r, &rules);
@@ -139,6 +172,27 @@ mod tests {
         // At least one row of a planted dataset should carry a highlight.
         assert!(r.highlights.iter().any(Option::is_some));
         assert!(!r.render_with_highlights().is_empty());
+        // The build-once/probe-many path produces the identical result.
+        let index = HighlightIndex::build(&rules);
+        let again = subtab.select(&params).unwrap();
+        let again = subtab.with_highlights_indexed(again, &index);
+        assert_eq!(again.highlights, r.highlights);
+    }
+
+    #[test]
+    fn target_mining_through_the_facade_keeps_target_rules() {
+        let subtab = flights_subtab();
+        let binned = subtab.preprocessed().binned();
+        let c = binned.column_index("CANCELLED").unwrap();
+        let rules = subtab.mine_rules_for_targets(
+            &MiningConfig {
+                min_rule_size: 2,
+                ..Default::default()
+            },
+            &[c],
+        );
+        assert!(!rules.is_empty());
+        assert!(rules.iter().all(|r| r.uses_any_column(&[c])));
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod spec;
 pub mod zoo;
 
 pub use generator::{generate, PlantedDataset};
-pub use queries::{benchmark_filter, benchmark_filter_query, benchmark_projected_query};
+pub use queries::{
+    benchmark_filter, benchmark_filter_query, benchmark_projected_query, benchmark_target_column,
+};
 pub use sessions::{generate_sessions, Session, SessionConfig};
 pub use spec::{Archetype, CellSpec, ColumnSpec, DatasetSize, DatasetSpec};
 pub use zoo::{bank_loans, credit_card, cyber, flights, spotify, us_funds, DatasetKind};

@@ -17,8 +17,26 @@ use subtab_data::{Predicate, Query, Table};
 /// longer plants a repeated categorical value, which both the benchmark and
 /// the equivalence suite rely on.
 pub fn benchmark_filter(table: &Table) -> Predicate {
+    let (filter_col, filter_value) = repeated_value_column(table);
+    Predicate::eq(&filter_col, filter_value)
+}
+
+/// The canonical target column of the rule-mining benchmark and the
+/// bitmap-vs-Apriori equivalence suite: the same low-cardinality column
+/// [`benchmark_filter`] filters on, so target-partitioned mining always has
+/// non-trivial per-bin partitions to fan out over.
+pub fn benchmark_target_column(table: &Table) -> String {
+    repeated_value_column(table).0
+}
+
+/// The first column whose row-0 value is non-null and repeats at least 4
+/// times within the first 64 rows (every generator plants low-cardinality
+/// categorical columns, so the scan always finds one). Panics otherwise —
+/// that would mean a dataset generator no longer plants a repeated
+/// categorical value, which the benchmarks and equivalence suites rely on.
+fn repeated_value_column(table: &Table) -> (String, subtab_data::Value) {
     let probe = table.num_rows().min(64);
-    let (filter_col, filter_value) = column_names(table)
+    column_names(table)
         .iter()
         .find_map(|name| {
             let v0 = table.value(0, name).ok()?;
@@ -30,8 +48,7 @@ pub fn benchmark_filter(table: &Table) -> Predicate {
                 .count();
             (repeats >= 4).then_some((name.clone(), v0))
         })
-        .expect("every planted dataset has a repeated categorical value");
-    Predicate::eq(&filter_col, filter_value)
+        .expect("every planted dataset has a repeated categorical value")
 }
 
 /// The selection-only benchmark query: [`benchmark_filter`] with no
@@ -94,6 +111,11 @@ mod tests {
                 pq.matching_rows(&dataset.table).unwrap(),
                 matched,
                 "{kind:?}: both queries share the filter"
+            );
+            let target = benchmark_target_column(&dataset.table);
+            assert!(
+                dataset.table.schema().index_of(&target).is_some(),
+                "{kind:?}: target column must exist"
             );
             let proj = pq.projection.as_ref().expect("projection set");
             assert!(proj.len() >= 2);

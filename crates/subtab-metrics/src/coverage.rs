@@ -26,11 +26,12 @@ impl CoverageIndex {
     pub fn build(binned: &BinnedTable, rules: &RuleSet) -> Self {
         let num_rows = binned.num_rows();
         let num_cols = binned.num_columns();
+        let interner = rules.interner();
         let mut infos = Vec::with_capacity(rules.len());
         for rule in rules.iter() {
             let cols = rule.columns();
             let rows: Vec<u32> = rule
-                .matching_rows(binned)
+                .matching_rows(interner, binned)
                 .into_iter()
                 .map(|r| r as u32)
                 .collect();

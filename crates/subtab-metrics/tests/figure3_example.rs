@@ -13,10 +13,11 @@
 //! * sub-table T̂(3) (Figure 4: rows 1, 5, 7 over CANCELLED, DEP_TIME,
 //!   SCHED_DEP, DISTANCE) describes 24 cells, diversity 0.92, combined 0.79.
 
+use std::sync::Arc;
 use subtab_binning::{BinnedTable, Binner, BinningConfig};
 use subtab_data::Table;
 use subtab_metrics::{diversity, CoverageIndex, Evaluator};
-use subtab_rules::{AssociationRule, Item, RuleSet};
+use subtab_rules::{AssociationRule, Item, ItemInterner, RuleSet};
 
 /// The example table T̂ of Figure 3. Values are already bin names.
 fn example_table() -> Table {
@@ -100,6 +101,7 @@ fn binned() -> BinnedTable {
 /// CANCELLED on the right, and at least two columns on the left, that hold
 /// for at least two rows".
 fn example_rules(bt: &BinnedTable) -> RuleSet {
+    let interner = Arc::new(ItemInterner::from_binned(bt));
     let target = bt.column_index("CANCELLED").unwrap();
     let other_cols: Vec<usize> = (0..bt.num_columns()).filter(|&c| c != target).collect();
     let mut rules: Vec<AssociationRule> = Vec::new();
@@ -121,15 +123,9 @@ fn example_rules(bt: &BinnedTable) -> RuleSet {
                 .map(|&c| Item::new(c, bt.bin_id(r, c)))
                 .collect();
             let consequent = vec![Item::new(target, bt.bin_id(r, target))];
-            let rule = AssociationRule {
-                antecedent,
-                consequent,
-                support: 0.0,
-                support_count: 0,
-                confidence: 1.0,
-                lift: 1.0,
-            };
-            let count = rule.matching_rows(bt).len();
+            let rule =
+                AssociationRule::from_items(&interner, &antecedent, &consequent, 0.0, 0, 1.0, 1.0);
+            let count = rule.matching_rows(&interner, bt).len();
             if count >= 2 {
                 let mut rule = rule;
                 rule.support_count = count;
@@ -143,7 +139,7 @@ fn example_rules(bt: &BinnedTable) -> RuleSet {
             }
         }
     }
-    RuleSet::new(rules, bt.num_rows())
+    RuleSet::new(rules, bt.num_rows(), interner)
 }
 
 fn col_indices(bt: &BinnedTable, names: &[&str]) -> Vec<usize> {

@@ -1,20 +1,29 @@
-//! Level-wise (Apriori) frequent-itemset mining over a binned table.
+//! Level-wise (Apriori) frequent-itemset mining over a binned table — the
+//! preserved reference twin of the vertical bitmap miner.
 //!
-//! Rows of the binned table play the role of transactions; the items of a row
-//! are its (column, bin) pairs, so every transaction has exactly one item per
-//! column and candidate itemsets never contain two items from the same
-//! column. This is the "quantitative association rules" setting of Srikant &
-//! Agrawal that the paper builds on.
+//! Rows of the binned table play the role of transactions; the items of a
+//! row are its (column, bin) pairs — interned as dense ids — so every
+//! transaction has exactly one item per column and candidate itemsets never
+//! contain two items from the same column. This is the "quantitative
+//! association rules" setting of Srikant & Agrawal that the paper builds
+//! on.
+//!
+//! This module keeps the seed architecture on purpose: level-wise candidate
+//! generation with hash-map counting at level 1 and one full row scan per
+//! candidate afterwards. [`crate::bitmap::frequent_itemsets_bitmap`] is the
+//! production path; its output is pinned identical to this one, and the
+//! `rules` benchmark quotes its speedup against this twin.
 
-use crate::rule::Item;
+use crate::interner::{ItemId, ItemInterner};
 use std::collections::HashMap;
 use subtab_binning::BinnedTable;
 
 /// A frequent itemset together with its support count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrequentItemset {
-    /// The items, sorted by (column, bin).
-    pub items: Vec<Item>,
+    /// The item ids, ascending (ids are column-major, so this is also
+    /// (column, bin) order).
+    pub items: Vec<ItemId>,
     /// Number of rows containing all the items.
     pub count: usize,
 }
@@ -34,9 +43,10 @@ impl FrequentItemset {
 /// `max_size`, restricted to the given row subset (`None` = all rows).
 ///
 /// Returns the itemsets grouped by size: index `k` of the result holds the
-/// frequent itemsets of size `k + 1`.
+/// frequent itemsets of size `k + 1`, each level ascending by item ids.
 pub fn frequent_itemsets(
     binned: &BinnedTable,
+    interner: &ItemInterner,
     min_support: f64,
     max_size: usize,
     rows: Option<&[usize]>,
@@ -56,10 +66,12 @@ pub fn frequent_itemsets(
     let min_count = ((min_support * n as f64).ceil() as usize).max(1);
 
     // Level 1: frequent single items.
-    let mut counts: HashMap<Item, usize> = HashMap::new();
+    let mut counts: HashMap<ItemId, usize> = HashMap::new();
     for &r in rows {
-        for (c, b) in binned.row_items(r) {
-            *counts.entry(Item::new(c, b)).or_insert(0) += 1;
+        for c in 0..binned.num_columns() {
+            *counts
+                .entry(interner.row_item_id(binned, r, c))
+                .or_insert(0) += 1;
         }
     }
     let mut level: Vec<FrequentItemset> = counts
@@ -80,7 +92,7 @@ pub fn frequent_itemsets(
             break;
         }
         // Candidate generation: join itemsets sharing the first k-1 items.
-        let mut candidates: Vec<Vec<Item>> = Vec::new();
+        let mut candidates: Vec<Vec<ItemId>> = Vec::new();
         for i in 0..level.len() {
             for j in (i + 1)..level.len() {
                 let a = &level[i].items;
@@ -92,7 +104,7 @@ pub fn frequent_itemsets(
                 }
                 let last_a = a[size - 1];
                 let last_b = b[size - 1];
-                if last_a.column == last_b.column {
+                if interner.column_of(last_a) == interner.column_of(last_b) {
                     // One item per column.
                     continue;
                 }
@@ -105,13 +117,11 @@ pub fn frequent_itemsets(
         candidates.sort_unstable();
         candidates.dedup();
 
-        // Support counting.
+        // Support counting: one full row scan per candidate (the seed
+        // architecture the bitmap miner replaces).
         let mut next: Vec<FrequentItemset> = Vec::new();
         for cand in candidates {
-            let count = rows
-                .iter()
-                .filter(|&&r| cand.iter().all(|it| it.matches(binned, r)))
-                .count();
+            let count = support_count(binned, interner, &cand, rows);
             if count >= min_count {
                 next.push(FrequentItemset { items: cand, count });
             }
@@ -123,10 +133,17 @@ pub fn frequent_itemsets(
     levels
 }
 
-/// Support count of an arbitrary itemset over a row subset.
-pub fn support_count(binned: &BinnedTable, items: &[Item], rows: &[usize]) -> usize {
+/// Support count of an arbitrary id set over a row subset, by linear scan
+/// (the reference twin of [`crate::bitmap::VerticalIndex::support_count`]).
+pub fn support_count(
+    binned: &BinnedTable,
+    interner: &ItemInterner,
+    items: &[ItemId],
+    rows: &[usize],
+) -> usize {
+    let decoded: Vec<crate::rule::Item> = items.iter().map(|&id| interner.item(id)).collect();
     rows.iter()
-        .filter(|&&r| items.iter().all(|it| it.matches(binned, r)))
+        .filter(|&&r| decoded.iter().all(|it| it.matches(binned, r)))
         .count()
 }
 
@@ -188,7 +205,8 @@ mod tests {
     #[test]
     fn single_items_counted_correctly() {
         let bt = example_binned();
-        let levels = frequent_itemsets(&bt, 0.5, 1, None);
+        let interner = ItemInterner::from_binned(&bt);
+        let levels = frequent_itemsets(&bt, &interner, 0.5, 1, None);
         assert_eq!(levels.len(), 1);
         // cancelled=1 (4 rows), cancelled=0 (4 rows), dep_time=NaN (4 rows),
         // year=2015 (7 rows) all have support >= 0.5.
@@ -202,18 +220,22 @@ mod tests {
     #[test]
     fn pairs_respect_one_item_per_column() {
         let bt = example_binned();
-        let levels = frequent_itemsets(&bt, 0.4, 2, None);
+        let interner = ItemInterner::from_binned(&bt);
+        let levels = frequent_itemsets(&bt, &interner, 0.4, 2, None);
         assert_eq!(levels.len(), 2);
         for fi in &levels[1] {
             assert_eq!(fi.items.len(), 2);
-            assert_ne!(fi.items[0].column, fi.items[1].column);
+            assert_ne!(
+                interner.column_of(fi.items[0]),
+                interner.column_of(fi.items[1])
+            );
         }
         // cancelled=1 ∧ dep_time=NaN must be among the frequent pairs (4 rows).
         let c = bt.column_index("cancelled").unwrap();
         let d = bt.column_index("dep_time").unwrap();
         let has_pair = levels[1].iter().any(|fi| {
-            fi.items.iter().any(|i| i.column == c)
-                && fi.items.iter().any(|i| i.column == d)
+            fi.items.iter().any(|&i| interner.column_of(i) == c)
+                && fi.items.iter().any(|&i| interner.column_of(i) == d)
                 && fi.count == 4
         });
         assert!(has_pair);
@@ -222,7 +244,8 @@ mod tests {
     #[test]
     fn triples_found_with_lower_support() {
         let bt = example_binned();
-        let levels = frequent_itemsets(&bt, 0.4, 3, None);
+        let interner = ItemInterner::from_binned(&bt);
+        let levels = frequent_itemsets(&bt, &interner, 0.4, 3, None);
         assert_eq!(levels.len(), 3);
         // cancelled=1 ∧ dep_time=NaN ∧ year=2015 holds for 4 of 8 rows.
         assert!(levels[2].iter().any(|fi| fi.count == 4));
@@ -231,7 +254,8 @@ mod tests {
     #[test]
     fn monotonicity_of_support() {
         let bt = example_binned();
-        let levels = frequent_itemsets(&bt, 0.3, 3, None);
+        let interner = ItemInterner::from_binned(&bt);
+        let levels = frequent_itemsets(&bt, &interner, 0.3, 3, None);
         // Every level-k itemset's count is at most the count of any subset at
         // level k-1 (anti-monotonicity of support).
         for k in 1..levels.len() {
@@ -252,8 +276,9 @@ mod tests {
     #[test]
     fn row_subset_restriction() {
         let bt = example_binned();
+        let interner = ItemInterner::from_binned(&bt);
         let cancelled_rows: Vec<usize> = vec![0, 1, 2, 3];
-        let levels = frequent_itemsets(&bt, 0.9, 1, Some(&cancelled_rows));
+        let levels = frequent_itemsets(&bt, &interner, 0.9, 1, Some(&cancelled_rows));
         // Within cancelled rows, cancelled=1, dep_time=NaN and year=2015 are
         // all frequent at 100%.
         assert_eq!(levels[0].len(), 3);
@@ -262,10 +287,11 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let bt = example_binned();
-        assert!(frequent_itemsets(&bt, 0.5, 0, None).is_empty());
-        assert!(frequent_itemsets(&bt, 0.5, 2, Some(&[])).is_empty());
+        let interner = ItemInterner::from_binned(&bt);
+        assert!(frequent_itemsets(&bt, &interner, 0.5, 0, None).is_empty());
+        assert!(frequent_itemsets(&bt, &interner, 0.5, 2, Some(&[])).is_empty());
         // Support > 1.0 finds nothing.
-        assert!(frequent_itemsets(&bt, 1.5, 2, None)
+        assert!(frequent_itemsets(&bt, &interner, 1.5, 2, None)
             .first()
             .is_none_or(|l| l.is_empty()));
     }
@@ -273,10 +299,11 @@ mod tests {
     #[test]
     fn support_count_helper() {
         let bt = example_binned();
+        let interner = ItemInterner::from_binned(&bt);
         let c = bt.column_index("cancelled").unwrap();
-        let item = Item::new(c, bt.bin_id(0, c));
+        let id = interner.row_item_id(&bt, 0, c);
         let rows: Vec<usize> = (0..bt.num_rows()).collect();
-        assert_eq!(support_count(&bt, &[item], &rows), 4);
-        assert_eq!(support_count(&bt, &[], &rows), 8);
+        assert_eq!(support_count(&bt, &interner, &[id], &rows), 4);
+        assert_eq!(support_count(&bt, &interner, &[], &rows), 8);
     }
 }

@@ -1,0 +1,170 @@
+//! Dense integer interning of (column, bin) items.
+//!
+//! The rule engine works on dense `u32` [`ItemId`]s instead of `(column,
+//! bin)` structs or display strings: ids are column-major (`id =
+//! offset(column) + bin`), so every id of column `c` lies in
+//! `offset(c)..offset(c + 1)` and sorting ids sorts items by `(column,
+//! bin)`. The interner is derived from the shape of a [`BinnedTable`]
+//! alone, which makes ids canonical for that table: two miners over the
+//! same binned table always agree on ids.
+//!
+//! Display strings for the cold API (rendering rules in the UI) are built
+//! once per interner and shared via `Arc`, so the hot mining and
+//! highlighting paths never touch a string.
+
+use crate::rule::Item;
+use std::sync::Arc;
+use subtab_binning::{BinId, BinnedTable};
+
+/// Dense identifier of one (column, bin) item.
+pub type ItemId = u32;
+
+/// The id ↔ item mapping of one binned table, plus the rendered display
+/// string of every item (shared with every [`crate::RuleSet`] mined from
+/// the table).
+#[derive(Debug, Default)]
+pub struct ItemInterner {
+    /// `offsets[c]` is the first id of column `c`; `offsets` has one extra
+    /// trailing entry equal to the total item count.
+    offsets: Vec<u32>,
+    /// Column of every id (O(1) decode on the hot paths).
+    columns: Vec<u32>,
+    /// Rendered `column=label` token of every id (the cold display API).
+    labels: Vec<Arc<str>>,
+}
+
+impl ItemInterner {
+    /// Builds the interner for a binned table: one id per (column, bin)
+    /// pair, column-major.
+    pub fn from_binned(binned: &BinnedTable) -> Self {
+        let counts = binned.bin_counts();
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            total += c as u32;
+            offsets.push(total);
+        }
+        let mut columns = Vec::with_capacity(total as usize);
+        let mut labels = Vec::with_capacity(total as usize);
+        for (c, &bins) in counts.iter().enumerate() {
+            for b in 0..bins {
+                columns.push(c as u32);
+                labels.push(Arc::from(binned.token(c, b as BinId).as_str()));
+            }
+        }
+        ItemInterner {
+            offsets,
+            columns,
+            labels,
+        }
+    }
+
+    /// Total number of interned items (sum of bin counts over all columns).
+    pub fn num_items(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of columns the interner was built over.
+    pub fn num_columns(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The id of bin `bin` of column `column`.
+    pub fn id_of(&self, column: usize, bin: BinId) -> ItemId {
+        self.offsets[column] + bin as ItemId
+    }
+
+    /// Decodes an id back to its (column, bin) item.
+    pub fn item(&self, id: ItemId) -> Item {
+        let column = self.columns[id as usize] as usize;
+        Item::new(column, (id - self.offsets[column]) as BinId)
+    }
+
+    /// Column of an id.
+    pub fn column_of(&self, id: ItemId) -> usize {
+        self.columns[id as usize] as usize
+    }
+
+    /// First id of the column *after* the column of `id` — the lower bound
+    /// for prefix extension, since a transaction holds exactly one item per
+    /// column and candidates must never repeat a column.
+    pub fn next_column_start(&self, id: ItemId) -> ItemId {
+        self.offsets[self.column_of(id) + 1]
+    }
+
+    /// The item id of cell (`row`, `col`) of `binned` — the integer
+    /// transaction access used by both mining engines and the highlight
+    /// probe.
+    pub fn row_item_id(&self, binned: &BinnedTable, row: usize, col: usize) -> ItemId {
+        self.id_of(col, binned.bin_id(row, col))
+    }
+
+    /// Rendered display string of an id, e.g. `distance=[100.000, 550.000)`
+    /// (`Arc`-shared; cloning is refcount-only).
+    pub fn label(&self, id: ItemId) -> &Arc<str> {
+        &self.labels[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subtab_binning::{Binner, BinningConfig};
+    use subtab_data::Table;
+
+    fn binned() -> BinnedTable {
+        let t = Table::builder()
+            .column_str("airline", vec![Some("AA"), Some("DL"), Some("AA"), None])
+            .column_i64("cancelled", vec![Some(0), Some(1), Some(0), Some(1)])
+            .build()
+            .unwrap();
+        let b = Binner::fit(&t, &BinningConfig::default()).unwrap();
+        b.apply(&t).unwrap()
+    }
+
+    #[test]
+    fn ids_are_column_major_and_round_trip() {
+        let bt = binned();
+        let it = ItemInterner::from_binned(&bt);
+        assert_eq!(it.num_columns(), 2);
+        assert_eq!(
+            it.num_items(),
+            bt.bin_counts().iter().sum::<usize>(),
+            "one id per (column, bin)"
+        );
+        let mut expected = 0;
+        for c in 0..bt.num_columns() {
+            for b in 0..bt.num_bins(c) {
+                let id = it.id_of(c, b as BinId);
+                assert_eq!(id, expected, "ids are dense and column-major");
+                expected += 1;
+                assert_eq!(it.item(id), Item::new(c, b as BinId));
+                assert_eq!(it.column_of(id), c);
+                assert_eq!(&**it.label(id), bt.token(c, b as BinId).as_str());
+            }
+        }
+    }
+
+    #[test]
+    fn next_column_start_skips_the_own_column() {
+        let bt = binned();
+        let it = ItemInterner::from_binned(&bt);
+        let first_of_col1 = it.id_of(1, 0);
+        for b in 0..bt.num_bins(0) {
+            assert_eq!(it.next_column_start(it.id_of(0, b as BinId)), first_of_col1);
+        }
+    }
+
+    #[test]
+    fn row_item_ids_match_cell_bins() {
+        let bt = binned();
+        let it = ItemInterner::from_binned(&bt);
+        for r in 0..bt.num_rows() {
+            for c in 0..bt.num_columns() {
+                let id = it.row_item_id(&bt, r, c);
+                assert_eq!(it.item(id), Item::new(c, bt.bin_id(r, c)));
+            }
+        }
+    }
+}

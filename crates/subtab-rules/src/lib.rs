@@ -4,21 +4,24 @@
 //! paper).
 //!
 //! The paper measures sub-table quality against a set of *prominent*
-//! association rules mined from the binned input table with the Apriori
-//! algorithm (it uses the `efficient-apriori` Python package with support 0.1,
-//! confidence 0.6 and minimum rule size 3). This crate reimplements that
-//! pipeline:
+//! association rules mined from the binned input table (it uses the
+//! `efficient-apriori` Python package with support 0.1, confidence 0.6 and
+//! minimum rule size 3). This crate reimplements that pipeline on **dense
+//! integer items**:
 //!
-//! * [`Item`] — a (column, bin) pair; a row "contains" the item when its cell
-//!   falls in that bin,
-//! * [`apriori::frequent_itemsets`] — level-wise frequent-itemset mining with
-//!   at most one item per column,
-//! * [`AssociationRule`] — antecedent → consequent with support, confidence
-//!   and lift,
+//! * [`ItemInterner`] / [`ItemId`] — every (column, bin) pair becomes a
+//!   dense, column-major `u32` id derived from the binned table's shape;
+//!   display strings live behind an `Arc` for the cold API,
+//! * [`bitmap`] — the production engine: per-item row bitmaps, popcount
+//!   supports, column-ordered prefix extension, scoped-thread fan-out,
+//! * [`apriori`] — the preserved level-wise reference twin whose output the
+//!   bitmap engine is pinned to (the equivalence suite asserts identity),
+//! * [`AssociationRule`] / [`RuleSet`] — sorted id slices plus a per-rule
+//!   [`ColumnMask`], with supports, confidences and lifts,
 //! * [`RuleMiner`] — the end-to-end miner with the paper's parameters,
-//!   including the target-column handling of Section 6.1 (when target columns
-//!   are selected, the data is partitioned by the binned target value and
-//!   rules are mined per partition).
+//!   including the target-column handling of Section 6.1 (when target
+//!   columns are selected, the data is partitioned by the binned target
+//!   value and rules are mined per partition, in parallel).
 //!
 //! ```
 //! use subtab_data::Table;
@@ -42,8 +45,11 @@
 #![warn(clippy::all)]
 
 pub mod apriori;
+pub mod bitmap;
+pub mod interner;
 pub mod miner;
 pub mod rule;
 
+pub use interner::{ItemId, ItemInterner};
 pub use miner::{MiningConfig, RuleMiner};
-pub use rule::{AssociationRule, Item, RuleSet};
+pub use rule::{AssociationRule, ColumnMask, Item, RuleSet};

@@ -1,13 +1,17 @@
-//! Items, itemsets and association rules.
+//! Items, column masks and association rules over dense item ids.
 
+use crate::interner::{ItemId, ItemInterner};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 use subtab_binning::{BinId, BinnedTable};
 
-/// A single (column, bin) item.
+/// A single (column, bin) item in decoded form.
 ///
 /// A row of a binned table *contains* the item when its cell in `column`
-/// falls in bin `bin`.
+/// falls in bin `bin`. The mining and highlighting hot paths work on dense
+/// [`ItemId`]s instead; `Item` is the cold, human-facing decoding obtained
+/// through [`ItemInterner::item`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Item {
     /// Column index in the binned table.
@@ -33,17 +37,108 @@ impl Item {
     }
 }
 
+/// A set of column indices packed as a bitmap (one `u64` word per 64
+/// columns — tables can be wider than 64 columns, so this is not a single
+/// word).
+///
+/// Every rule carries its column mask so that subset tests ("are all of
+/// this rule's columns currently selected?") are a handful of word ANDs
+/// instead of per-column membership scans, and so the highlight index can
+/// bucket rules by identical masks.
+///
+/// The word vector never stores trailing zero words, which keeps `Eq` and
+/// `Hash` canonical: two masks with the same columns always compare equal.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnMask {
+    words: Vec<u64>,
+}
+
+impl ColumnMask {
+    /// The empty mask.
+    pub fn new() -> Self {
+        ColumnMask::default()
+    }
+
+    /// Builds a mask from column indices.
+    pub fn from_columns<I: IntoIterator<Item = usize>>(cols: I) -> Self {
+        let mut mask = ColumnMask::new();
+        for c in cols {
+            mask.insert(c);
+        }
+        mask
+    }
+
+    /// Adds a column to the mask.
+    pub fn insert(&mut self, col: usize) {
+        let word = col / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (col % 64);
+    }
+
+    /// Whether the mask contains a column.
+    pub fn contains(&self, col: usize) -> bool {
+        self.words
+            .get(col / 64)
+            .is_some_and(|w| w & (1u64 << (col % 64)) != 0)
+    }
+
+    /// Whether every column of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &ColumnMask) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Whether the mask contains at least one of the given columns.
+    pub fn contains_any(&self, cols: &[usize]) -> bool {
+        cols.iter().any(|&c| self.contains(c))
+    }
+
+    /// Number of columns in the mask.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the mask is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The column indices of the mask, ascending.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len());
+        for (i, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                out.push(i * 64 + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+}
+
 /// An association rule `antecedent → consequent` (Definition 3.4).
 ///
-/// Both sides are non-empty sets of items over *distinct* columns; `support`
-/// is the fraction of rows containing all items of the rule, and `confidence`
-/// the fraction of antecedent-matching rows that also match the consequent.
+/// Both sides are non-empty, ascending slices of dense [`ItemId`]s over
+/// *distinct* columns (ids are column-major, so ascending ids means
+/// column-ordered items); `column_mask` is the precomputed set of columns
+/// the rule touches. `support` is the fraction of rows containing all items
+/// of the rule, and `confidence` the fraction of antecedent-matching rows
+/// that also match the consequent. Decoding ids back to (column, bin) pairs
+/// or display strings goes through the [`ItemInterner`] the owning
+/// [`RuleSet`] shares.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AssociationRule {
-    /// Left-hand-side items (sorted by column).
-    pub antecedent: Vec<Item>,
-    /// Right-hand-side items (sorted by column).
-    pub consequent: Vec<Item>,
+    /// Left-hand-side item ids (ascending, one per column).
+    pub antecedent: Vec<ItemId>,
+    /// Right-hand-side item ids (ascending, one per column).
+    pub consequent: Vec<ItemId>,
+    /// The set of columns used by the rule (`U_R` in the paper).
+    pub column_mask: ColumnMask,
     /// Fraction of rows for which the whole rule holds.
     pub support: f64,
     /// Number of rows for which the whole rule holds.
@@ -55,9 +150,54 @@ pub struct AssociationRule {
 }
 
 impl AssociationRule {
-    /// All items of the rule (antecedent then consequent).
-    pub fn items(&self) -> impl Iterator<Item = &Item> {
-        self.antecedent.iter().chain(self.consequent.iter())
+    /// Builds a rule from decoded items, interning them and computing the
+    /// column mask (the cold construction path; the miners build rules
+    /// directly in id space).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_items(
+        interner: &ItemInterner,
+        antecedent: &[Item],
+        consequent: &[Item],
+        support: f64,
+        support_count: usize,
+        confidence: f64,
+        lift: f64,
+    ) -> Self {
+        let intern = |items: &[Item]| {
+            let mut ids: Vec<ItemId> = items
+                .iter()
+                .map(|i| interner.id_of(i.column, i.bin))
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        let antecedent = intern(antecedent);
+        let consequent = intern(consequent);
+        let column_mask = ColumnMask::from_columns(
+            antecedent
+                .iter()
+                .chain(&consequent)
+                .map(|&id| interner.column_of(id)),
+        );
+        AssociationRule {
+            antecedent,
+            consequent,
+            column_mask,
+            support,
+            support_count,
+            confidence,
+            lift,
+        }
+    }
+
+    /// All item ids of the rule (antecedent then consequent).
+    pub fn item_ids(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.antecedent.iter().chain(&self.consequent).copied()
+    }
+
+    /// All items of the rule in decoded form (antecedent then consequent).
+    pub fn items<'a>(&'a self, interner: &'a ItemInterner) -> impl Iterator<Item = Item> + 'a {
+        self.item_ids().map(|id| interner.item(id))
     }
 
     /// Number of items in the rule (the paper's "rule size").
@@ -65,38 +205,36 @@ impl AssociationRule {
         self.antecedent.len() + self.consequent.len()
     }
 
-    /// The set of column indices used by the rule (`U_R` in the paper),
-    /// sorted ascending.
+    /// The column indices used by the rule (`U_R` in the paper), ascending.
     pub fn columns(&self) -> Vec<usize> {
-        let mut cols: Vec<usize> = self.items().map(|i| i.column).collect();
-        cols.sort_unstable();
-        cols.dedup();
-        cols
+        self.column_mask.columns()
     }
 
     /// Whether the rule holds for row `row` of `binned` (all items match).
-    pub fn holds_for_row(&self, binned: &BinnedTable, row: usize) -> bool {
-        self.items().all(|i| i.matches(binned, row))
+    pub fn holds_for_row(&self, interner: &ItemInterner, binned: &BinnedTable, row: usize) -> bool {
+        self.item_ids()
+            .all(|id| interner.item(id).matches(binned, row))
     }
 
     /// Indices of all rows of `binned` for which the rule holds (`T_R`).
-    pub fn matching_rows(&self, binned: &BinnedTable) -> Vec<usize> {
+    pub fn matching_rows(&self, interner: &ItemInterner, binned: &BinnedTable) -> Vec<usize> {
+        let items: Vec<Item> = self.items(interner).collect();
         (0..binned.num_rows())
-            .filter(|&r| self.holds_for_row(binned, r))
+            .filter(|&r| items.iter().all(|i| i.matches(binned, r)))
             .collect()
     }
 
     /// Whether the rule uses at least one of the given columns.
     pub fn uses_any_column(&self, columns: &[usize]) -> bool {
-        self.items().any(|i| columns.contains(&i.column))
+        self.column_mask.contains_any(columns)
     }
 
-    /// Human-readable rendering of the rule.
-    pub fn render(&self, binned: &BinnedTable) -> String {
-        let side = |items: &[Item]| {
-            items
-                .iter()
-                .map(|i| i.render(binned))
+    /// Human-readable rendering of the rule via the interner's `Arc`-shared
+    /// display strings (no binned-table lookup needed).
+    pub fn render(&self, interner: &ItemInterner) -> String {
+        let side = |ids: &[ItemId]| {
+            ids.iter()
+                .map(|&id| interner.label(id).to_string())
                 .collect::<Vec<_>>()
                 .join(" ∧ ")
         };
@@ -112,10 +250,9 @@ impl AssociationRule {
 
 impl fmt::Display for AssociationRule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let side = |items: &[Item]| {
-            items
-                .iter()
-                .map(|i| format!("c{}∈b{}", i.column, i.bin))
+        let side = |ids: &[ItemId]| {
+            ids.iter()
+                .map(|id| format!("#{id}"))
                 .collect::<Vec<_>>()
                 .join(" ∧ ")
         };
@@ -130,19 +267,32 @@ impl fmt::Display for AssociationRule {
     }
 }
 
-/// A collection of mined rules together with the statistics of the mining run.
+/// A collection of mined rules together with the statistics of the mining
+/// run and the `Arc`-shared [`ItemInterner`] that decodes their ids.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RuleSet {
     /// The mined rules.
     pub rules: Vec<AssociationRule>,
     /// Number of rows the rules were mined over.
     pub num_rows: usize,
+    /// The id ↔ (column, bin) mapping of the binned table the rules were
+    /// mined from, shared with every consumer of the set.
+    interner: Arc<ItemInterner>,
 }
 
 impl RuleSet {
-    /// Creates a rule set.
-    pub fn new(rules: Vec<AssociationRule>, num_rows: usize) -> Self {
-        RuleSet { rules, num_rows }
+    /// Creates a rule set over an interner.
+    pub fn new(rules: Vec<AssociationRule>, num_rows: usize, interner: Arc<ItemInterner>) -> Self {
+        RuleSet {
+            rules,
+            num_rows,
+            interner,
+        }
+    }
+
+    /// The interner decoding this set's item ids.
+    pub fn interner(&self) -> &Arc<ItemInterner> {
+        &self.interner
     }
 
     /// Number of rules.
@@ -169,6 +319,7 @@ impl RuleSet {
                 .cloned()
                 .collect(),
             num_rows: self.num_rows,
+            interner: Arc::clone(&self.interner),
         }
     }
 
@@ -210,54 +361,87 @@ mod tests {
     }
 
     #[test]
+    fn column_mask_set_operations() {
+        let mut m = ColumnMask::new();
+        assert!(m.is_empty());
+        m.insert(3);
+        m.insert(70); // second word
+        m.insert(3); // idempotent
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(3));
+        assert!(m.contains(70));
+        assert!(!m.contains(4));
+        assert!(!m.contains(500));
+        assert_eq!(m.columns(), vec![3, 70]);
+        assert!(m.contains_any(&[1, 70]));
+        assert!(!m.contains_any(&[1, 2]));
+
+        let small = ColumnMask::from_columns([3usize]);
+        let wide = ColumnMask::from_columns([3usize, 70]);
+        assert!(small.is_subset_of(&m));
+        assert!(wide.is_subset_of(&m));
+        assert!(!m.is_subset_of(&small), "extra word must break subset-ness");
+        assert_eq!(wide, m, "same columns compare equal");
+    }
+
+    #[test]
     fn rule_holds_and_matching_rows() {
         let bt = binned();
-        let rule = AssociationRule {
-            antecedent: vec![item(&bt, "a", 0)],
-            consequent: vec![item(&bt, "b", 0)], // b = 1
-            support: 0.5,
-            support_count: 2,
-            confidence: 1.0,
-            lift: 4.0 / 3.0,
-        };
-        assert!(rule.holds_for_row(&bt, 0));
-        assert!(rule.holds_for_row(&bt, 1));
-        assert!(!rule.holds_for_row(&bt, 2));
-        assert!(!rule.holds_for_row(&bt, 3)); // a="y"
-        assert_eq!(rule.matching_rows(&bt), vec![0, 1]);
+        let interner = ItemInterner::from_binned(&bt);
+        let rule = AssociationRule::from_items(
+            &interner,
+            &[item(&bt, "a", 0)],
+            &[item(&bt, "b", 0)], // b = 1
+            0.5,
+            2,
+            1.0,
+            4.0 / 3.0,
+        );
+        assert!(rule.holds_for_row(&interner, &bt, 0));
+        assert!(rule.holds_for_row(&interner, &bt, 1));
+        assert!(!rule.holds_for_row(&interner, &bt, 2));
+        assert!(!rule.holds_for_row(&interner, &bt, 3)); // a="y"
+        assert_eq!(rule.matching_rows(&interner, &bt), vec![0, 1]);
         assert_eq!(rule.size(), 2);
         assert_eq!(rule.columns(), vec![0, 1]);
         assert!(rule.uses_any_column(&[1]));
         assert!(!rule.uses_any_column(&[5]));
-        assert!(rule.render(&bt).contains('→'));
+        assert!(rule.render(&interner).contains('→'));
+        assert!(rule.render(&interner).contains("a="));
         assert!(rule.to_string().contains("supp"));
+        let decoded: Vec<Item> = rule.items(&interner).collect();
+        assert_eq!(decoded, vec![item(&bt, "a", 0), item(&bt, "b", 0)]);
     }
 
     #[test]
     fn ruleset_target_filter() {
         let bt = binned();
-        let r1 = AssociationRule {
-            antecedent: vec![item(&bt, "a", 0)],
-            consequent: vec![item(&bt, "b", 0)],
-            support: 0.5,
-            support_count: 2,
-            confidence: 1.0,
-            lift: 1.0,
-        };
-        let r2 = AssociationRule {
-            antecedent: vec![item(&bt, "a", 2)],
-            consequent: vec![item(&bt, "a", 2)],
-            support: 0.5,
-            support_count: 2,
-            confidence: 1.0,
-            lift: 1.0,
-        };
-        let rs = RuleSet::new(vec![r1, r2], 4);
+        let interner = Arc::new(ItemInterner::from_binned(&bt));
+        let r1 = AssociationRule::from_items(
+            &interner,
+            &[item(&bt, "a", 0)],
+            &[item(&bt, "b", 0)],
+            0.5,
+            2,
+            1.0,
+            1.0,
+        );
+        let r2 = AssociationRule::from_items(
+            &interner,
+            &[item(&bt, "a", 2)],
+            &[item(&bt, "a", 2)],
+            0.5,
+            2,
+            1.0,
+            1.0,
+        );
+        let rs = RuleSet::new(vec![r1, r2], 4, Arc::clone(&interner));
         assert_eq!(rs.len(), 2);
         assert!(!rs.is_empty());
         let filtered = rs.filter_by_target_columns(&[1]);
         assert_eq!(filtered.len(), 1);
         let unchanged = rs.filter_by_target_columns(&[]);
         assert_eq!(unchanged.len(), 2);
+        assert!(Arc::ptr_eq(filtered.interner(), rs.interner()));
     }
 }

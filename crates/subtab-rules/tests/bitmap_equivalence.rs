@@ -1,0 +1,133 @@
+//! Equivalence suite pinning the vertical bitmap miner's output identical —
+//! same rules, same support counts, bit-equal supports / confidences /
+//! lifts, same order — to the preserved Apriori reference twin, on all six
+//! planted evaluation datasets, for plain and target-partitioned mining, at
+//! thread counts {1, 2, 4}.
+
+use subtab_binning::{BinnedTable, Binner, BinningConfig};
+use subtab_datasets::{benchmark_target_column, DatasetKind, DatasetSize};
+use subtab_rules::{MiningConfig, RuleMiner, RuleSet};
+
+const KINDS: [DatasetKind; 6] = [
+    DatasetKind::Flights,
+    DatasetKind::Cyber,
+    DatasetKind::Spotify,
+    DatasetKind::CreditCard,
+    DatasetKind::UsFunds,
+    DatasetKind::BankLoans,
+];
+
+/// Mining parameters per dataset: wide schemas (US funds has 298 columns)
+/// get a higher support floor so the Apriori twin's per-candidate row scans
+/// stay affordable under the debug test profile. Equivalence must hold at
+/// *any* parameters; these only bound oracle runtime.
+fn config_for(kind: DatasetKind) -> MiningConfig {
+    match kind {
+        DatasetKind::UsFunds => MiningConfig {
+            min_support: 0.2,
+            max_rule_size: 3,
+            ..Default::default()
+        },
+        _ => MiningConfig {
+            min_support: 0.2,
+            ..Default::default()
+        },
+    }
+}
+
+fn binned_for(kind: DatasetKind) -> (BinnedTable, usize) {
+    let dataset = kind.build(DatasetSize::Tiny, 5);
+    let binner = Binner::fit(&dataset.table, &BinningConfig::default()).expect("binning fits");
+    let binned = binner.apply(&dataset.table).expect("binning applies");
+    let target = benchmark_target_column(&dataset.table);
+    let target_idx = binned.column_index(&target).expect("target column exists");
+    (binned, target_idx)
+}
+
+/// Asserts full identity of two rule sets: count, ids, integer counts, and
+/// bit-equal floating-point statistics, in the same order.
+fn assert_identical(label: &str, got: &RuleSet, oracle: &RuleSet) {
+    assert_eq!(got.len(), oracle.len(), "{label}: rule count");
+    assert_eq!(got.num_rows, oracle.num_rows, "{label}: num_rows");
+    for (i, (g, o)) in got.iter().zip(oracle.iter()).enumerate() {
+        assert_eq!(g.antecedent, o.antecedent, "{label}: rule {i} antecedent");
+        assert_eq!(g.consequent, o.consequent, "{label}: rule {i} consequent");
+        assert_eq!(g.column_mask, o.column_mask, "{label}: rule {i} mask");
+        assert_eq!(
+            g.support_count, o.support_count,
+            "{label}: rule {i} support count"
+        );
+        assert_eq!(
+            g.support.to_bits(),
+            o.support.to_bits(),
+            "{label}: rule {i} support"
+        );
+        assert_eq!(
+            g.confidence.to_bits(),
+            o.confidence.to_bits(),
+            "{label}: rule {i} confidence"
+        );
+        assert_eq!(g.lift.to_bits(), o.lift.to_bits(), "{label}: rule {i} lift");
+    }
+}
+
+#[test]
+fn plain_mining_is_pinned_to_the_apriori_twin_on_all_datasets() {
+    for kind in KINDS {
+        let (binned, _) = binned_for(kind);
+        let cfg = config_for(kind);
+        let oracle = RuleMiner::new(cfg.clone()).mine_apriori(&binned);
+        assert!(
+            !oracle.is_empty(),
+            "{kind:?}: planted data must produce rules for the comparison to mean anything"
+        );
+        for threads in [1, 2, 4] {
+            let got = RuleMiner::new(cfg.clone().with_threads(threads)).mine(&binned);
+            assert_identical(&format!("{kind:?} plain t{threads}"), &got, &oracle);
+        }
+    }
+}
+
+#[test]
+fn target_mining_is_pinned_to_the_apriori_twin_on_all_datasets() {
+    for kind in KINDS {
+        let (binned, target) = binned_for(kind);
+        let cfg = config_for(kind);
+        let oracle = RuleMiner::new(cfg.clone()).mine_with_targets_apriori(&binned, &[target]);
+        for threads in [1, 2, 4] {
+            let got = RuleMiner::new(cfg.clone().with_threads(threads))
+                .mine_with_targets(&binned, &[target]);
+            assert_identical(&format!("{kind:?} target t{threads}"), &got, &oracle);
+        }
+    }
+}
+
+#[test]
+fn truncated_mining_is_pinned_across_engines_and_threads() {
+    // max_rules exercises the deterministic truncation tie-break on real
+    // planted data, where many rules share a support value.
+    for kind in [DatasetKind::Flights, DatasetKind::Cyber] {
+        let (binned, target) = binned_for(kind);
+        let cfg = MiningConfig {
+            max_rules: 10,
+            min_rule_size: 2,
+            ..config_for(kind)
+        };
+        let oracle = RuleMiner::new(cfg.clone()).mine_apriori(&binned);
+        assert_eq!(oracle.len(), 10, "{kind:?}: cap must actually bite");
+        let oracle_t = RuleMiner::new(cfg.clone()).mine_with_targets_apriori(&binned, &[target]);
+        for threads in [1, 2, 4] {
+            let miner = RuleMiner::new(cfg.clone().with_threads(threads));
+            assert_identical(
+                &format!("{kind:?} capped t{threads}"),
+                &miner.mine(&binned),
+                &oracle,
+            );
+            assert_identical(
+                &format!("{kind:?} capped target t{threads}"),
+                &miner.mine_with_targets(&binned, &[target]),
+                &oracle_t,
+            );
+        }
+    }
+}

@@ -1,13 +1,17 @@
 //! Replaying an EDA session: for every query of a generated exploration
 //! session over the cyber-security dataset, display the query, the size of
 //! its result, and the informative sub-table SubTab produces for it — the
-//! interactive loop of Figure 1 (red arrows) in the paper.
+//! interactive loop of Figure 1 (red arrows) in the paper — with the
+//! association rules mined once at load time highlighted per displayed row
+//! (the coloured-pattern UI of Figures 1–3).
 //!
 //! ```bash
 //! cargo run --release --example query_session
 //! ```
 
+use subtab::core::HighlightIndex;
 use subtab::datasets::{cyber, generate_sessions, DatasetSize, SessionConfig};
+use subtab::rules::MiningConfig;
 use subtab::{SelectionParams, SubTab, SubTabConfig};
 
 fn main() {
@@ -30,6 +34,16 @@ fn main() {
 
     let subtab =
         SubTab::preprocess(dataset.table.clone(), SubTabConfig::default()).expect("pre-processing");
+    // Rules are mined once when the table is loaded (vertical bitmap
+    // engine); every displayed sub-table below reuses them for highlights.
+    let rules = subtab.mine_rules(&MiningConfig {
+        min_rule_size: 2,
+        ..Default::default()
+    });
+    println!("mined {} association rules at load time", rules.len());
+    // One highlight index for the whole session; each displayed sub-table
+    // below only probes it.
+    let highlighter = HighlightIndex::build(&rules);
     let params = SelectionParams::new(8, 6);
 
     for (si, session) in sessions.iter().enumerate() {
@@ -49,8 +63,14 @@ fn main() {
             );
             match subtab.select_for_query(query, &params) {
                 Ok(view) => {
-                    println!("   SubTab display ({} rows):", view.sub_table.num_rows());
-                    println!("{}", view.sub_table.render(8));
+                    let view = subtab.with_highlights_indexed(view, &highlighter);
+                    let highlighted = view.highlights.iter().flatten().count();
+                    println!(
+                        "   SubTab display ({} rows, {} highlighted):",
+                        view.sub_table.num_rows(),
+                        highlighted
+                    );
+                    println!("{}", view.render_with_highlights());
                 }
                 Err(e) => println!("   (no sub-table: {e})"),
             }
