@@ -8,8 +8,8 @@
 //! ```
 
 use subtab_bench::experiments::{
-    ablation, phases, preprocess_scaling, quality, query_scaling, rules_mining, simulation,
-    slow_baselines, tuning, user_study,
+    ablation, phases, preprocess_scaling, quality, query_scaling, rules_mining, server_load,
+    simulation, slow_baselines, tuning, user_study,
 };
 use subtab_bench::ExperimentScale;
 
@@ -28,12 +28,13 @@ experiments:
   preprocess  pre-processing hot-path scaling per trainer mode (CI gate)
   query       query-time selection scaling per engine mode (CI gate)
   rules       rule-engine scaling: bitmap vs Apriori mining, highlight index (CI gate)
-  all         everything above except `preprocess`, `query` and `rules`
+  server      serving-layer load: session replay throughput + tail latency (CI gate)
+  all         everything above except `preprocess`, `query`, `rules` and `server`
 
 flags:
   --quick           tiny datasets and small budgets (seconds instead of minutes)
-  --json PATH       (preprocess | query | rules) write the machine-readable report to PATH
-  --baseline PATH   (preprocess | query | rules) compare against a baseline JSON; exit 1
+  --json PATH       (preprocess | query | rules | server) write the machine-readable report to PATH
+  --baseline PATH   (preprocess | query | rules | server) compare against a baseline JSON; exit 1
                     on a >25% wall-time regression in any mode";
 
 fn main() {
@@ -91,12 +92,12 @@ fn main() {
     }
     let gated_requested = requested
         .iter()
-        .filter(|r| *r == "preprocess" || *r == "query" || *r == "rules")
+        .filter(|r| *r == "preprocess" || *r == "query" || *r == "rules" || *r == "server")
         .count();
     if (json_path.is_some() || baseline_path.is_some()) && gated_requested != 1 {
         eprintln!(
-            "--json/--baseline apply to exactly one of the `preprocess` / `query` / `rules` \
-             experiments per invocation (note: `all` includes none of them)\n\n{USAGE}"
+            "--json/--baseline apply to exactly one of the `preprocess` / `query` / `rules` / \
+             `server` experiments per invocation (note: `all` includes none of them)\n\n{USAGE}"
         );
         std::process::exit(2);
     }
@@ -161,6 +162,16 @@ fn main() {
                     baseline_path.as_deref(),
                     &rules_mining::to_json(&report),
                     |baseline| rules_mining::check_against_baseline(&report, baseline, 0.25),
+                );
+            }
+            "server" => {
+                let report = server_load::run(scale);
+                println!("{}", server_load::render(&report));
+                write_and_gate(
+                    json_path.as_deref(),
+                    baseline_path.as_deref(),
+                    &server_load::to_json(&report),
+                    |baseline| server_load::check_against_baseline(&report, baseline, 0.25),
                 );
             }
             other => {

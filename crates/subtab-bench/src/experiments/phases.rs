@@ -60,12 +60,12 @@ pub fn run_on(datasets: &[DatasetKind], scale: ExperimentScale) -> PhasesReport 
         selections.push(start.elapsed());
         for query in sample_queries(kind) {
             let start = Instant::now();
-            match subtab.select_for_query(&query, &params) {
-                Ok(_) | Err(subtab_core::CoreError::EmptyQueryResult) => {
-                    selections.push(start.elapsed());
-                }
-                Err(e) => panic!("unexpected selection failure: {e}"),
-            }
+            // Queries matching no rows yield the empty sub-table, which
+            // still exercises (and times) the query-time path.
+            let _ = subtab
+                .select_for_query(&query, &params)
+                .expect("selection never fails on a valid query");
+            selections.push(start.elapsed());
         }
         let avg = selections.iter().sum::<Duration>() / selections.len() as u32;
         rows.push(PhaseRow {

@@ -1,0 +1,494 @@
+//! Serving-layer load benchmark: a closed-loop generator replays EDA
+//! session traces against an [`ExplorationServer`] and reports throughput
+//! and tail latency per serving mode, plus the cached-hit speedup of the
+//! session cache. Emits machine-readable JSON (`BENCH_server.json`) in the
+//! shape of the shared CI bench-regression gate.
+//!
+//! Modes (all replay the identical trace corpus):
+//!
+//! * `serve-direct-1t` — sequential direct facade calls, no server, no
+//!   cache: the pre-serving baseline and the gate's normalisation
+//!   reference.
+//! * `serve-cold-1w` — one simulated user against a 1-worker server with
+//!   caching disabled: isolates the dispatch/queue overhead per request.
+//! * `serve-cold-4w` — 4 users against a 4-worker server, caches disabled:
+//!   concurrent scaling of the raw execution path.
+//! * `serve-warm-4w` — 4 users against a 4-worker server with warmed
+//!   caches: the steady state of a long-running service, where repeated
+//!   displays are answered from the LRU cache.
+
+use crate::experiments::common::format_table;
+use crate::experiments::common::ExperimentScale;
+use crate::experiments::preprocess_scaling::check_gated_modes;
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::Instant;
+use subtab_core::{SelectionParams, SubTab};
+use subtab_data::Query;
+use subtab_datasets::{generate_server_traces, DatasetKind, SessionConfig};
+use subtab_server::{ExplorationServer, Request, ServerConfig};
+
+/// Label of the direct-call reference mode (the gate normalises every
+/// capture to it, cancelling raw machine speed).
+const DIRECT_MODE: &str = "serve-direct-1t";
+
+/// Measurements of one serving mode over the full trace corpus.
+#[derive(Debug, Clone)]
+pub struct ServerModeResult {
+    /// Mode label (the key the CI gate matches baselines by).
+    pub mode: String,
+    /// Simulated concurrent users driving the closed loop.
+    pub users: usize,
+    /// Server worker threads (`0` = direct calls, no server).
+    pub workers: usize,
+    /// Best-of-reps wall time of one full corpus replay, in ms.
+    pub wall_ms: f64,
+    /// Requests per second of the best replay.
+    pub throughput_rps: f64,
+    /// Median per-request latency of the best replay, in ms.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency of the best replay, in ms.
+    pub p99_ms: f64,
+}
+
+/// The serving-layer load report.
+#[derive(Debug, Clone)]
+pub struct ServerLoadReport {
+    /// Dataset label.
+    pub dataset: String,
+    /// Rows of the generated table.
+    pub rows: usize,
+    /// Session traces in the corpus.
+    pub sessions: usize,
+    /// Select requests per full corpus replay.
+    pub requests: usize,
+    /// One entry per serving mode.
+    pub results: Vec<ServerModeResult>,
+    /// Mean cold select wall over mean cached-hit wall for one repeated
+    /// query — the headline benefit of the session cache. The serving
+    /// layer's acceptance floor is 10x.
+    pub cached_speedup: f64,
+}
+
+/// Per-request latencies of one replay, merged across user threads.
+struct Replay {
+    wall_ms: f64,
+    latencies_ms: Vec<f64>,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Runs the load benchmark on the cyber stand-in (the dataset the paper's
+/// session corpus was recorded over).
+pub fn run(scale: ExperimentScale) -> ServerLoadReport {
+    let (num_sessions, reps) = match scale {
+        ExperimentScale::Quick => (16, 3),
+        ExperimentScale::Paper => (48, 3),
+    };
+    run_on(DatasetKind::Cyber, scale, num_sessions, reps)
+}
+
+/// Runs the benchmark on an explicit dataset with `num_sessions` traces and
+/// `reps` replays per mode (best-of wall time is reported).
+pub fn run_on(
+    kind: DatasetKind,
+    scale: ExperimentScale,
+    num_sessions: usize,
+    reps: usize,
+) -> ServerLoadReport {
+    let dataset = kind.build(scale.dataset_size(), 31);
+    let traces = generate_server_traces(
+        &dataset,
+        &SessionConfig {
+            num_sessions,
+            min_queries: 3,
+            max_queries: 6,
+            seed: 47,
+        },
+    );
+    let params = SelectionParams::default();
+    // One preprocessing run shared (via `Arc`) by the direct reference and
+    // every server mode.
+    let subtab =
+        Arc::new(SubTab::preprocess(dataset.table, scale.subtab_config()).expect("pre-processing"));
+    let rows = subtab.table().num_rows();
+    let requests: usize = traces.iter().map(|t| t.queries.len()).sum();
+    // Prime the whole-table row-vector cache: every mode starts from the
+    // same steady preprocessed state.
+    subtab.preprocessed().full_row_vectors();
+
+    let mut results = Vec::new();
+
+    // Reference: the same corpus, sequential direct calls.
+    results.push(run_mode(DIRECT_MODE, 1, 0, reps, || {
+        replay_direct(&subtab, &traces, &params)
+    }));
+
+    let mut served = |mode: &str, users: usize, workers: usize, warm: bool, caches: usize| {
+        let server = ExplorationServer::from_subtab(
+            Arc::clone(&subtab),
+            ServerConfig {
+                workers,
+                heavy_slots: 1,
+                select_cache_capacity: caches,
+                rules_cache_capacity: 4,
+            },
+        );
+        if warm {
+            // One untimed replay fills the cache.
+            replay_served(&server, &traces, &params, 1);
+        }
+        let result = run_mode(mode, users, workers, reps, || {
+            replay_served(&server, &traces, &params, users)
+        });
+        results.push(result);
+    };
+
+    served("serve-cold-1w", 1, 1, false, 0);
+    served("serve-cold-4w", 4, 4, false, 0);
+    served("serve-warm-4w", 4, 4, true, 1024);
+
+    let cached_speedup = measure_cached_speedup(&subtab, &traces, &params);
+
+    ServerLoadReport {
+        dataset: kind.label().to_string(),
+        rows,
+        sessions: traces.len(),
+        requests,
+        results,
+        cached_speedup,
+    }
+}
+
+fn run_mode(
+    mode: &str,
+    users: usize,
+    workers: usize,
+    reps: usize,
+    mut replay: impl FnMut() -> Replay,
+) -> ServerModeResult {
+    let mut best: Option<Replay> = None;
+    for _ in 0..reps.max(1) {
+        let r = replay();
+        if best.as_ref().is_none_or(|b| r.wall_ms < b.wall_ms) {
+            best = Some(r);
+        }
+    }
+    let best = best.expect("at least one replay");
+    let mut sorted = best.latencies_ms.clone();
+    sorted.sort_by(f64::total_cmp);
+    ServerModeResult {
+        mode: mode.to_string(),
+        users,
+        workers,
+        wall_ms: best.wall_ms,
+        throughput_rps: sorted.len() as f64 / (best.wall_ms / 1e3).max(1e-9),
+        p50_ms: percentile(&sorted, 0.50),
+        p99_ms: percentile(&sorted, 0.99),
+    }
+}
+
+fn replay_direct(
+    subtab: &SubTab,
+    traces: &[subtab_datasets::Session],
+    params: &SelectionParams,
+) -> Replay {
+    let start = Instant::now();
+    let mut latencies = Vec::new();
+    for trace in traces {
+        for query in &trace.queries {
+            let t = Instant::now();
+            let r = subtab
+                .select_for_query(query, params)
+                .expect("trace queries are valid");
+            latencies.push(t.elapsed().as_secs_f64() * 1e3);
+            std::hint::black_box(r.row_indices.len());
+        }
+    }
+    Replay {
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        latencies_ms: latencies,
+    }
+}
+
+/// Closed-loop replay: `users` threads each work through a disjoint share
+/// of the trace corpus, one blocking request at a time.
+fn replay_served(
+    server: &ExplorationServer,
+    traces: &[subtab_datasets::Session],
+    params: &SelectionParams,
+    users: usize,
+) -> Replay {
+    let users = users.max(1);
+    let all = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for u in 0..users {
+            let all = &all;
+            scope.spawn(move || {
+                let mut latencies = Vec::new();
+                let session = server.open_session();
+                for trace in traces.iter().skip(u).step_by(users) {
+                    for query in &trace.queries {
+                        let t = Instant::now();
+                        let outcome = server
+                            .execute(
+                                session,
+                                Request::Select {
+                                    query: Some(query.clone()),
+                                    params: params.clone(),
+                                },
+                            )
+                            .expect("trace queries are valid");
+                        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                        std::hint::black_box(outcome.cache_hit);
+                    }
+                }
+                let _ = server.close_session(session);
+                all.lock().expect("latency lock").extend(latencies);
+            });
+        }
+    });
+    Replay {
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        latencies_ms: all.into_inner().expect("latency lock"),
+    }
+}
+
+/// Mean cold select wall over mean cached-hit wall for the corpus's
+/// whole-table query (the most common display of every session).
+fn measure_cached_speedup(
+    subtab: &Arc<SubTab>,
+    traces: &[subtab_datasets::Session],
+    params: &SelectionParams,
+) -> f64 {
+    let query = traces
+        .first()
+        .and_then(|t| t.queries.first())
+        .cloned()
+        .unwrap_or_else(Query::new);
+    const COLD_REPS: usize = 5;
+    const HIT_REPS: usize = 200;
+    let start = Instant::now();
+    for _ in 0..COLD_REPS {
+        std::hint::black_box(
+            subtab
+                .select_for_query(&query, params)
+                .expect("query valid")
+                .row_indices
+                .len(),
+        );
+    }
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3 / COLD_REPS as f64;
+
+    let server = ExplorationServer::from_subtab(
+        Arc::clone(subtab),
+        ServerConfig {
+            workers: 1,
+            heavy_slots: 1,
+            select_cache_capacity: 16,
+            rules_cache_capacity: 1,
+        },
+    );
+    let session = server.open_session();
+    let request = Request::Select {
+        query: Some(query),
+        params: params.clone(),
+    };
+    // Fill the cache, then time pure hits.
+    server
+        .execute(session, request.clone())
+        .expect("cache fill");
+    let start = Instant::now();
+    for _ in 0..HIT_REPS {
+        let outcome = server
+            .execute(session, request.clone())
+            .expect("cached select");
+        debug_assert!(outcome.cache_hit);
+        std::hint::black_box(outcome.cache_hit);
+    }
+    let hit_ms = start.elapsed().as_secs_f64() * 1e3 / HIT_REPS as f64;
+    cold_ms / hit_ms.max(1e-9)
+}
+
+/// Renders the report as an aligned text table.
+pub fn render(report: &ServerLoadReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.users.to_string(),
+                r.workers.to_string(),
+                format!("{:.3}", r.wall_ms),
+                format!("{:.0}", r.throughput_rps),
+                format!("{:.3}", r.p50_ms),
+                format!("{:.3}", r.p99_ms),
+            ]
+        })
+        .collect();
+    format!(
+        "Serving-layer load on {} ({} rows, {} sessions, {} selects per replay): \
+         cached hits {:.0}x faster than cold selects\n{}",
+        report.dataset,
+        report.rows,
+        report.sessions,
+        report.requests,
+        report.cached_speedup,
+        format_table(
+            &["mode", "users", "workers", "wall-ms", "req/s", "p50-ms", "p99-ms"],
+            &rows
+        )
+    )
+}
+
+/// Serialises the report as `BENCH_server.json` (one result per line — the
+/// shape `preprocess_scaling::parse_results` expects, so this gate shares
+/// the fleet's parser).
+pub fn to_json(report: &ServerLoadReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"server_load\",\n");
+    out.push_str(&format!("  \"dataset\": \"{}\",\n", report.dataset));
+    out.push_str(&format!("  \"rows\": {},\n", report.rows));
+    out.push_str(&format!("  \"sessions\": {},\n", report.sessions));
+    out.push_str(&format!("  \"requests\": {},\n", report.requests));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in report.results.iter().enumerate() {
+        let comma = if i + 1 < report.results.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"users\": {}, \"workers\": {}, \"wall_ms\": {:.3}, \
+             \"throughput_rps\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}{}\n",
+            r.mode, r.users, r.workers, r.wall_ms, r.throughput_rps, r.p50_ms, r.p99_ms, comma
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"cached_speedup\": {:.1}\n",
+        report.cached_speedup
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Compares a fresh report against a checked-in baseline JSON. Wall times
+/// are normalised to `serve-direct-1t` of their own capture, cancelling raw
+/// machine speed like the other gates; additionally the cache-acceptance
+/// floor (cached hits at least 10x faster than cold selects) must hold.
+pub fn check_against_baseline(
+    report: &ServerLoadReport,
+    baseline_json: &str,
+    threshold: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let gated: Vec<(String, f64)> = report
+        .results
+        .iter()
+        .map(|r| (r.mode.clone(), r.wall_ms))
+        .collect();
+    let mut lines = check_gated_modes(&gated, baseline_json, DIRECT_MODE, threshold)?;
+    if report.cached_speedup < 10.0 {
+        return Err(vec![format!(
+            "REGRESSION cached_speedup: {:.1}x < the 10x acceptance floor",
+            report.cached_speedup
+        )]);
+    }
+    lines.push(format!(
+        "cached_speedup {:.0}x (floor 10x)",
+        report.cached_speedup
+    ));
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::preprocess_scaling::parse_results;
+    use std::sync::OnceLock;
+
+    fn tiny_report() -> &'static ServerLoadReport {
+        static REPORT: OnceLock<ServerLoadReport> = OnceLock::new();
+        REPORT.get_or_init(|| run_on(DatasetKind::Cyber, ExperimentScale::Quick, 3, 1))
+    }
+
+    #[test]
+    fn report_covers_every_mode_with_latency_stats() {
+        let report = tiny_report();
+        assert_eq!(report.results.len(), 4);
+        for r in &report.results {
+            assert!(r.wall_ms > 0.0, "{} wall must be positive", r.mode);
+            assert!(r.throughput_rps > 0.0);
+            assert!(r.p50_ms > 0.0);
+            assert!(r.p99_ms >= r.p50_ms, "{}: p99 below p50", r.mode);
+        }
+        assert!(report.requests > 0);
+        assert!(
+            report.cached_speedup >= 10.0,
+            "cached hits must be at least 10x faster than cold selects, got {:.1}x",
+            report.cached_speedup
+        );
+        let rendered = render(report);
+        assert!(rendered.contains("p99-ms"));
+        assert!(rendered.contains(DIRECT_MODE));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_shared_parser() {
+        let report = tiny_report();
+        let json = to_json(report);
+        let parsed = parse_results(&json).unwrap();
+        assert_eq!(parsed.len(), report.results.len());
+        for (r, (pmode, pwall)) in report.results.iter().zip(&parsed) {
+            assert_eq!(&r.mode, pmode);
+            assert!((r.wall_ms - pwall).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn gate_passes_against_itself_and_catches_regressions() {
+        let report = tiny_report();
+        let json = to_json(report);
+        assert!(check_against_baseline(report, &json, 0.25).is_ok());
+        // Uniform machine-speed changes cancel under normalisation.
+        let mut faster = report.clone();
+        for r in &mut faster.results {
+            r.wall_ms /= 8.0;
+        }
+        assert!(check_against_baseline(report, &to_json(&faster), 0.25).is_ok());
+        // A baseline whose serving modes are much faster relative to the
+        // direct reference flags every serving mode.
+        let mut fast = report.clone();
+        for r in &mut fast.results {
+            if r.mode != DIRECT_MODE {
+                r.wall_ms /= 10.0;
+            }
+        }
+        let err = check_against_baseline(report, &to_json(&fast), 0.25).unwrap_err();
+        assert_eq!(err.len(), report.results.len() - 1);
+        assert!(err[0].contains("REGRESSION"));
+        // Losing the cache benefit fails the acceptance floor outright.
+        let mut slow_cache = report.clone();
+        slow_cache.cached_speedup = 2.0;
+        let err = check_against_baseline(&slow_cache, &json, 0.25).unwrap_err();
+        assert!(err[0].contains("acceptance floor"));
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert!((percentile(&sorted, 0.5) - 50.0).abs() <= 1.0);
+        assert!(percentile(&[], 0.5) == 0.0);
+    }
+}

@@ -3,19 +3,24 @@
 use std::fmt;
 
 /// Errors produced while pre-processing a table or selecting a sub-table.
+///
+/// Degenerate-but-well-formed requests (a query matching no rows, `k = 0`,
+/// `limit: Some(0)`, an empty projection) are *not* errors — they select the
+/// empty sub-table. Errors are reserved for requests no table state can
+/// satisfy: unknown columns, contradictory parameters, failed table
+/// operations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
-    /// The selection parameters were invalid (e.g. `k = 0`, or more target
-    /// columns than selected columns).
+    /// The selection parameters were invalid (e.g. more target columns than
+    /// selected columns).
     InvalidParams(String),
-    /// A referenced column does not exist in the table.
+    /// A referenced column does not exist in the table (or the preprocessed
+    /// artefacts drifted from the table's schema).
     UnknownColumn(String),
     /// An underlying table operation failed.
     Data(subtab_data::DataError),
     /// Binning failed.
     Binning(subtab_binning::BinningError),
-    /// The query produced an empty result, so no sub-table can be selected.
-    EmptyQueryResult,
 }
 
 impl fmt::Display for CoreError {
@@ -25,7 +30,6 @@ impl fmt::Display for CoreError {
             CoreError::UnknownColumn(c) => write!(f, "unknown column: {c:?}"),
             CoreError::Data(e) => write!(f, "table error: {e}"),
             CoreError::Binning(e) => write!(f, "binning error: {e}"),
-            CoreError::EmptyQueryResult => write!(f, "the query returned no rows"),
         }
     }
 }
@@ -56,6 +60,5 @@ mod tests {
         assert!(matches!(e, CoreError::Data(_)));
         let e: CoreError = subtab_binning::BinningError::UnknownColumn("y".into()).into();
         assert!(matches!(e, CoreError::Binning(_)));
-        assert!(CoreError::EmptyQueryResult.to_string().contains("no rows"));
     }
 }

@@ -53,6 +53,9 @@ pub mod subtab;
 
 pub use config::{SelectionParams, SubTabConfig};
 pub use error::CoreError;
+/// The error type of the query surface, under the paper's name for the
+/// system. Alias of [`CoreError`].
+pub use error::CoreError as SubTabError;
 pub use highlight::{highlight_rules, highlight_rules_linear, HighlightIndex, RuleHighlight};
 pub use preprocess::PreprocessedTable;
 pub use result::SubTableResult;

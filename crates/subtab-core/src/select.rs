@@ -30,7 +30,9 @@ pub fn select_sub_table(
     seed: u64,
     threads: usize,
 ) -> Result<SubTableResult> {
-    let ctx = SelectionContext::prepare(pre, query, params)?;
+    let Some(ctx) = SelectionContext::prepare(pre, query, params)? else {
+        return empty_result(pre);
+    };
     let embedding = pre.embedding();
     let plane = pre.plane();
 
@@ -76,7 +78,9 @@ pub fn select_sub_table_strkey(
     seed: u64,
     threads: usize,
 ) -> Result<SubTableResult> {
-    let ctx = SelectionContext::prepare(pre, query, params)?;
+    let Some(ctx) = SelectionContext::prepare(pre, query, params)? else {
+        return empty_result(pre);
+    };
     let embedding = pre.embedding();
     let binned = pre.binned();
 
@@ -119,16 +123,18 @@ struct SelectionContext {
 }
 
 impl SelectionContext {
+    /// Validates the request against the pre-processed state and assembles
+    /// the candidate sets. Returns `Ok(None)` for *degenerate* requests —
+    /// zero requested rows or columns, a query matching no rows, an empty
+    /// projection, a `limit: Some(0)` — which select the empty sub-table
+    /// rather than erroring or panicking. Genuinely invalid requests (an
+    /// unknown column, more targets than columns) return typed errors; no
+    /// user-supplied query can reach a panic in this path.
     fn prepare(
         pre: &PreprocessedTable,
         query: Option<&Query>,
         params: &SelectionParams,
-    ) -> Result<Self> {
-        if params.k == 0 || params.l == 0 {
-            return Err(CoreError::InvalidParams(
-                "k and l must both be at least 1".into(),
-            ));
-        }
+    ) -> Result<Option<Self>> {
         if params.target_columns.len() > params.l {
             return Err(CoreError::InvalidParams(format!(
                 "{} target columns do not fit into l = {}",
@@ -138,20 +144,48 @@ impl SelectionContext {
         }
         let table = pre.table();
         let num_columns = table.num_columns();
-        for t in &params.target_columns {
-            if table.schema().index_of(t).is_none() {
-                return Err(CoreError::UnknownColumn(t.clone()));
-            }
+        // Guard against preprocessed-state drift: the token plane and the
+        // binned table are built from this table at preprocess time; if a
+        // caller ever pairs a table with artefacts of a different shape,
+        // every gather below would index out of bounds. Surface it as a
+        // typed error instead.
+        if pre.plane().num_rows() != table.num_rows()
+            || pre.plane().num_cols() != num_columns
+            || pre.binned().num_columns() != num_columns
+        {
+            return Err(CoreError::UnknownColumn(format!(
+                "preprocessed state drifted from the table: table is {}x{}, token plane is {}x{}",
+                table.num_rows(),
+                num_columns,
+                pre.plane().num_rows(),
+                pre.plane().num_cols(),
+            )));
+        }
+        // Resolve every referenced column through the schema exactly once;
+        // a miss is a typed UnknownColumn error, never an `expect`.
+        let target_idx: Vec<usize> = params
+            .target_columns
+            .iter()
+            .map(|t| {
+                table
+                    .schema()
+                    .index_of(t)
+                    .ok_or_else(|| CoreError::UnknownColumn(t.clone()))
+            })
+            .collect::<Result<_>>()?;
+
+        if params.k == 0 || params.l == 0 {
+            return Ok(None);
         }
 
-        // Candidate rows: all rows, or the rows matching the query's
-        // predicates.
+        // Candidate rows: all rows, or the rows a selection over the query
+        // result may draw from (predicates plus sort-aware limit).
         let candidate_rows: Vec<usize> = match query {
             None => (0..table.num_rows()).collect(),
-            Some(q) => q.matching_rows(table)?,
+            Some(q) => q.selection_rows(table)?,
         };
         if candidate_rows.is_empty() {
-            return Err(CoreError::EmptyQueryResult);
+            return Ok(None);
         }
 
         // Candidate columns: the query's projection if present, otherwise
@@ -167,13 +201,14 @@ impl SelectionContext {
                         .schema()
                         .index_of(name)
                         .ok_or_else(|| CoreError::UnknownColumn(name.clone()))?;
-                    cols.push(idx);
-                    in_candidates[idx] = true;
+                    if !in_candidates[idx] {
+                        in_candidates[idx] = true;
+                        cols.push(idx);
+                    }
                 }
                 // Target columns are always candidates even if the projection
                 // dropped them (the paper requires U* ⊆ U_sub).
-                for t in &params.target_columns {
-                    let idx = table.schema().index_of(t).expect("validated above");
+                for &idx in &target_idx {
                     if !in_candidates[idx] {
                         in_candidates[idx] = true;
                         cols.push(idx);
@@ -186,13 +221,11 @@ impl SelectionContext {
                 (0..num_columns).collect()
             }
         };
+        if candidate_columns.is_empty() {
+            return Ok(None);
+        }
 
         let k = params.k.min(candidate_rows.len());
-        let target_idx: Vec<usize> = params
-            .target_columns
-            .iter()
-            .map(|t| table.schema().index_of(t).expect("validated above"))
-            .collect();
         let mut is_target = vec![false; num_columns];
         for &t in &target_idx {
             is_target[t] = true;
@@ -207,7 +240,7 @@ impl SelectionContext {
             .saturating_sub(target_idx.len())
             .min(free_columns.len());
         let whole_table = query.is_none() && candidate_columns.len() == num_columns;
-        Ok(SelectionContext {
+        Ok(Some(SelectionContext {
             candidate_rows,
             candidate_columns,
             target_idx,
@@ -215,8 +248,19 @@ impl SelectionContext {
             k,
             l_free,
             whole_table,
-        })
+        }))
     }
+}
+
+/// The empty `0 × 0` selection every degenerate request resolves to: no
+/// rows, no columns, no highlights — never a stale whole-table fallback.
+fn empty_result(pre: &PreprocessedTable) -> Result<SubTableResult> {
+    Ok(SubTableResult {
+        sub_table: pre.table().sub_table(&[], &[])?,
+        row_indices: Vec::new(),
+        columns: Vec::new(),
+        highlights: Vec::new(),
+    })
 }
 
 /// The clustering + assembly tail shared by both engines: k-means centroid
@@ -258,11 +302,10 @@ fn finish_selection(
             table
                 .schema()
                 .field_at(c)
-                .expect("index valid")
-                .name
-                .clone()
+                .map(|f| f.name.clone())
+                .ok_or_else(|| CoreError::UnknownColumn(format!("column index {c} out of schema")))
         })
-        .collect();
+        .collect::<Result<_>>()?;
     let column_refs: Vec<&str> = column_names.iter().map(String::as_str).collect();
     let sub_table = table.sub_table(&row_indices, &column_refs)?;
 
@@ -398,10 +441,6 @@ mod tests {
     #[test]
     fn invalid_params_are_rejected() {
         let pre = preprocessed(20);
-        assert!(matches!(
-            select_sub_table(&pre, None, &SelectionParams::new(0, 3), 0, 1),
-            Err(CoreError::InvalidParams(_))
-        ));
         let too_many_targets = SelectionParams::new(3, 1).with_targets(&["airline", "cancelled"]);
         assert!(matches!(
             select_sub_table(&pre, None, &too_many_targets, 0, 1),
@@ -414,13 +453,89 @@ mod tests {
         ));
     }
 
+    fn assert_empty(r: &SubTableResult) {
+        assert_eq!(r.sub_table.num_rows(), 0);
+        assert_eq!(r.sub_table.num_columns(), 0);
+        assert!(r.row_indices.is_empty());
+        assert!(r.columns.is_empty());
+        assert!(r.highlights.is_empty());
+    }
+
     #[test]
-    fn empty_query_result_is_an_error() {
+    fn degenerate_dimensions_select_the_empty_subtable() {
+        let pre = preprocessed(20);
+        for params in [
+            SelectionParams::new(0, 3),
+            SelectionParams::new(3, 0),
+            SelectionParams::new(0, 0),
+        ] {
+            let r = select_sub_table(&pre, None, &params, 0, 1).unwrap();
+            assert_empty(&r);
+            let r = select_sub_table_strkey(&pre, None, &params, 0, 1).unwrap();
+            assert_empty(&r);
+        }
+    }
+
+    #[test]
+    fn empty_query_result_selects_the_empty_subtable() {
         let pre = preprocessed(20);
         let q = Query::new().filter(Predicate::eq("airline", Value::from("ZZ")));
+        let r = select_sub_table(&pre, Some(&q), &SelectionParams::new(3, 2), 0, 1).unwrap();
+        assert_empty(&r);
+        let r = select_sub_table_strkey(&pre, Some(&q), &SelectionParams::new(3, 2), 0, 1).unwrap();
+        assert_empty(&r);
+    }
+
+    #[test]
+    fn limit_zero_selects_the_empty_subtable() {
+        let pre = preprocessed(20);
+        let q = Query::new().limit(0);
+        let r = select_sub_table(&pre, Some(&q), &SelectionParams::new(3, 2), 0, 1).unwrap();
+        assert_empty(&r);
+    }
+
+    #[test]
+    fn empty_projection_selects_the_empty_subtable() {
+        let pre = preprocessed(20);
+        let q = Query::new().select(&[]);
+        let r = select_sub_table(&pre, Some(&q), &SelectionParams::new(3, 2), 0, 1).unwrap();
+        assert_empty(&r);
+    }
+
+    #[test]
+    fn query_limit_restricts_the_candidate_rows() {
+        let pre = preprocessed(100);
+        // Without the limit the DL filter matches 50 rows; with limit 6 the
+        // selection may only draw from the first 6 of them (rows 1..=11 odd).
+        let q = Query::new()
+            .filter(Predicate::eq("airline", Value::from("DL")))
+            .limit(6);
+        let r = select_sub_table(&pre, Some(&q), &SelectionParams::new(4, 3), 2, 1).unwrap();
+        assert_eq!(r.sub_table.num_rows(), 4);
+        for &row in &r.row_indices {
+            assert!(row <= 11, "row {row} is outside the limited query result");
+        }
+        // The string-keyed twin agrees bit for bit.
+        let s = select_sub_table_strkey(&pre, Some(&q), &SelectionParams::new(4, 3), 2, 1).unwrap();
+        assert_eq!(r.row_indices, s.row_indices);
+        assert_eq!(r.columns, s.columns);
+    }
+
+    #[test]
+    fn unknown_projection_column_is_a_typed_error() {
+        let pre = preprocessed(20);
+        let q = Query::new()
+            .filter(Predicate::eq("airline", Value::from("DL")))
+            .select(&["distance", "no_such_column"]);
         assert!(matches!(
             select_sub_table(&pre, Some(&q), &SelectionParams::new(3, 2), 0, 1),
-            Err(CoreError::EmptyQueryResult)
+            Err(CoreError::UnknownColumn(c)) if c == "no_such_column"
+        ));
+        // Unknown predicate columns surface as typed data errors.
+        let q = Query::new().filter(Predicate::eq("no_such_column", Value::from(1i64)));
+        assert!(matches!(
+            select_sub_table(&pre, Some(&q), &SelectionParams::new(3, 2), 0, 1),
+            Err(CoreError::Data(_))
         ));
     }
 

@@ -163,6 +163,77 @@ impl Predicate {
         }
     }
 
+    /// The canonical spelling of the predicate: constant values are
+    /// normalised (numeric types collapse onto `Float` where exactly
+    /// representable, `-0.0` becomes `0.0`, NaNs share one bit pattern) and
+    /// `InSet` value lists are sorted and deduplicated. The canonical
+    /// predicate matches exactly the rows the original does — predicate
+    /// evaluation compares numerics by value ([`Value::loose_eq`]) — so two
+    /// predicates with equal [`Predicate::encode_canonical`] strings are
+    /// interchangeable.
+    pub fn canonical(&self) -> Predicate {
+        match self {
+            Predicate::Compare { column, op, value } => Predicate::Compare {
+                column: column.clone(),
+                op: *op,
+                value: canonical_value(value),
+            },
+            Predicate::InSet { column, values } => {
+                let mut values: Vec<Value> = values.iter().map(canonical_value).collect();
+                values.sort_by(|a, b| a.total_cmp(b));
+                values.dedup_by(|a, b| a.loose_eq(b));
+                Predicate::InSet {
+                    column: column.clone(),
+                    values,
+                }
+            }
+            Predicate::Between { column, low, high } => Predicate::Between {
+                column: column.clone(),
+                low: canonical_f64(*low),
+                high: canonical_f64(*high),
+            },
+            Predicate::IsNull { .. } | Predicate::NotNull { .. } => self.clone(),
+        }
+    }
+
+    /// An unambiguous, type-tagged textual encoding of the canonical form of
+    /// this predicate. Two predicates encode identically iff they select the
+    /// same rows by construction (same column, operator and normalised
+    /// constants); the encoding is what [`Query::selection_key`] sorts,
+    /// deduplicates and hashes predicates by.
+    pub fn encode_canonical(&self) -> String {
+        let mut out = String::new();
+        let canonical = self.canonical();
+        encode_str(canonical.column(), &mut out);
+        match &canonical {
+            Predicate::Compare { op, value, .. } => {
+                out.push_str(match op {
+                    CompareOp::Eq => "=",
+                    CompareOp::Ne => "!=",
+                    CompareOp::Lt => "<",
+                    CompareOp::Le => "<=",
+                    CompareOp::Gt => ">",
+                    CompareOp::Ge => ">=",
+                });
+                encode_value(value, &mut out);
+            }
+            Predicate::IsNull { .. } => out.push_str("is-null"),
+            Predicate::NotNull { .. } => out.push_str("not-null"),
+            Predicate::InSet { values, .. } => {
+                out.push_str("in");
+                for v in values {
+                    encode_value(v, &mut out);
+                }
+            }
+            Predicate::Between { low, high, .. } => {
+                out.push_str("between");
+                encode_value(&Value::Float(*low), &mut out);
+                encode_value(&Value::Float(*high), &mut out);
+            }
+        }
+        out
+    }
+
     /// Evaluates the predicate for row `row` of `table`.
     pub fn matches(&self, table: &Table, row: usize) -> Result<bool> {
         let col = table
@@ -320,6 +391,118 @@ impl Query {
         Ok(out)
     }
 
+    /// Indices of the base-table rows a *sub-table selection* over this
+    /// query's result may draw from, in ascending row order: the rows
+    /// matching all predicates, truncated to [`Query::limit`] after applying
+    /// the sort keys (a `LIMIT` keeps the first `n` rows of the *sorted*
+    /// result, so which rows survive depends on the sort). `limit: Some(0)`
+    /// therefore yields an empty set. Group-by is intentionally ignored —
+    /// an aggregated result has no base-table rows to select from, so
+    /// selection falls back to the rows feeding the aggregation.
+    pub fn selection_rows(&self, table: &Table) -> Result<Vec<usize>> {
+        let mut rows = self.matching_rows(table)?;
+        if let Some(n) = self.limit {
+            if n < rows.len() {
+                if !self.sort.is_empty() {
+                    validate_sort_columns(table, &self.sort)?;
+                    sort_row_indices(table, &self.sort, &mut rows);
+                }
+                rows.truncate(n);
+                // Selection treats the result as a row *set*; ascending order
+                // keeps the downstream vector gathers deterministic.
+                rows.sort_unstable();
+            }
+        }
+        Ok(rows)
+    }
+
+    /// The canonical form of the query under *selection semantics*: each
+    /// predicate is canonicalised ([`Predicate::canonical`]), the conjunction
+    /// is sorted by canonical encoding and deduplicated, and the projection
+    /// is sorted and deduplicated. The canonical query selects exactly the
+    /// same sub-table as the original (predicates are conjunctive and the
+    /// selection re-orders columns into schema order), but its projection
+    /// *display* order is not preserved — use it for cache keys and
+    /// equivalence checks, not for rendering query results.
+    pub fn canonical(&self) -> Query {
+        let mut tagged: Vec<(String, Predicate)> = self
+            .predicates
+            .iter()
+            .map(|p| (p.encode_canonical(), p.canonical()))
+            .collect();
+        tagged.sort_by(|a, b| a.0.cmp(&b.0));
+        tagged.dedup_by(|a, b| a.0 == b.0);
+        let projection = self.projection.as_ref().map(|proj| {
+            let mut proj = proj.clone();
+            proj.sort_unstable();
+            proj.dedup();
+            proj
+        });
+        Query {
+            predicates: tagged.into_iter().map(|(_, p)| p).collect(),
+            projection,
+            sort: self.sort.clone(),
+            group_by: self.group_by.clone(),
+            limit: self.limit,
+        }
+    }
+
+    /// An unambiguous textual key identifying this query's *selection
+    /// equivalence class*: two queries get the same key iff they restrict a
+    /// sub-table selection to the same candidate rows and columns. Built
+    /// from the canonical predicates and projection; the sort keys
+    /// participate only when a limit makes them selection-relevant (without
+    /// a limit, sorting never changes *which* rows are selected from), and
+    /// group-by is excluded because selection ignores it (see
+    /// [`Query::selection_rows`]). This is the string exploration-session
+    /// caches key sub-table results by.
+    pub fn selection_key(&self) -> String {
+        let mut out = String::new();
+        let mut encodings: Vec<String> = self
+            .predicates
+            .iter()
+            .map(Predicate::encode_canonical)
+            .collect();
+        encodings.sort();
+        encodings.dedup();
+        out.push_str("where");
+        for e in &encodings {
+            out.push(FIELD_SEP);
+            out.push_str(e);
+        }
+        out.push(FIELD_SEP);
+        out.push_str("select");
+        match &self.projection {
+            None => {
+                out.push(FIELD_SEP);
+                out.push('*');
+            }
+            Some(proj) => {
+                let mut proj = proj.clone();
+                proj.sort_unstable();
+                proj.dedup();
+                for c in &proj {
+                    out.push(FIELD_SEP);
+                    encode_str(c, &mut out);
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            out.push(FIELD_SEP);
+            out.push_str("limit");
+            out.push_str(&n.to_string());
+            for s in &self.sort {
+                out.push(FIELD_SEP);
+                out.push_str(match s.order {
+                    SortOrder::Ascending => "asc",
+                    SortOrder::Descending => "desc",
+                });
+                encode_str(&s.column, &mut out);
+            }
+        }
+        out
+    }
+
     /// All column names mentioned anywhere in the query (predicates,
     /// projection, sort, group-by). Used by the EDA simulation study.
     pub fn referenced_columns(&self) -> Vec<String> {
@@ -391,16 +574,94 @@ impl Query {
     }
 }
 
-fn sort_table(table: &Table, specs: &[SortSpec]) -> Result<Table> {
+/// Separator between fields of the canonical query encodings. Cannot appear
+/// inside encoded strings — those are length-prefixed — so the encoding is
+/// injective.
+const FIELD_SEP: char = '\u{1}';
+
+/// A canonical `f64`: `-0.0` collapses onto `0.0` and every NaN shares one
+/// bit pattern, so numerically equal constants encode identically.
+fn canonical_f64(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else if v.is_nan() {
+        f64::NAN
+    } else {
+        v
+    }
+}
+
+/// The canonical spelling of a predicate constant: numeric types collapse
+/// onto `Float` when the value is exactly representable (predicate
+/// evaluation compares numerics by value, so `Int(1)`, `Float(1.0)` and
+/// `Bool(true)` select identical rows), integers beyond 2^53 stay `Int`.
+fn canonical_value(v: &Value) -> Value {
+    match v {
+        Value::Null => Value::Null,
+        Value::Bool(b) => Value::Float(if *b { 1.0 } else { 0.0 }),
+        Value::Int(i) => {
+            let f = *i as f64;
+            // Exactness check in i128 so the saturating f64→i64 cast cannot
+            // report i64::MAX as representable.
+            if f as i128 == *i as i128 {
+                Value::Float(canonical_f64(f))
+            } else {
+                Value::Int(*i)
+            }
+        }
+        Value::Float(f) => Value::Float(canonical_f64(*f)),
+        Value::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+/// Appends a length-prefixed string (no escaping needed — the prefix makes
+/// the encoding unambiguous even if the string contains separators).
+fn encode_str(s: &str, out: &mut String) {
+    out.push_str(&s.len().to_string());
+    out.push(':');
+    out.push_str(s);
+}
+
+/// Appends a type-tagged value encoding; floats encode by bit pattern (the
+/// value must already be canonical).
+fn encode_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push('n'),
+        Value::Int(i) => {
+            out.push('i');
+            out.push_str(&i.to_string());
+        }
+        Value::Float(f) => {
+            out.push('f');
+            out.push_str(&f.to_bits().to_string());
+        }
+        Value::Bool(b) => {
+            out.push('b');
+            out.push(if *b { '1' } else { '0' });
+        }
+        Value::Str(s) => {
+            out.push('s');
+            encode_str(s, out);
+        }
+    }
+}
+
+fn validate_sort_columns(table: &Table, specs: &[SortSpec]) -> Result<()> {
     for s in specs {
         if table.column(&s.column).is_none() {
             return Err(DataError::UnknownColumn(s.column.clone()));
         }
     }
-    let mut indices: Vec<usize> = (0..table.num_rows()).collect();
+    Ok(())
+}
+
+/// Sorts row indices by the sort keys; the columns must have been validated.
+fn sort_row_indices(table: &Table, specs: &[SortSpec], indices: &mut [usize]) {
     indices.sort_by(|&a, &b| {
         for s in specs {
-            let col = table.column(&s.column).expect("validated above");
+            let Some(col) = table.column(&s.column) else {
+                continue; // validated by the caller; never taken
+            };
             let (va, vb) = (col.get(a), col.get(b));
             // Nulls sort last irrespective of direction.
             let ord = match (va.is_null(), vb.is_null()) {
@@ -418,6 +679,12 @@ fn sort_table(table: &Table, specs: &[SortSpec]) -> Result<Table> {
         }
         std::cmp::Ordering::Equal
     });
+}
+
+fn sort_table(table: &Table, specs: &[SortSpec]) -> Result<Table> {
+    validate_sort_columns(table, specs)?;
+    let mut indices: Vec<usize> = (0..table.num_rows()).collect();
+    sort_row_indices(table, specs, &mut indices);
     table.take(&indices)
 }
 
@@ -702,5 +969,130 @@ mod tests {
         let t = table();
         let q = Query::new().filter(Predicate::eq("nope", Value::from(1i64)));
         assert!(q.execute(&t).is_err());
+    }
+
+    #[test]
+    fn canonical_is_order_insensitive_for_conjunctions() {
+        let a = Query::new()
+            .filter(Predicate::eq("airline", Value::from("DL")))
+            .filter(Predicate::gt("distance", Value::from(100.0)))
+            .select(&["distance", "airline"]);
+        let b = Query::new()
+            .filter(Predicate::gt("distance", Value::from(100.0)))
+            .filter(Predicate::eq("airline", Value::from("DL")))
+            .select(&["airline", "distance"]);
+        assert_ne!(a, b, "raw queries differ in order");
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.selection_key(), b.selection_key());
+        // Duplicate predicates collapse.
+        let c = b
+            .clone()
+            .filter(Predicate::eq("airline", Value::from("DL")));
+        assert_eq!(c.canonical(), b.canonical());
+        assert_eq!(c.selection_key(), b.selection_key());
+    }
+
+    #[test]
+    fn canonical_normalises_numeric_spellings_and_in_sets() {
+        let a = Query::new().filter(Predicate::eq("cancelled", Value::Int(1)));
+        let b = Query::new().filter(Predicate::eq("cancelled", Value::Float(1.0)));
+        let c = Query::new().filter(Predicate::eq("cancelled", Value::Bool(true)));
+        assert_eq!(a.selection_key(), b.selection_key());
+        assert_eq!(a.selection_key(), c.selection_key());
+        // -0.0 and 0.0 select the same rows.
+        let z0 = Query::new().filter(Predicate::eq("distance", Value::Float(0.0)));
+        let z1 = Query::new().filter(Predicate::eq("distance", Value::Float(-0.0)));
+        assert_eq!(z0.selection_key(), z1.selection_key());
+        // InSet ordering and duplicates are normalised away.
+        let s0 = Query::new().filter(Predicate::in_set(
+            "airline",
+            vec![Value::from("DL"), Value::from("AA"), Value::from("DL")],
+        ));
+        let s1 = Query::new().filter(Predicate::in_set(
+            "airline",
+            vec![Value::from("AA"), Value::from("DL")],
+        ));
+        assert_eq!(s0.selection_key(), s1.selection_key());
+        // A huge integer not representable as f64 keeps its exact identity.
+        let h0 = Query::new().filter(Predicate::eq("cancelled", Value::Int(i64::MAX)));
+        let h1 = Query::new().filter(Predicate::eq("cancelled", Value::Int(i64::MAX - 1)));
+        assert_ne!(h0.selection_key(), h1.selection_key());
+    }
+
+    #[test]
+    fn selection_keys_distinguish_different_queries() {
+        let base = Query::new().filter(Predicate::eq("airline", Value::from("DL")));
+        let other = Query::new().filter(Predicate::eq("airline", Value::from("AA")));
+        assert_ne!(base.selection_key(), other.selection_key());
+        let projected = base.clone().select(&["airline"]);
+        assert_ne!(base.selection_key(), projected.selection_key());
+        let limited = base.clone().limit(3);
+        assert_ne!(base.selection_key(), limited.selection_key());
+        // Sorting matters only under a limit.
+        let sorted = base.clone().sort_by("distance", SortOrder::Descending);
+        assert_eq!(base.selection_key(), sorted.selection_key());
+        let sorted_limited = sorted.limit(3);
+        let plain_limited = base.limit(3);
+        assert_ne!(
+            sorted_limited.selection_key(),
+            plain_limited.selection_key()
+        );
+        // Str("1") and Int(1) are different predicates (loose_eq never
+        // crosses the string/numeric divide).
+        let s = Query::new().filter(Predicate::eq("airline", Value::from("1")));
+        let i = Query::new().filter(Predicate::eq("airline", Value::Int(1)));
+        assert_ne!(s.selection_key(), i.selection_key());
+    }
+
+    #[test]
+    fn selection_rows_respect_sort_and_limit() {
+        let t = table();
+        // No limit: all matching rows in ascending order, sort irrelevant.
+        let q = Query::new().sort_by("distance", SortOrder::Descending);
+        assert_eq!(q.selection_rows(&t).unwrap(), vec![0, 1, 2, 3, 4]);
+        // Limit without sort keeps the first rows in table order.
+        let q = Query::new().limit(2);
+        assert_eq!(q.selection_rows(&t).unwrap(), vec![0, 1]);
+        // Limit with sort keeps the top of the *sorted* result: the two
+        // longest distances are rows 1 (2500) and 4 (900).
+        let q = Query::new()
+            .sort_by("distance", SortOrder::Descending)
+            .limit(2);
+        assert_eq!(q.selection_rows(&t).unwrap(), vec![1, 4]);
+        // limit 0 yields the empty set.
+        let q = Query::new().limit(0);
+        assert_eq!(q.selection_rows(&t).unwrap(), Vec::<usize>::new());
+        // Unknown sort column under a limit is a typed error, not a panic.
+        let q = Query::new()
+            .sort_by("missing", SortOrder::Ascending)
+            .limit(1);
+        assert!(matches!(
+            q.selection_rows(&t),
+            Err(DataError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn selection_rows_agree_with_execute() {
+        let t = table();
+        let q = Query::new()
+            .filter(Predicate::not_null("distance"))
+            .sort_by("distance", SortOrder::Ascending)
+            .limit(3);
+        let rows = q.selection_rows(&t).unwrap();
+        let executed = q.execute(&t).unwrap();
+        assert_eq!(rows.len(), executed.num_rows());
+        // Same multiset of distances (selection_rows returns base-table
+        // indices in ascending index order, execute keeps sort order).
+        let mut from_rows: Vec<String> = rows
+            .iter()
+            .map(|&r| t.value(r, "distance").unwrap().render())
+            .collect();
+        let mut from_exec: Vec<String> = (0..executed.num_rows())
+            .map(|r| executed.value(r, "distance").unwrap().render())
+            .collect();
+        from_rows.sort();
+        from_exec.sort();
+        assert_eq!(from_rows, from_exec);
     }
 }

@@ -44,6 +44,6 @@ pub use generator::{generate, PlantedDataset};
 pub use queries::{
     benchmark_filter, benchmark_filter_query, benchmark_projected_query, benchmark_target_column,
 };
-pub use sessions::{generate_sessions, Session, SessionConfig};
+pub use sessions::{generate_server_traces, generate_sessions, Session, SessionConfig};
 pub use spec::{Archetype, CellSpec, ColumnSpec, DatasetSize, DatasetSpec};
 pub use zoo::{bank_loans, credit_card, cyber, flights, spotify, us_funds, DatasetKind};

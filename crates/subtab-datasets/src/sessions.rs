@@ -98,6 +98,32 @@ pub fn generate_sessions(dataset: &PlantedDataset, config: &SessionConfig) -> Ve
     sessions
 }
 
+/// Generates server replay traces: the exploration sessions of
+/// [`generate_sessions`], bracketed the way a served EDA client behaves —
+/// every session opens with the whole-table view (`Query::new()`, the
+/// landing display) and closes with a `limit`ed variant of its last
+/// filtering query (the "show me just a page of that" step).
+///
+/// Built by post-processing [`generate_sessions`] output, so it consumes
+/// the exact same RNG stream: adding traces can never perturb the session
+/// corpus the simulation experiments replay.
+pub fn generate_server_traces(dataset: &PlantedDataset, config: &SessionConfig) -> Vec<Session> {
+    let mut sessions = generate_sessions(dataset, config);
+    for session in &mut sessions {
+        let last_filtered = session
+            .queries
+            .iter()
+            .rev()
+            .find(|q| !q.predicates.is_empty())
+            .cloned();
+        session.queries.insert(0, Query::new());
+        if let Some(q) = last_filtered {
+            session.queries.push(q.limit(20));
+        }
+    }
+    sessions
+}
+
 fn predicate_for(column: &str, spec: &CellSpec) -> Predicate {
     match spec {
         CellSpec::Missing => Predicate::is_null(column),
@@ -185,6 +211,32 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.archetype, y.archetype);
             assert_eq!(x.queries, y.queries);
+        }
+    }
+
+    #[test]
+    fn server_traces_bracket_the_sessions_without_perturbing_them() {
+        let ds = cyber(DatasetSize::Tiny, 4);
+        let cfg = SessionConfig {
+            num_sessions: 8,
+            seed: 13,
+            ..Default::default()
+        };
+        let sessions = generate_sessions(&ds, &cfg);
+        let traces = generate_server_traces(&ds, &cfg);
+        assert_eq!(traces.len(), sessions.len());
+        for (trace, session) in traces.iter().zip(&sessions) {
+            // The landing display, then the original session verbatim.
+            assert_eq!(trace.queries[0], Query::new());
+            assert_eq!(
+                &trace.queries[1..=session.queries.len()],
+                &session.queries[..]
+            );
+            // Every session of the default shape has a filtering query, so
+            // every trace ends with its limited page view.
+            let last = trace.queries.last().unwrap();
+            assert_eq!(last.limit, Some(20));
+            assert!(!last.predicates.is_empty());
         }
     }
 

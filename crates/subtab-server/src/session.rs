@@ -1,0 +1,134 @@
+//! Per-session bookkeeping: identifiers and query history.
+//!
+//! A session models one analyst's exploration of the served table. The
+//! server records every completed request against its session — what kind
+//! of request, which query, whether the cache answered it, and how long it
+//! took — so an EDA front-end can replay or summarise the session.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+use subtab_data::Query;
+
+/// Opaque identifier of one exploration session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub(crate) u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// The kind of request a history record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A sub-table selection (full table or query result).
+    Select,
+    /// An association-rule mining run.
+    MineRules,
+    /// A selection with per-row rule highlights attached.
+    SelectHighlighted,
+}
+
+/// One completed request in a session's history.
+#[derive(Debug, Clone)]
+pub struct HistoryRecord {
+    /// What was requested.
+    pub kind: RequestKind,
+    /// The query the request ran over, when it had one (`None` = the full
+    /// table).
+    pub query: Option<Query>,
+    /// Whether the result came out of a server cache.
+    pub cache_hit: bool,
+    /// Wall-clock time the server spent producing the response.
+    pub wall: Duration,
+}
+
+/// Registry of open sessions and their histories.
+#[derive(Debug, Default)]
+pub(crate) struct SessionRegistry {
+    next: u64,
+    sessions: HashMap<SessionId, Vec<HistoryRecord>>,
+}
+
+impl SessionRegistry {
+    pub(crate) fn open(&mut self) -> SessionId {
+        let id = SessionId(self.next);
+        self.next += 1;
+        self.sessions.insert(id, Vec::new());
+        id
+    }
+
+    /// Removes the session, returning its history — `None` when the id is
+    /// unknown (never issued, or already closed).
+    pub(crate) fn close(&mut self, id: SessionId) -> Option<Vec<HistoryRecord>> {
+        self.sessions.remove(&id)
+    }
+
+    pub(crate) fn record(&mut self, id: SessionId, record: HistoryRecord) -> bool {
+        match self.sessions.get_mut(&id) {
+            Some(history) => {
+                history.push(record);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub(crate) fn history(&self, id: SessionId) -> Option<Vec<HistoryRecord>> {
+        self.sessions.get(&id).cloned()
+    }
+
+    pub(crate) fn contains(&self, id: SessionId) -> bool {
+        self.sessions.contains_key(&id)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: RequestKind, hit: bool) -> HistoryRecord {
+        HistoryRecord {
+            kind,
+            query: None,
+            cache_hit: hit,
+            wall: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn sessions_are_distinct_and_closable() {
+        let mut reg = SessionRegistry::default();
+        let a = reg.open();
+        let b = reg.open();
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.record(a, record(RequestKind::Select, false)));
+        assert!(reg.record(a, record(RequestKind::Select, true)));
+        assert_eq!(reg.history(a).unwrap().len(), 2);
+        assert_eq!(reg.history(b).unwrap().len(), 0);
+        let history = reg.close(a).unwrap();
+        assert_eq!(history.len(), 2);
+        assert!(history[1].cache_hit);
+        assert!(!reg.contains(a));
+        assert!(reg.close(a).is_none(), "double close is detected");
+        assert!(!reg.record(a, record(RequestKind::Select, false)));
+        assert!(reg.history(a).is_none());
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut reg = SessionRegistry::default();
+        let a = reg.open();
+        reg.close(a);
+        let b = reg.open();
+        assert_ne!(a, b, "closed ids must not be recycled");
+        assert!(format!("{b}").starts_with("session#"));
+    }
+}

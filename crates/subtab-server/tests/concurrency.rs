@@ -1,0 +1,255 @@
+//! Concurrency suite: many threads replaying mixed-request sessions against
+//! one server must produce results bit-identical to a sequential reference
+//! computed with direct facade calls (no server, no caches).
+
+use std::sync::Arc;
+use subtab_core::{SelectionParams, SubTab, SubTabConfig, SubTableResult};
+use subtab_data::{Predicate, Query, Value};
+use subtab_datasets::{cyber, DatasetSize};
+use subtab_rules::MiningConfig;
+use subtab_server::{ExplorationServer, Outcome, Request, Response, ServerConfig};
+
+/// A comparable digest of a selection result (`Table` itself has no
+/// `PartialEq`; the render is exact because it prints every cell).
+#[derive(Debug, Clone, PartialEq)]
+struct SelectDigest {
+    row_indices: Vec<usize>,
+    columns: Vec<String>,
+    rendered: String,
+    highlighted: Vec<Option<String>>,
+}
+
+fn digest(result: &SubTableResult) -> SelectDigest {
+    SelectDigest {
+        row_indices: result.row_indices.clone(),
+        columns: result.columns.clone(),
+        rendered: result.sub_table.render(result.sub_table.num_rows()),
+        highlighted: result
+            .highlights
+            .iter()
+            .map(|h| h.as_ref().map(|h| h.description.clone()))
+            .collect(),
+    }
+}
+
+/// One digest per request; rule sets digest to their rendered rules.
+#[derive(Debug, Clone, PartialEq)]
+enum Digest {
+    Select(SelectDigest),
+    Rules(Vec<String>),
+}
+
+fn digest_outcome(outcome: &Outcome) -> Digest {
+    match &outcome.response {
+        Response::SubTable(r) => Digest::Select(digest(r)),
+        Response::Rules(rules) => Digest::Rules(
+            rules
+                .iter()
+                .map(|r| r.render(rules.interner()))
+                .collect::<Vec<_>>(),
+        ),
+    }
+}
+
+fn mining() -> MiningConfig {
+    MiningConfig {
+        min_rule_size: 2,
+        ..Default::default()
+    }
+}
+
+/// The mixed per-session trace: selects over several queries and shapes, a
+/// mining run, and a highlighted select.
+fn trace() -> Vec<Request> {
+    let flagged = Query::new().filter(Predicate::eq("flagged", Value::Int(1)));
+    let tcp = Query::new().filter(Predicate::eq("protocol", Value::from("tcp")));
+    vec![
+        Request::Select {
+            query: None,
+            params: SelectionParams::new(8, 6),
+        },
+        Request::Select {
+            query: Some(flagged.clone()),
+            params: SelectionParams::new(6, 5),
+        },
+        Request::Select {
+            query: Some(tcp.clone()),
+            params: SelectionParams::new(5, 4).with_targets(&["flagged"]),
+        },
+        Request::MineRules {
+            mining: mining(),
+            target_columns: vec!["flagged".to_string()],
+        },
+        Request::SelectHighlighted {
+            query: Some(flagged),
+            params: SelectionParams::new(6, 5),
+            mining: mining(),
+            target_columns: Vec::new(),
+        },
+        Request::Select {
+            query: Some(tcp),
+            params: SelectionParams::new(5, 4).with_targets(&["flagged"]),
+        },
+    ]
+}
+
+/// Computes the sequential reference for one request with plain facade
+/// calls on the same preprocessed state.
+fn reference(subtab: &SubTab, request: &Request) -> Digest {
+    match request {
+        Request::Select { query, params } => {
+            let result = match query {
+                Some(q) => subtab.select_for_query(q, params),
+                None => subtab.select(params),
+            }
+            .expect("reference select");
+            Digest::Select(digest(&result))
+        }
+        Request::MineRules {
+            mining,
+            target_columns,
+        } => {
+            let binned = subtab.preprocessed().binned();
+            let indices: Vec<usize> = target_columns
+                .iter()
+                .map(|n| binned.column_index(n).expect("known column"))
+                .collect();
+            let rules = if indices.is_empty() {
+                subtab.mine_rules(mining)
+            } else {
+                subtab.mine_rules_for_targets(mining, &indices)
+            };
+            Digest::Rules(rules.iter().map(|r| r.render(rules.interner())).collect())
+        }
+        Request::SelectHighlighted {
+            query,
+            params,
+            mining,
+            target_columns,
+        } => {
+            let result = match query {
+                Some(q) => subtab.select_for_query(q, params),
+                None => subtab.select(params),
+            }
+            .expect("reference select");
+            assert!(target_columns.is_empty(), "trace mines the whole table");
+            let rules = subtab.mine_rules(mining);
+            Digest::Select(digest(&subtab.with_highlights(result, &rules)))
+        }
+    }
+}
+
+#[test]
+fn concurrent_sessions_match_the_sequential_reference() {
+    const THREADS: usize = 4;
+    const SESSIONS_PER_THREAD: usize = 2;
+
+    let dataset = cyber(DatasetSize::Tiny, 23);
+    let subtab = SubTab::preprocess(dataset.table, SubTabConfig::fast()).expect("preprocess");
+    let trace = trace();
+    let expected: Vec<Digest> = trace.iter().map(|r| reference(&subtab, r)).collect();
+
+    let server = Arc::new(ExplorationServer::from_subtab(
+        subtab,
+        ServerConfig {
+            workers: THREADS,
+            heavy_slots: 1,
+            select_cache_capacity: 32,
+            rules_cache_capacity: 8,
+        },
+    ));
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let server = Arc::clone(&server);
+            let trace = &trace;
+            let expected = &expected;
+            scope.spawn(move || {
+                for _ in 0..SESSIONS_PER_THREAD {
+                    let session = server.open_session();
+                    for (i, request) in trace.iter().enumerate() {
+                        let outcome = server
+                            .execute(session, request.clone())
+                            .expect("request succeeds under concurrency");
+                        assert_eq!(
+                            digest_outcome(&outcome),
+                            expected[i],
+                            "request {i} diverged from the sequential reference"
+                        );
+                    }
+                    let history = server.close_session(session).expect("history");
+                    assert_eq!(history.len(), trace.len());
+                }
+            });
+        }
+    });
+
+    // Across 8 sessions, single-flight guarantees exactly one miss per
+    // distinct key. The trace has 4 distinct select keys (full table,
+    // flagged, tcp — issued twice per session — and the combined
+    // highlighted key) and 2 rules keys (targeted and untargeted mining).
+    let stats = server.stats();
+    assert_eq!(stats.select_cache.misses, 4);
+    assert_eq!(stats.rules_cache.misses, 2);
+    let sessions = (THREADS * SESSIONS_PER_THREAD) as u64;
+    // Per session: 4 plain selects + 1 combined-key lookup; the single
+    // combined-key miss adds one inner select lookup (a guaranteed hit —
+    // its session already cached the flagged select).
+    assert_eq!(
+        stats.select_cache.hits + stats.select_cache.misses,
+        5 * sessions + 1
+    );
+    // Per session: 1 mining request; the combined-key miss adds one inner
+    // rules lookup.
+    assert_eq!(
+        stats.rules_cache.hits + stats.rules_cache.misses,
+        sessions + 1
+    );
+    assert_eq!(stats.open_sessions, 0, "all sessions were closed");
+}
+
+#[test]
+fn heavy_mining_does_not_block_interactive_selects() {
+    // A server with 2 workers and 1 heavy slot: while an uncached mining
+    // request runs, a burst of selects must still complete.
+    let dataset = cyber(DatasetSize::Tiny, 29);
+    let server = ExplorationServer::new(
+        dataset.table,
+        SubTabConfig::fast(),
+        ServerConfig {
+            workers: 2,
+            heavy_slots: 1,
+            select_cache_capacity: 0, // force every select to compute
+            rules_cache_capacity: 8,
+        },
+    )
+    .expect("preprocess");
+    let session = server.open_session();
+    let mine_rx = server.submit(
+        session,
+        Request::MineRules {
+            mining: MiningConfig {
+                min_rule_size: 2,
+                min_support: 0.01, // a deliberately expensive run
+                ..Default::default()
+            },
+            target_columns: Vec::new(),
+        },
+    );
+    for i in 0..4 {
+        let outcome = server
+            .execute(
+                session,
+                Request::Select {
+                    query: None,
+                    params: SelectionParams::new(4 + i, 4),
+                },
+            )
+            .expect("interactive select while mining");
+        assert!(outcome.response.sub_table().is_some());
+    }
+    let mined = mine_rx.recv().expect("mining responds").expect("mines");
+    assert!(mined.response.rules().is_some());
+    let history = server.close_session(session).expect("history");
+    assert_eq!(history.len(), 5);
+}

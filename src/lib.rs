@@ -26,6 +26,7 @@
 //! | [`core`] | the SubTab algorithm (pre-processing + centroid selection) |
 //! | [`baselines`] | RAN, NC, Greedy, semi-greedy, MAB-UCB, graph-embedding baselines |
 //! | [`datasets`] | synthetic stand-ins for the paper's evaluation datasets + EDA sessions |
+//! | [`server`] | concurrent exploration server: thread pool, session cache, admission control |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -59,9 +60,11 @@ pub use subtab_datasets as datasets;
 pub use subtab_embed as embed;
 pub use subtab_metrics as metrics;
 pub use subtab_rules as rules;
+pub use subtab_server as server;
 
 pub use subtab_binning::{Binner, BinningConfig, BinningStrategy};
 pub use subtab_core::{SelectionParams, SubTab, SubTabConfig, SubTableResult};
 pub use subtab_data::{Predicate, Query, Table, Value};
 pub use subtab_metrics::{Evaluator, SubTableScore};
 pub use subtab_rules::{MiningConfig, RuleMiner};
+pub use subtab_server::{ExplorationServer, Request, Response, ServerConfig, ServerError};
