@@ -13,7 +13,10 @@ use crate::experiments::preprocess_scaling::check_gated_modes;
 use std::time::Instant;
 use subtab_core::select::{select_sub_table, select_sub_table_strkey};
 use subtab_core::{PreprocessedTable, SelectionParams};
-use subtab_datasets::{benchmark_filter_query, benchmark_projected_query, DatasetKind};
+use subtab_datasets::{
+    benchmark_ast_query, benchmark_deep_nest_query, benchmark_filter_query,
+    benchmark_projected_query, DatasetKind,
+};
 
 /// Wall time of one selection mode.
 #[derive(Debug, Clone)]
@@ -64,6 +67,11 @@ enum Workload {
     /// `select_for_query` with a selection–projection query (half the
     /// columns).
     ProjQuery,
+    /// `select_for_query` with the depth-3 nested AST query (same row set
+    /// as the flat filter, evaluated through the compiled bitmap engine).
+    AstQuery,
+    /// `select_for_query` with the deeply nested (> 10 levels) AST query.
+    DeepNestQuery,
     /// Whole-table `select`.
     WholeTable,
 }
@@ -82,6 +90,8 @@ const MODES: &[(&str, usize, bool, Workload)] = &[
     ("query-tokenid-4t", 4, false, Workload::FilterQuery),
     ("query-proj-strkey-1t", 1, true, Workload::ProjQuery),
     ("query-proj-tokenid-1t", 1, false, Workload::ProjQuery),
+    ("query-ast-1t", 1, false, Workload::AstQuery),
+    ("query-ast-deep-nest-1t", 1, false, Workload::DeepNestQuery),
     ("select-strkey-1t", 1, true, Workload::WholeTable),
     ("select-tokenid-1t", 1, false, Workload::WholeTable),
 ];
@@ -102,6 +112,8 @@ pub fn run_on(kind: DatasetKind, scale: ExperimentScale, reps: usize) -> QuerySc
     // tests can never drift onto different query shapes).
     let filter_q = benchmark_filter_query(pre.table());
     let proj_q = benchmark_projected_query(pre.table());
+    let ast_q = benchmark_ast_query(pre.table());
+    let deep_q = benchmark_deep_nest_query(pre.table());
     let query_rows = filter_q
         .matching_rows(pre.table())
         .expect("benchmark query evaluates")
@@ -117,6 +129,8 @@ pub fn run_on(kind: DatasetKind, scale: ExperimentScale, reps: usize) -> QuerySc
         let q = match workload {
             Workload::FilterQuery => Some(&filter_q),
             Workload::ProjQuery => Some(&proj_q),
+            Workload::AstQuery => Some(&ast_q),
+            Workload::DeepNestQuery => Some(&deep_q),
             Workload::WholeTable => None,
         };
         let mut best_ms = f64::INFINITY;

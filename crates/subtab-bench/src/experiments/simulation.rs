@@ -166,7 +166,7 @@ pub fn fragments_captured(table: &Table, selection: &Selection, next: &Query) ->
             captured += 1;
         }
     }
-    for pred in &next.predicates {
+    for pred in next.leaf_predicates() {
         total += 1;
         let col = pred.column().to_string();
         if !selected_names.contains(&col) {

@@ -1,0 +1,192 @@
+//! Compiling a [`QueryExpr`] tree onto the bitmap engine.
+//!
+//! The brute-force reference path ([`Query::selection_rows`]) walks every
+//! row and re-evaluates the whole expression tree per row, resolving each
+//! leaf's column by name on every visit. The compiled path here lowers the
+//! tree once instead: every leaf predicate becomes one [`RowBitmap`] over
+//! the table's rows, and the `AND`/`OR`/`NOT` structure of the tree is
+//! folded with the word-parallel bitmap operations the rule miner already
+//! uses (`subtab-rules::bitmap`). Leaves resolve their column exactly once;
+//! dictionary-encoded string columns evaluate the predicate once per
+//! *distinct* value and then scan the code plane, so no string is cloned or
+//! compared per row.
+//!
+//! Semantics are pinned to the per-row reference: predicates are two-valued
+//! (`NULL` comparisons are false, see [`Predicate::matches_value`]), so
+//! `NOT` is an exact bitmap complement over the table's row scope. The one
+//! deliberate difference is error strictness — the short-circuiting per-row
+//! walk may skip a branch that references an unknown column, while
+//! compilation always materialises every leaf and therefore always reports
+//! it. The equivalence suite in `tests/expr_equivalence.rs` asserts
+//! bit-identical row sets on every planted dataset.
+
+use crate::Result;
+use subtab_data::{DataError, Predicate, Query, QueryExpr, Table, Value};
+use subtab_rules::RowBitmap;
+
+/// Compiles `expr` into the bitmap of matching rows over `table`.
+///
+/// The result has exactly [`Table::num_rows`] addressable bits; bit `r` is
+/// set iff [`QueryExpr::matches`] returns `true` for row `r`.
+pub fn query_bitmap(table: &Table, expr: &QueryExpr) -> Result<RowBitmap> {
+    let n = table.num_rows();
+    match expr {
+        QueryExpr::Leaf(p) => leaf_bitmap(table, p),
+        QueryExpr::And(children) => {
+            let mut acc = RowBitmap::ones(n);
+            for c in children {
+                acc.and_assign(&query_bitmap(table, c)?);
+            }
+            Ok(acc)
+        }
+        QueryExpr::Or(children) => {
+            let mut acc = RowBitmap::zeros(n);
+            for c in children {
+                acc.or_assign(&query_bitmap(table, c)?);
+            }
+            Ok(acc)
+        }
+        QueryExpr::Not(inner) => {
+            let mut bm = query_bitmap(table, inner)?;
+            bm.negate_assign(n);
+            Ok(bm)
+        }
+    }
+}
+
+/// The bitmap of one leaf predicate: the column is resolved by name exactly
+/// once, then its values stream through [`Predicate::matches_value`].
+/// String columns are dictionary-encoded, so the predicate is evaluated
+/// once per dictionary entry and rows are marked from the code plane.
+fn leaf_bitmap(table: &Table, p: &Predicate) -> Result<RowBitmap> {
+    let col = table
+        .column(p.column())
+        .ok_or_else(|| crate::CoreError::Data(DataError::UnknownColumn(p.column().to_string())))?;
+    let n = table.num_rows();
+    let mut bm = RowBitmap::zeros(n);
+    let dict = col.dictionary();
+    if dict.is_empty() {
+        // Numeric/bool storage: `Column::get` builds values without touching
+        // the heap.
+        for r in 0..n {
+            if p.matches_value(&col.get(r)) {
+                bm.set(r);
+            }
+        }
+    } else {
+        let code_matches: Vec<bool> = dict
+            .iter()
+            .map(|s| p.matches_value(&Value::Str(s.clone())))
+            .collect();
+        let null_matches = p.matches_value(&Value::Null);
+        for r in 0..n {
+            let hit = match col.get_code(r) {
+                Some(code) => code_matches[code as usize],
+                None => null_matches,
+            };
+            if hit {
+                bm.set(r);
+            }
+        }
+    }
+    Ok(bm)
+}
+
+/// The compiled twin of [`Query::selection_rows`]: the candidate rows a
+/// sub-table selection over `query`'s result may draw from, computed by
+/// compiling the expression tree to a bitmap and applying the query's
+/// sort-aware limit to the set bits.
+pub fn compiled_selection_rows(table: &Table, query: &Query) -> Result<Vec<usize>> {
+    let rows = query_bitmap(table, &query.expr)?.indices();
+    Ok(query.restrict_selection_rows(table, rows)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreError;
+    use subtab_data::SortOrder;
+
+    fn table() -> Table {
+        Table::builder()
+            .column_str(
+                "airline",
+                vec![Some("AA"), Some("DL"), None, Some("UA"), Some("DL")],
+            )
+            .column_f64(
+                "distance",
+                vec![Some(100.0), Some(2500.0), Some(700.0), None, Some(900.0)],
+            )
+            .column_i64(
+                "cancelled",
+                vec![Some(0), Some(0), Some(1), Some(1), Some(0)],
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn rows_of(t: &Table, text: &str) -> Vec<usize> {
+        let q: Query = text.parse().unwrap();
+        compiled_selection_rows(t, &q).unwrap()
+    }
+
+    fn brute_rows_of(t: &Table, text: &str) -> Vec<usize> {
+        let q: Query = text.parse().unwrap();
+        q.selection_rows(t).unwrap()
+    }
+
+    #[test]
+    fn compiled_rows_match_the_per_row_reference() {
+        let t = table();
+        for text in [
+            "airline = 'DL'",
+            "airline != 'DL'",
+            "NOT airline = 'DL'",
+            "airline IS NULL",
+            "airline IS NOT NULL",
+            "distance > 500 AND cancelled = 0",
+            "distance > 500 OR airline = 'AA'",
+            "NOT (distance > 500 OR airline = 'AA')",
+            "airline IN ('AA', 'UA') OR (cancelled = 1 AND NOT distance IS NULL)",
+            "airline = 'ZZ'",
+            "TRUE",
+            "FALSE",
+            "distance BETWEEN 100 AND 1000",
+        ] {
+            assert_eq!(rows_of(&t, text), brute_rows_of(&t, text), "query: {text}");
+        }
+    }
+
+    #[test]
+    fn not_complements_over_nulls_exactly() {
+        let t = table();
+        // Row 2's airline is NULL: `= 'DL'` and `NOT = 'DL'` are both false
+        // there under two-valued evaluation, so NOT must *include* the NULL
+        // row (complement semantics), matching the reference walk.
+        assert_eq!(rows_of(&t, "airline = 'DL'"), vec![1, 4]);
+        assert_eq!(rows_of(&t, "NOT airline = 'DL'"), vec![0, 2, 3]);
+        // `!=` excludes the NULL row instead: not a complement of `=`.
+        assert_eq!(rows_of(&t, "airline != 'DL'"), vec![0, 3]);
+    }
+
+    #[test]
+    fn limit_and_sort_apply_after_compilation() {
+        let t = table();
+        let q = Query::expr("cancelled = 0".parse().unwrap())
+            .sort_by("distance", SortOrder::Descending)
+            .limit(2);
+        // cancelled = 0 matches rows {0, 1, 4}; top-2 by distance are 1, 4.
+        assert_eq!(compiled_selection_rows(&t, &q).unwrap(), vec![1, 4]);
+        assert_eq!(q.selection_rows(&t).unwrap(), vec![1, 4]);
+    }
+
+    #[test]
+    fn unknown_columns_are_typed_data_errors() {
+        let t = table();
+        let q: Query = "no_such_column = 1".parse().unwrap();
+        assert!(matches!(
+            compiled_selection_rows(&t, &q),
+            Err(CoreError::Data(DataError::UnknownColumn(c))) if c == "no_such_column"
+        ));
+    }
+}

@@ -21,6 +21,15 @@ pub enum CoreError {
     Data(subtab_data::DataError),
     /// Binning failed.
     Binning(subtab_binning::BinningError),
+    /// SQL-ish query text could not be parsed. Kept distinct from
+    /// [`CoreError::Data`] so servers can classify it as a client error and
+    /// keep it out of result caches.
+    QueryParse {
+        /// Byte offset into the query text where parsing failed.
+        position: usize,
+        /// Human-readable explanation.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +39,9 @@ impl fmt::Display for CoreError {
             CoreError::UnknownColumn(c) => write!(f, "unknown column: {c:?}"),
             CoreError::Data(e) => write!(f, "table error: {e}"),
             CoreError::Binning(e) => write!(f, "binning error: {e}"),
+            CoreError::QueryParse { position, message } => {
+                write!(f, "query parse error at byte {position}: {message}")
+            }
         }
     }
 }
@@ -38,7 +50,12 @@ impl std::error::Error for CoreError {}
 
 impl From<subtab_data::DataError> for CoreError {
     fn from(e: subtab_data::DataError) -> Self {
-        CoreError::Data(e)
+        match e {
+            subtab_data::DataError::QueryParse { position, message } => {
+                CoreError::QueryParse { position, message }
+            }
+            other => CoreError::Data(other),
+        }
     }
 }
 
@@ -60,5 +77,16 @@ mod tests {
         assert!(matches!(e, CoreError::Data(_)));
         let e: CoreError = subtab_binning::BinningError::UnknownColumn("y".into()).into();
         assert!(matches!(e, CoreError::Binning(_)));
+        // Parse failures cross the crate boundary as the dedicated variant,
+        // not as a generic Data error.
+        let e: CoreError = subtab_data::DataError::QueryParse {
+            position: 4,
+            message: "expected `)`".into(),
+        }
+        .into();
+        assert!(
+            matches!(&e, CoreError::QueryParse { position: 4, message } if message.contains(')'))
+        );
+        assert!(e.to_string().contains("byte 4"));
     }
 }

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod compile;
 pub mod config;
 pub mod error;
 pub mod highlight;
@@ -51,6 +52,7 @@ pub mod result;
 pub mod select;
 pub mod subtab;
 
+pub use compile::{compiled_selection_rows, query_bitmap};
 pub use config::{SelectionParams, SubTabConfig};
 pub use error::CoreError;
 /// The error type of the query surface, under the paper's name for the

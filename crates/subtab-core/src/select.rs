@@ -17,12 +17,15 @@ use subtab_data::Query;
 /// the cheap query-time path of the paper, which reuses the pre-processed
 /// binning and embedding.
 ///
-/// Row and column vectors are integer-indexed gathers over the preprocessed
-/// token-id plane (no string is formatted or hashed at query time), written
-/// into flat matrices consumed directly by the clustering. `threads` fans
-/// both the vector gathers and the k-means assignment step out across scoped
-/// workers (`0` = all available cores); the selection is bit-identical at
-/// every thread count.
+/// The query's predicate tree is compiled onto the bitmap engine
+/// ([`crate::compile::query_bitmap`]): one row bitmap per leaf, combined
+/// with word-parallel `AND`/`OR`/`NOT` ops, instead of re-walking the tree
+/// per row. Row and column vectors are integer-indexed gathers over the
+/// preprocessed token-id plane (no string is formatted or hashed at query
+/// time), written into flat matrices consumed directly by the clustering.
+/// `threads` fans both the vector gathers and the k-means assignment step
+/// out across scoped workers (`0` = all available cores); the selection is
+/// bit-identical at every thread count.
 pub fn select_sub_table(
     pre: &PreprocessedTable,
     query: Option<&Query>,
@@ -30,7 +33,8 @@ pub fn select_sub_table(
     seed: u64,
     threads: usize,
 ) -> Result<SubTableResult> {
-    let Some(ctx) = SelectionContext::prepare(pre, query, params)? else {
+    let Some(ctx) = SelectionContext::prepare(pre, query, params, QueryEngine::CompiledBitmap)?
+    else {
         return empty_result(pre);
     };
     let embedding = pre.embedding();
@@ -67,7 +71,9 @@ pub fn select_sub_table(
 /// The pre-refactor string-keyed selection path, preserved as the reference
 /// implementation: every cell vector is resolved by formatting a
 /// `"column=label"` token and hashing it into the embedding's string index,
-/// and whole-table selections recompute their row vectors rather than using
+/// query predicates are evaluated by the per-row tree walk
+/// ([`Query::selection_rows`]) rather than compiled bitmaps, and
+/// whole-table selections recompute their row vectors rather than using
 /// the cache. The equivalence suite asserts [`select_sub_table`] is
 /// bit-identical to this on every planted dataset, and the query benchmark
 /// quotes its speedup against it.
@@ -78,7 +84,7 @@ pub fn select_sub_table_strkey(
     seed: u64,
     threads: usize,
 ) -> Result<SubTableResult> {
-    let Some(ctx) = SelectionContext::prepare(pre, query, params)? else {
+    let Some(ctx) = SelectionContext::prepare(pre, query, params, QueryEngine::PerRow)? else {
         return empty_result(pre);
     };
     let embedding = pre.embedding();
@@ -103,6 +109,16 @@ pub fn select_sub_table_strkey(
         seed,
         threads,
     )
+}
+
+/// How a selection evaluates its query's predicate tree.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum QueryEngine {
+    /// Lower the tree onto row bitmaps ([`crate::compile`]); one pass per
+    /// leaf, word-parallel combination.
+    CompiledBitmap,
+    /// The brute-force reference: re-walk the tree for every row.
+    PerRow,
 }
 
 /// Validated candidate sets shared by both selection engines.
@@ -134,6 +150,7 @@ impl SelectionContext {
         pre: &PreprocessedTable,
         query: Option<&Query>,
         params: &SelectionParams,
+        engine: QueryEngine,
     ) -> Result<Option<Self>> {
         if params.target_columns.len() > params.l {
             return Err(CoreError::InvalidParams(format!(
@@ -179,10 +196,13 @@ impl SelectionContext {
         }
 
         // Candidate rows: all rows, or the rows a selection over the query
-        // result may draw from (predicates plus sort-aware limit).
+        // result may draw from (predicate tree plus sort-aware limit).
         let candidate_rows: Vec<usize> = match query {
             None => (0..table.num_rows()).collect(),
-            Some(q) => q.selection_rows(table)?,
+            Some(q) => match engine {
+                QueryEngine::CompiledBitmap => crate::compile::compiled_selection_rows(table, q)?,
+                QueryEngine::PerRow => q.selection_rows(table)?,
+            },
         };
         if candidate_rows.is_empty() {
             return Ok(None);

@@ -43,6 +43,13 @@ pub enum DataError {
     },
     /// An empty table (no columns or no rows) where one was required.
     EmptyTable(String),
+    /// SQL-ish query text could not be parsed.
+    QueryParse {
+        /// Byte offset into the query text where parsing failed.
+        position: usize,
+        /// Human-readable explanation.
+        message: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -72,6 +79,9 @@ impl fmt::Display for DataError {
                 write!(f, "CSV parse error at line {line}: {message}")
             }
             DataError::EmptyTable(msg) => write!(f, "empty table: {msg}"),
+            DataError::QueryParse { position, message } => {
+                write!(f, "query parse error at byte {position}: {message}")
+            }
         }
     }
 }
@@ -96,6 +106,11 @@ mod tests {
             message: "bad field".into(),
         };
         assert!(e.to_string().contains("line 7"));
+        let e = DataError::QueryParse {
+            position: 12,
+            message: "expected `)`".into(),
+        };
+        assert!(e.to_string().contains("byte 12") && e.to_string().contains("expected `)`"));
     }
 
     #[test]

@@ -1,0 +1,733 @@
+//! Boolean predicate trees over [`Predicate`] leaves.
+//!
+//! [`QueryExpr`] is the selection surface of a [`crate::Query`]: an
+//! `AND`/`OR`/`NOT` tree whose leaves are the existing single-column
+//! predicates (`=`, `!=`, `<`, `<=`, `>`, `>=`, `BETWEEN`, `IN`, `IS NULL`).
+//! The empty conjunction `And([])` is the *match-all* expression (`TRUE`,
+//! the default), the empty disjunction `Or([])` matches nothing (`FALSE`).
+//!
+//! Evaluation is two-valued, exactly like [`Predicate::matches`]: a
+//! comparison against `NULL` is `false`, and `NOT` is plain boolean
+//! negation of that two-valued result. Consequently `NOT x = 1` is *not*
+//! the same expression as `x != 1` — both `x = 1` and `x != 1` are false on
+//! a `NULL` row, so the negation matches the `NULL` rows while `x != 1`
+//! does not. Canonicalization respects this: only exact complements
+//! (`IS NULL` ↔ `IS NOT NULL`, De Morgan over `AND`/`OR`) are rewritten
+//! under `NOT`; a negated comparison stays a [`QueryExpr::Not`] node.
+//!
+//! [`QueryExpr::canonical`] reduces every expression to a normal form so
+//! that equivalent-by-construction trees — commuted children, double
+//! negation, duplicated conjuncts, `x IN (1, 2)` versus
+//! `x = 1 OR x = 2` — share one [`QueryExpr::encode_canonical`] string,
+//! which is what keeps the server's result-cache keys injective per
+//! selection equivalence class.
+
+use crate::query::{canonical_value, encode_str, CompareOp, Predicate};
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A boolean expression tree over single-column predicates.
+///
+/// See the [module docs](self) for semantics and the canonical form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryExpr {
+    /// A single-column predicate.
+    Leaf(Predicate),
+    /// Conjunction of all children; `And([])` matches every row (`TRUE`).
+    And(Vec<QueryExpr>),
+    /// Disjunction of the children; `Or([])` matches no row (`FALSE`).
+    Or(Vec<QueryExpr>),
+    /// Two-valued negation of the child.
+    Not(Box<QueryExpr>),
+}
+
+impl Default for QueryExpr {
+    /// The match-all expression `TRUE`.
+    fn default() -> Self {
+        QueryExpr::And(Vec::new())
+    }
+}
+
+/// The two n-ary node kinds, for the shared normalisation code.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum NaryKind {
+    And,
+    Or,
+}
+
+impl QueryExpr {
+    /// Wraps a predicate as a leaf expression.
+    pub fn leaf(p: Predicate) -> Self {
+        QueryExpr::Leaf(p)
+    }
+
+    /// Conjunction of `children` (empty = `TRUE`).
+    pub fn and(children: Vec<QueryExpr>) -> Self {
+        QueryExpr::And(children)
+    }
+
+    /// Disjunction of `children` (empty = `FALSE`).
+    pub fn or(children: Vec<QueryExpr>) -> Self {
+        QueryExpr::Or(children)
+    }
+
+    /// The negation of this expression.
+    pub fn negated(self) -> Self {
+        QueryExpr::Not(Box::new(self))
+    }
+
+    /// Whether this is the raw match-all expression `And([])` (`TRUE`).
+    /// Purely structural — `NOT FALSE` is equivalent but not `TRUE`-shaped;
+    /// use [`QueryExpr::canonical`] for equivalence.
+    pub fn is_match_all(&self) -> bool {
+        matches!(self, QueryExpr::And(v) if v.is_empty())
+    }
+
+    /// Evaluates the expression for row `row` of `table`, two-valued
+    /// (see the [module docs](self)). Short-circuits `AND`/`OR`, so a
+    /// child that would error (e.g. an unknown column) after the result
+    /// is already decided is never evaluated.
+    pub fn matches(&self, table: &Table, row: usize) -> Result<bool> {
+        match self {
+            QueryExpr::Leaf(p) => p.matches(table, row),
+            QueryExpr::And(children) => {
+                for c in children {
+                    if !c.matches(table, row)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            QueryExpr::Or(children) => {
+                for c in children {
+                    if c.matches(table, row)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            QueryExpr::Not(child) => Ok(!child.matches(table, row)?),
+        }
+    }
+
+    /// Calls `f` on every leaf predicate, in tree (left-to-right) order.
+    pub fn for_each_leaf<'a, F: FnMut(&'a Predicate)>(&'a self, f: &mut F) {
+        match self {
+            QueryExpr::Leaf(p) => f(p),
+            QueryExpr::And(children) | QueryExpr::Or(children) => {
+                for c in children {
+                    c.for_each_leaf(f);
+                }
+            }
+            QueryExpr::Not(child) => child.for_each_leaf(f),
+        }
+    }
+
+    /// All leaf predicates, in tree order.
+    pub fn leaves(&self) -> Vec<&Predicate> {
+        let mut out = Vec::new();
+        self.for_each_leaf(&mut |p| out.push(p));
+        out
+    }
+
+    /// The canonical form: the unique representative of this expression's
+    /// equivalence class under the rewrites below. Two expressions that are
+    /// equal up to these rewrites canonicalise to structurally identical
+    /// trees (and hence identical [`QueryExpr::encode_canonical`] strings):
+    ///
+    /// * `NOT` is pushed down: double negation cancels, De Morgan turns
+    ///   `NOT (a AND b)` into `NOT a OR NOT b` (sound under two-valued
+    ///   evaluation), `NOT x IS NULL` becomes `x IS NOT NULL` and vice
+    ///   versa. Negated comparisons keep their `NOT` (see module docs).
+    /// * Same-kind children are flattened, constants are absorbed
+    ///   (`a AND FALSE` → `FALSE`, `a OR TRUE` → `TRUE`, identity elements
+    ///   drop out), single-child nodes collapse.
+    /// * Within an `OR`, equality tests and `IN` sets over the same column
+    ///   merge into one `IN` set, so `x IN (1, 2)` ≡ `x = 1 OR x = 2`;
+    ///   one-element `IN` sets become `=`, empty `IN` sets are `FALSE`.
+    /// * Leaf constants are canonicalised ([`Predicate::canonical`]) and
+    ///   children are sorted and deduplicated by their injective encoding,
+    ///   making `AND`/`OR` commutative and idempotent.
+    ///
+    /// The canonical expression matches exactly the rows the original does.
+    pub fn canonical(&self) -> QueryExpr {
+        canon(self, false)
+    }
+
+    /// An unambiguous textual encoding of the canonical form. Node tags
+    /// (`L`/`N`/`A`/`O`), child counts and length-prefixed leaf encodings
+    /// ([`Predicate::encode_canonical`]) make the encoding injective on
+    /// canonical trees: two expressions encode identically iff they
+    /// canonicalise to the same tree. [`crate::Query::selection_key`]
+    /// embeds this string, so server caches treat the whole equivalence
+    /// class as one entry.
+    pub fn encode_canonical(&self) -> String {
+        let mut out = String::new();
+        self.canonical().encode_into(&mut out);
+        out
+    }
+
+    /// Appends the injective structural encoding of `self` (assumed
+    /// canonical) to `out`.
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            QueryExpr::Leaf(p) => {
+                out.push('L');
+                encode_str(&p.encode_canonical(), out);
+            }
+            QueryExpr::Not(child) => {
+                out.push('N');
+                child.encode_into(out);
+            }
+            QueryExpr::And(children) | QueryExpr::Or(children) => {
+                out.push(if matches!(self, QueryExpr::And(_)) {
+                    'A'
+                } else {
+                    'O'
+                });
+                out.push_str(&children.len().to_string());
+                out.push(':');
+                for c in children {
+                    c.encode_into(out);
+                }
+            }
+        }
+    }
+}
+
+/// Recursive canonicalisation; `negated` tracks an odd number of enclosing
+/// `NOT`s (pushed down instead of materialised).
+fn canon(expr: &QueryExpr, negated: bool) -> QueryExpr {
+    match expr {
+        QueryExpr::Not(child) => canon(child, !negated),
+        QueryExpr::And(children) => {
+            // De Morgan under negation: NOT (a AND b) = NOT a OR NOT b.
+            let kind = if negated { NaryKind::Or } else { NaryKind::And };
+            normalize_nary(kind, children.iter().map(|c| canon(c, negated)).collect())
+        }
+        QueryExpr::Or(children) => {
+            let kind = if negated { NaryKind::And } else { NaryKind::Or };
+            normalize_nary(kind, children.iter().map(|c| canon(c, negated)).collect())
+        }
+        QueryExpr::Leaf(p) => canon_leaf(p, negated),
+    }
+}
+
+/// Canonicalises one leaf, folding the pending negation into it where an
+/// exact two-valued complement exists.
+fn canon_leaf(p: &Predicate, negated: bool) -> QueryExpr {
+    let mut p = p.canonical();
+    if let Predicate::InSet { column, mut values } = p {
+        match values.len() {
+            // `x IN ()` matches nothing.
+            0 => {
+                return if negated {
+                    QueryExpr::And(Vec::new())
+                } else {
+                    QueryExpr::Or(Vec::new())
+                }
+            }
+            // `x IN (v)` is exactly `x = v` (both false on NULL).
+            1 => {
+                p = Predicate::Compare {
+                    column,
+                    op: CompareOp::Eq,
+                    value: values.pop().expect("one value"),
+                }
+            }
+            _ => p = Predicate::InSet { column, values },
+        }
+    }
+    if negated {
+        match p {
+            // The only leaf-level exact complements under two-valued
+            // evaluation; a negated comparison keeps its NOT node.
+            Predicate::IsNull { column } => QueryExpr::Leaf(Predicate::NotNull { column }),
+            Predicate::NotNull { column } => QueryExpr::Leaf(Predicate::IsNull { column }),
+            // `NOT x IN (v1, …, vn)` is exactly `NOT x = v1 AND … AND
+            // NOT x = vn` (every conjunct is false on NULL, like the set
+            // test) — the De Morgan dual of the OR-level equality merge, so
+            // the negated set and the negated disjunction share one tree.
+            Predicate::InSet { column, values } => normalize_nary(
+                NaryKind::And,
+                values
+                    .into_iter()
+                    .map(|value| {
+                        QueryExpr::Not(Box::new(QueryExpr::Leaf(Predicate::Compare {
+                            column: column.clone(),
+                            op: CompareOp::Eq,
+                            value,
+                        })))
+                    })
+                    .collect(),
+            ),
+            other => QueryExpr::Not(Box::new(QueryExpr::Leaf(other))),
+        }
+    } else {
+        QueryExpr::Leaf(p)
+    }
+}
+
+/// Flattens, absorbs constants, merges `OR`-level equality leaves, sorts and
+/// deduplicates children, and collapses trivial nodes. `children` must
+/// already be canonical.
+fn normalize_nary(kind: NaryKind, children: Vec<QueryExpr>) -> QueryExpr {
+    // Flatten same-kind children (this also drops same-kind identity
+    // constants: an empty And flattens into an And as zero children).
+    let mut flat: Vec<QueryExpr> = Vec::with_capacity(children.len());
+    for c in children {
+        match (kind, c) {
+            (NaryKind::And, QueryExpr::And(gc)) | (NaryKind::Or, QueryExpr::Or(gc)) => {
+                flat.extend(gc);
+            }
+            (_, c) => flat.push(c),
+        }
+    }
+    // Absorbing constant of the opposite kind: AND with a FALSE child is
+    // FALSE, OR with a TRUE child is TRUE.
+    let absorbed = match kind {
+        NaryKind::And => flat
+            .iter()
+            .any(|c| matches!(c, QueryExpr::Or(v) if v.is_empty())),
+        NaryKind::Or => flat
+            .iter()
+            .any(|c| matches!(c, QueryExpr::And(v) if v.is_empty())),
+    };
+    if absorbed {
+        return match kind {
+            NaryKind::And => QueryExpr::Or(Vec::new()),
+            NaryKind::Or => QueryExpr::And(Vec::new()),
+        };
+    }
+    if kind == NaryKind::Or {
+        flat = merge_or_equalities(flat);
+    }
+    // Commutativity + idempotence: sort and dedup by injective encoding.
+    let mut tagged: Vec<(String, QueryExpr)> = flat
+        .into_iter()
+        .map(|c| {
+            let mut enc = String::new();
+            c.encode_into(&mut enc);
+            (enc, c)
+        })
+        .collect();
+    tagged.sort_by(|a, b| a.0.cmp(&b.0));
+    tagged.dedup_by(|a, b| a.0 == b.0);
+    let mut flat: Vec<QueryExpr> = tagged.into_iter().map(|(_, c)| c).collect();
+    if flat.len() == 1 {
+        return flat.pop().expect("one child");
+    }
+    match kind {
+        NaryKind::And => QueryExpr::And(flat),
+        NaryKind::Or => QueryExpr::Or(flat),
+    }
+}
+
+/// Merges the `=`/`IN` leaves of an `OR`'s children into one `IN` set per
+/// column (`x = 1 OR x IN (2, 3)` → `x IN (1, 2, 3)`), the rewrite that
+/// makes `x IN (1, 2)` and `x = 1 OR x = 2` share a canonical form. Exact:
+/// both predicate forms are false on `NULL` and compare by
+/// [`Value::loose_eq`].
+fn merge_or_equalities(children: Vec<QueryExpr>) -> Vec<QueryExpr> {
+    let mut rest: Vec<QueryExpr> = Vec::with_capacity(children.len());
+    let mut merged: Vec<(String, Vec<Value>)> = Vec::new();
+    let add =
+        |column: String, values: Vec<Value>, merged: &mut Vec<(String, Vec<Value>)>| match merged
+            .iter_mut()
+            .find(|(c, _)| *c == column)
+        {
+            Some((_, vs)) => vs.extend(values),
+            None => merged.push((column, values)),
+        };
+    for c in children {
+        match c {
+            QueryExpr::Leaf(Predicate::Compare {
+                column,
+                op: CompareOp::Eq,
+                value,
+            }) => add(column, vec![value], &mut merged),
+            QueryExpr::Leaf(Predicate::InSet { column, values }) => {
+                add(column, values, &mut merged);
+            }
+            other => rest.push(other),
+        }
+    }
+    for (column, values) in merged {
+        let mut values: Vec<Value> = values.iter().map(canonical_value).collect();
+        values.sort_by(Value::total_cmp);
+        values.dedup_by(|a, b| a.loose_eq(b));
+        rest.push(QueryExpr::Leaf(if values.len() == 1 {
+            Predicate::Compare {
+                column,
+                op: CompareOp::Eq,
+                value: values.pop().expect("one value"),
+            }
+        } else {
+            Predicate::InSet { column, values }
+        }));
+    }
+    rest
+}
+
+// ---------------------------------------------------------------------------
+// Text form (the printer half of the SQL-ish surface; the parser lives in
+// `crate::parser`).
+// ---------------------------------------------------------------------------
+
+/// Precedence levels of the text form: `OR` binds loosest, then `AND`, then
+/// `NOT`; leaves and parenthesised groups are primary.
+fn precedence(expr: &QueryExpr) -> u8 {
+    match expr {
+        QueryExpr::Or(v) if !v.is_empty() => 0,
+        QueryExpr::And(v) if !v.is_empty() => 1,
+        QueryExpr::Not(_) => 2,
+        // Leaves and the TRUE/FALSE constants are primary.
+        _ => 3,
+    }
+}
+
+/// Writes `expr`, parenthesised if its precedence is below `min`.
+fn fmt_prec(expr: &QueryExpr, min: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let prec = precedence(expr);
+    if prec < min {
+        write!(f, "(")?;
+    }
+    match expr {
+        QueryExpr::Leaf(p) => write!(f, "{p}")?,
+        QueryExpr::And(children) => {
+            if children.is_empty() {
+                write!(f, "TRUE")?;
+            } else {
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    fmt_prec(c, 2, f)?;
+                }
+            }
+        }
+        QueryExpr::Or(children) => {
+            if children.is_empty() {
+                write!(f, "FALSE")?;
+            } else {
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    fmt_prec(c, 1, f)?;
+                }
+            }
+        }
+        QueryExpr::Not(child) => {
+            write!(f, "NOT ")?;
+            fmt_prec(child, 2, f)?;
+        }
+    }
+    if prec < min {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for QueryExpr {
+    /// Prints the expression in the SQL-ish text form accepted by
+    /// [`QueryExpr::parse`](QueryExpr::parse). Round-trips up to
+    /// equivalence: reparsing the printed text yields an expression with
+    /// the same [`QueryExpr::encode_canonical`] string (non-finite float
+    /// literals have no text form and do not round-trip).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_prec(self, 0, f)
+    }
+}
+
+/// Writes a column name, double-quoting it when it is not a plain
+/// identifier or collides with a keyword.
+pub(crate) fn fmt_ident(name: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let plain = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !crate::parser::is_reserved_word(name);
+    if plain {
+        write!(f, "{name}")
+    } else {
+        write!(f, "\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+/// Writes a constant in literal syntax (strings single-quoted with `''`
+/// escaping, numbers via their shortest round-trip decimal form).
+fn fmt_literal(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Null => write!(f, "NULL"),
+        Value::Bool(true) => write!(f, "TRUE"),
+        Value::Bool(false) => write!(f, "FALSE"),
+        Value::Int(i) => write!(f, "{i}"),
+        Value::Float(x) => write!(f, "{x}"),
+        Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+    }
+}
+
+impl fmt::Display for Predicate {
+    /// Prints the predicate in the SQL-ish text form (see
+    /// [`QueryExpr`]'s `Display`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ident(self.column(), f)?;
+        match self {
+            Predicate::Compare { op, value, .. } => {
+                let op = match op {
+                    CompareOp::Eq => "=",
+                    CompareOp::Ne => "!=",
+                    CompareOp::Lt => "<",
+                    CompareOp::Le => "<=",
+                    CompareOp::Gt => ">",
+                    CompareOp::Ge => ">=",
+                };
+                write!(f, " {op} ")?;
+                fmt_literal(value, f)
+            }
+            Predicate::IsNull { .. } => write!(f, " IS NULL"),
+            Predicate::NotNull { .. } => write!(f, " IS NOT NULL"),
+            Predicate::InSet { values, .. } => {
+                write!(f, " IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    fmt_literal(v, f)?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Between { low, high, .. } => write!(f, " BETWEEN {low} AND {high}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::builder()
+            .column_str("city", vec![Some("NYC"), Some("LA"), None, Some("NYC")])
+            .column_f64("age", vec![Some(25.0), Some(40.0), Some(31.0), None])
+            .build()
+            .unwrap()
+    }
+
+    fn rows_matching(e: &QueryExpr, t: &Table) -> Vec<usize> {
+        (0..t.num_rows())
+            .filter(|&r| e.matches(t, r).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn and_or_not_evaluate_two_valued() {
+        let t = table();
+        let nyc = QueryExpr::leaf(Predicate::eq("city", Value::from("NYC")));
+        let old = QueryExpr::leaf(Predicate::gt("age", Value::from(30.0)));
+        assert_eq!(rows_matching(&QueryExpr::and(vec![]), &t), vec![0, 1, 2, 3]);
+        assert_eq!(
+            rows_matching(&QueryExpr::or(vec![]), &t),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            rows_matching(&QueryExpr::and(vec![nyc.clone(), old.clone()]), &t),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            rows_matching(&QueryExpr::or(vec![nyc.clone(), old.clone()]), &t),
+            vec![0, 1, 2, 3]
+        );
+        // NOT matches the NULL rows a comparison skips: city = 'NYC' is
+        // false on the NULL row, so its negation includes it.
+        assert_eq!(rows_matching(&nyc.clone().negated(), &t), vec![1, 2]);
+        // ... which is why NOT (city = 'NYC') differs from city != 'NYC'.
+        let ne = QueryExpr::leaf(Predicate::ne("city", Value::from("NYC")));
+        assert_eq!(rows_matching(&ne, &t), vec![1]);
+    }
+
+    #[test]
+    fn short_circuit_skips_errors_like_the_flat_path() {
+        let t = table();
+        let no_rows = QueryExpr::leaf(Predicate::eq("city", Value::from("ZZZ")));
+        let bad = QueryExpr::leaf(Predicate::eq("no_such", Value::from(1i64)));
+        // AND short-circuits before touching the unknown column.
+        let e = QueryExpr::and(vec![no_rows, bad.clone()]);
+        assert!(!e.matches(&t, 0).unwrap());
+        // Without a short circuit the error surfaces.
+        assert!(bad.matches(&t, 0).is_err());
+    }
+
+    #[test]
+    fn commuted_children_share_a_canonical_encoding() {
+        let a = QueryExpr::leaf(Predicate::eq("city", Value::from("NYC")));
+        let b = QueryExpr::leaf(Predicate::gt("age", Value::from(30.0)));
+        let ab = QueryExpr::and(vec![a.clone(), b.clone()]);
+        let ba = QueryExpr::and(vec![b.clone(), a.clone()]);
+        assert_eq!(ab.encode_canonical(), ba.encode_canonical());
+        let or_ab = QueryExpr::or(vec![a.clone(), b.clone()]);
+        let or_ba = QueryExpr::or(vec![b, a]);
+        assert_eq!(or_ab.encode_canonical(), or_ba.encode_canonical());
+        assert_ne!(ab.encode_canonical(), or_ab.encode_canonical());
+    }
+
+    #[test]
+    fn double_negation_cancels_and_de_morgan_applies() {
+        let p = QueryExpr::leaf(Predicate::lt("age", Value::from(30.0)));
+        assert_eq!(
+            p.clone().negated().negated().encode_canonical(),
+            p.encode_canonical()
+        );
+        let q = QueryExpr::leaf(Predicate::eq("city", Value::from("LA")));
+        let not_and = QueryExpr::and(vec![p.clone(), q.clone()]).negated();
+        let or_nots = QueryExpr::or(vec![p.negated(), q.negated()]);
+        assert_eq!(not_and.encode_canonical(), or_nots.encode_canonical());
+    }
+
+    #[test]
+    fn null_tests_complement_under_not() {
+        let is_null = QueryExpr::leaf(Predicate::is_null("age"));
+        let not_null = QueryExpr::leaf(Predicate::not_null("age"));
+        assert_eq!(
+            is_null.clone().negated().encode_canonical(),
+            not_null.encode_canonical()
+        );
+        assert_eq!(
+            not_null.negated().encode_canonical(),
+            is_null.encode_canonical()
+        );
+        // A negated comparison is NOT rewritten to its mirrored operator.
+        let eq = QueryExpr::leaf(Predicate::eq("age", Value::from(1i64)));
+        let ne = QueryExpr::leaf(Predicate::ne("age", Value::from(1i64)));
+        assert_ne!(eq.negated().encode_canonical(), ne.encode_canonical());
+    }
+
+    #[test]
+    fn in_set_equals_or_of_equalities() {
+        let in_set = QueryExpr::leaf(Predicate::in_set("age", vec![Value::Int(1), Value::Int(2)]));
+        let or_eq = QueryExpr::or(vec![
+            QueryExpr::leaf(Predicate::eq("age", Value::Float(2.0))),
+            QueryExpr::leaf(Predicate::eq("age", Value::Int(1))),
+        ]);
+        assert_eq!(in_set.encode_canonical(), or_eq.encode_canonical());
+        // Single-element IN collapses onto equality; the empty IN is FALSE.
+        let single = QueryExpr::leaf(Predicate::in_set("age", vec![Value::Int(7)]));
+        let eq = QueryExpr::leaf(Predicate::eq("age", Value::Int(7)));
+        assert_eq!(single.encode_canonical(), eq.encode_canonical());
+        let empty = QueryExpr::leaf(Predicate::in_set("age", vec![]));
+        assert_eq!(empty.canonical(), QueryExpr::Or(Vec::new()));
+        assert_eq!(empty.negated().canonical(), QueryExpr::And(Vec::new()));
+    }
+
+    #[test]
+    fn constants_absorb_and_identities_drop() {
+        let p = QueryExpr::leaf(Predicate::eq("city", Value::from("NYC")));
+        let t = QueryExpr::and(vec![]);
+        let f = QueryExpr::or(vec![]);
+        assert_eq!(
+            QueryExpr::and(vec![p.clone(), f.clone()]).canonical(),
+            QueryExpr::Or(Vec::new())
+        );
+        assert_eq!(
+            QueryExpr::or(vec![p.clone(), t.clone()]).canonical(),
+            QueryExpr::And(Vec::new())
+        );
+        assert_eq!(
+            QueryExpr::and(vec![p.clone(), t]).encode_canonical(),
+            p.encode_canonical()
+        );
+        assert_eq!(
+            QueryExpr::or(vec![p.clone(), f]).encode_canonical(),
+            p.encode_canonical()
+        );
+        // Duplicate children collapse; singletons unwrap.
+        assert_eq!(
+            QueryExpr::and(vec![p.clone(), p.clone()]).encode_canonical(),
+            p.encode_canonical()
+        );
+    }
+
+    #[test]
+    fn distinct_trees_keep_distinct_encodings() {
+        // Length-prefixing keeps concatenation ambiguity out: two single
+        // predicates whose raw spellings concatenate identically still
+        // differ. "ab" = 'c' vs "a" = 'bc'-ish shapes.
+        let a = QueryExpr::leaf(Predicate::eq("ab", Value::from("c")));
+        let b = QueryExpr::leaf(Predicate::eq("a", Value::from("bc")));
+        assert_ne!(a.encode_canonical(), b.encode_canonical());
+        // Nesting shape matters: a AND (b OR c) vs (a AND b) OR c.
+        let pa = QueryExpr::leaf(Predicate::eq("x", Value::Int(1)));
+        let pb = QueryExpr::leaf(Predicate::eq("y", Value::Int(2)));
+        let pc = QueryExpr::leaf(Predicate::eq("z", Value::Int(3)));
+        let and_or = QueryExpr::and(vec![
+            pa.clone(),
+            QueryExpr::or(vec![pb.clone(), pc.clone()]),
+        ]);
+        let or_and = QueryExpr::or(vec![QueryExpr::and(vec![pa, pb]), pc]);
+        assert_ne!(and_or.encode_canonical(), or_and.encode_canonical());
+    }
+
+    #[test]
+    fn canonicalisation_preserves_matched_rows() {
+        let t = table();
+        let exprs = vec![
+            QueryExpr::leaf(Predicate::eq("city", Value::from("NYC")))
+                .negated()
+                .negated(),
+            QueryExpr::and(vec![
+                QueryExpr::leaf(Predicate::gt("age", Value::from(20.0))),
+                QueryExpr::leaf(Predicate::is_null("city")).negated(),
+            ])
+            .negated(),
+            QueryExpr::or(vec![
+                QueryExpr::leaf(Predicate::eq("city", Value::from("NYC"))),
+                QueryExpr::leaf(Predicate::eq("city", Value::from("LA"))),
+                QueryExpr::leaf(Predicate::in_set("city", vec![Value::from("LA")])),
+            ]),
+            QueryExpr::and(vec![QueryExpr::or(vec![])]).negated(),
+        ];
+        for e in exprs {
+            let c = e.canonical();
+            assert_eq!(rows_matching(&e, &t), rows_matching(&c, &t), "{e}");
+            // Canonicalisation is idempotent.
+            assert_eq!(c.canonical(), c);
+        }
+    }
+
+    #[test]
+    fn display_uses_precedence_parens() {
+        let a = QueryExpr::leaf(Predicate::gt("age", Value::from(30.0)));
+        let b = QueryExpr::leaf(Predicate::eq("city", Value::from("NYC")));
+        let c = QueryExpr::leaf(Predicate::is_null("age"));
+        let e = QueryExpr::and(vec![a.clone(), QueryExpr::or(vec![b.clone(), c.clone()])]);
+        assert_eq!(e.to_string(), "age > 30 AND (city = 'NYC' OR age IS NULL)");
+        let e = QueryExpr::or(vec![QueryExpr::and(vec![a.clone(), b.clone()]), c]);
+        assert_eq!(
+            e.to_string(),
+            "age > 30 AND city = 'NYC' OR age IS NULL",
+            "AND binds tighter than OR, no parens needed"
+        );
+        let e = QueryExpr::and(vec![a, b]).negated();
+        assert_eq!(e.to_string(), "NOT (age > 30 AND city = 'NYC')");
+        assert_eq!(QueryExpr::and(vec![]).to_string(), "TRUE");
+        assert_eq!(QueryExpr::or(vec![]).to_string(), "FALSE");
+    }
+
+    #[test]
+    fn display_quotes_awkward_identifiers_and_strings() {
+        let e = QueryExpr::leaf(Predicate::eq("select", Value::from("it's")));
+        assert_eq!(e.to_string(), "\"select\" = 'it''s'");
+        let e = QueryExpr::leaf(Predicate::eq("two words", Value::Null));
+        assert_eq!(e.to_string(), "\"two words\" = NULL");
+        let e = QueryExpr::leaf(Predicate::in_set("x", vec![]));
+        assert_eq!(e.to_string(), "x IN ()");
+        let e = QueryExpr::leaf(Predicate::between("age", 1.5, 64.0));
+        assert_eq!(e.to_string(), "age BETWEEN 1.5 AND 64");
+    }
+}

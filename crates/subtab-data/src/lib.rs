@@ -44,6 +44,8 @@
 pub mod column;
 pub mod csv;
 pub mod error;
+pub mod expr;
+mod parser;
 pub mod query;
 pub mod schema;
 pub mod table;
@@ -51,6 +53,7 @@ pub mod value;
 
 pub use column::Column;
 pub use error::DataError;
+pub use expr::QueryExpr;
 pub use query::{AggFunc, CompareOp, GroupBy, Predicate, Query, SortOrder, SortSpec};
 pub use schema::{ColumnType, Field, Schema};
 pub use table::{Table, TableBuilder};

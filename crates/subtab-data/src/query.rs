@@ -7,6 +7,7 @@
 
 use crate::column::Column;
 use crate::error::DataError;
+use crate::expr::QueryExpr;
 use crate::table::Table;
 use crate::value::Value;
 use crate::Result;
@@ -240,12 +241,18 @@ impl Predicate {
             .column(self.column())
             .ok_or_else(|| DataError::UnknownColumn(self.column().to_string()))?;
         let v = col.try_get(row)?;
-        Ok(match self {
+        Ok(self.matches_value(&v))
+    }
+
+    /// Evaluates the predicate against an already-fetched cell value. This
+    /// is the column-resolution-free kernel of [`Predicate::matches`]: the
+    /// compiled bitmap path in `subtab-core` resolves the column once per
+    /// leaf and streams the column's values through this.
+    pub fn matches_value(&self, v: &Value) -> bool {
+        match self {
             Predicate::IsNull { .. } => v.is_null(),
             Predicate::NotNull { .. } => !v.is_null(),
-            Predicate::InSet { values, .. } => {
-                !v.is_null() && values.iter().any(|x| x.loose_eq(&v))
-            }
+            Predicate::InSet { values, .. } => !v.is_null() && values.iter().any(|x| x.loose_eq(v)),
             Predicate::Between { low, high, .. } => match v.as_f64() {
                 Some(x) => x >= *low && x < *high,
                 None => false,
@@ -268,7 +275,7 @@ impl Predicate {
                     }
                 }
             }
-        })
+        }
     }
 }
 
@@ -318,12 +325,15 @@ pub struct GroupBy {
 
 /// A selection–projection query with optional sorting, grouping and limit.
 ///
-/// Predicates are conjunctive (all must hold), matching the query model of the
-/// paper's EDA-session replay.
+/// Row selection is a [`QueryExpr`] tree (`AND`/`OR`/`NOT` over
+/// single-column predicates); the historical flat conjunction is the
+/// special case `And([p1, p2, ...])`, which the [`Query::filter`] builder
+/// still produces. Queries can also be written in a SQL-ish text form —
+/// see [`Query::parse`].
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Query {
-    /// Conjunctive row predicates.
-    pub predicates: Vec<Predicate>,
+    /// Boolean row-selection expression (default `And([])` = match all).
+    pub expr: QueryExpr,
     /// Columns to project onto (`None` = all columns).
     pub projection: Option<Vec<String>>,
     /// Sort keys applied after selection.
@@ -340,10 +350,50 @@ impl Query {
         Query::default()
     }
 
-    /// Adds a predicate (conjunctive).
-    pub fn filter(mut self, p: Predicate) -> Self {
-        self.predicates.push(p);
+    /// Creates a query selecting rows by the given expression tree.
+    pub fn expr(expr: QueryExpr) -> Self {
+        Query {
+            expr,
+            ..Query::default()
+        }
+    }
+
+    /// ANDs another expression onto the selection (the n-ary builder form:
+    /// an existing top-level `And` gains a child, anything else is wrapped).
+    pub fn and_expr(mut self, e: QueryExpr) -> Self {
+        self.expr = match self.expr {
+            QueryExpr::And(mut children) => {
+                children.push(e);
+                QueryExpr::And(children)
+            }
+            other => QueryExpr::And(vec![other, e]),
+        };
         self
+    }
+
+    /// Adds a predicate, ANDed with the existing selection.
+    ///
+    /// Deprecated-but-working shim from the flat-conjunction era: each
+    /// `filter(p)` maps onto `and_expr(QueryExpr::leaf(p))`, so
+    /// `Query::new().filter(a).filter(b)` builds the tree
+    /// `And([Leaf(a), Leaf(b)])` — exactly the queries the old
+    /// `Vec<Predicate>` API could express. New code should build the tree
+    /// directly via [`Query::expr`] / [`Query::and_expr`].
+    pub fn filter(self, p: Predicate) -> Self {
+        self.and_expr(QueryExpr::leaf(p))
+    }
+
+    /// Whether the query has any row-selection expression (i.e. is not the
+    /// raw match-all `TRUE`).
+    pub fn is_filtered(&self) -> bool {
+        !self.expr.is_match_all()
+    }
+
+    /// The leaf predicates of the selection expression, in tree order —
+    /// the tree-era replacement for iterating the old flat predicate list
+    /// (used by the EDA-session fragment study).
+    pub fn leaf_predicates(&self) -> Vec<&Predicate> {
+        self.expr.leaves()
     }
 
     /// Sets the projection columns.
@@ -377,16 +427,14 @@ impl Query {
         self
     }
 
-    /// Indices of the base-table rows that satisfy all predicates.
+    /// Indices of the base-table rows that satisfy the selection
+    /// expression, ascending.
     pub fn matching_rows(&self, table: &Table) -> Result<Vec<usize>> {
         let mut out = Vec::new();
-        'rows: for r in 0..table.num_rows() {
-            for p in &self.predicates {
-                if !p.matches(table, r)? {
-                    continue 'rows;
-                }
+        for r in 0..table.num_rows() {
+            if self.expr.matches(table, r)? {
+                out.push(r);
             }
-            out.push(r);
         }
         Ok(out)
     }
@@ -400,7 +448,20 @@ impl Query {
     /// an aggregated result has no base-table rows to select from, so
     /// selection falls back to the rows feeding the aggregation.
     pub fn selection_rows(&self, table: &Table) -> Result<Vec<usize>> {
-        let mut rows = self.matching_rows(table)?;
+        let rows = self.matching_rows(table)?;
+        self.restrict_selection_rows(table, rows)
+    }
+
+    /// The sort-aware limit tail of [`Query::selection_rows`], applied to
+    /// an externally computed ascending matching-row set. This is the seam
+    /// the compiled bitmap engine in `subtab-core` plugs into: it produces
+    /// the matching rows from per-leaf `RowBitmap`s and hands them here so
+    /// limit/sort semantics stay in one place.
+    pub fn restrict_selection_rows(
+        &self,
+        table: &Table,
+        mut rows: Vec<usize>,
+    ) -> Result<Vec<usize>> {
         if let Some(n) = self.limit {
             if n < rows.len() {
                 if !self.sort.is_empty() {
@@ -416,22 +477,15 @@ impl Query {
         Ok(rows)
     }
 
-    /// The canonical form of the query under *selection semantics*: each
-    /// predicate is canonicalised ([`Predicate::canonical`]), the conjunction
-    /// is sorted by canonical encoding and deduplicated, and the projection
-    /// is sorted and deduplicated. The canonical query selects exactly the
-    /// same sub-table as the original (predicates are conjunctive and the
-    /// selection re-orders columns into schema order), but its projection
-    /// *display* order is not preserved — use it for cache keys and
-    /// equivalence checks, not for rendering query results.
+    /// The canonical form of the query under *selection semantics*: the
+    /// expression tree is canonicalised ([`QueryExpr::canonical`] — NOT
+    /// pushed down, commutative children sorted and deduplicated, leaf
+    /// constants normalised) and the projection is sorted and deduplicated.
+    /// The canonical query selects exactly the same sub-table as the
+    /// original (the selection re-orders columns into schema order), but
+    /// its projection *display* order is not preserved — use it for cache
+    /// keys and equivalence checks, not for rendering query results.
     pub fn canonical(&self) -> Query {
-        let mut tagged: Vec<(String, Predicate)> = self
-            .predicates
-            .iter()
-            .map(|p| (p.encode_canonical(), p.canonical()))
-            .collect();
-        tagged.sort_by(|a, b| a.0.cmp(&b.0));
-        tagged.dedup_by(|a, b| a.0 == b.0);
         let projection = self.projection.as_ref().map(|proj| {
             let mut proj = proj.clone();
             proj.sort_unstable();
@@ -439,7 +493,7 @@ impl Query {
             proj
         });
         Query {
-            predicates: tagged.into_iter().map(|(_, p)| p).collect(),
+            expr: self.expr.canonical(),
             projection,
             sort: self.sort.clone(),
             group_by: self.group_by.clone(),
@@ -450,26 +504,19 @@ impl Query {
     /// An unambiguous textual key identifying this query's *selection
     /// equivalence class*: two queries get the same key iff they restrict a
     /// sub-table selection to the same candidate rows and columns. Built
-    /// from the canonical predicates and projection; the sort keys
-    /// participate only when a limit makes them selection-relevant (without
-    /// a limit, sorting never changes *which* rows are selected from), and
-    /// group-by is excluded because selection ignores it (see
-    /// [`Query::selection_rows`]). This is the string exploration-session
-    /// caches key sub-table results by.
+    /// from the canonical expression encoding
+    /// ([`QueryExpr::encode_canonical`] — commuted spellings, double
+    /// negations and `IN`-vs-`OR`-of-`=` variants all share one key) and
+    /// the canonical projection; the sort keys participate only when a
+    /// limit makes them selection-relevant (without a limit, sorting never
+    /// changes *which* rows are selected from), and group-by is excluded
+    /// because selection ignores it (see [`Query::selection_rows`]). This
+    /// is the string exploration-session caches key sub-table results by.
     pub fn selection_key(&self) -> String {
         let mut out = String::new();
-        let mut encodings: Vec<String> = self
-            .predicates
-            .iter()
-            .map(Predicate::encode_canonical)
-            .collect();
-        encodings.sort();
-        encodings.dedup();
         out.push_str("where");
-        for e in &encodings {
-            out.push(FIELD_SEP);
-            out.push_str(e);
-        }
+        out.push(FIELD_SEP);
+        out.push_str(&self.expr.encode_canonical());
         out.push(FIELD_SEP);
         out.push_str("select");
         match &self.projection {
@@ -512,7 +559,7 @@ impl Query {
                 cols.push(c.to_string());
             }
         };
-        for p in &self.predicates {
+        for p in self.expr.leaves() {
             push(p.column());
         }
         if let Some(proj) = &self.projection {
@@ -536,8 +583,9 @@ impl Query {
 
     /// Constant values referenced by the query's predicates.
     pub fn referenced_values(&self) -> Vec<Value> {
-        self.predicates
-            .iter()
+        self.expr
+            .leaves()
+            .into_iter()
             .flat_map(|p| p.referenced_values())
             .collect()
     }
@@ -595,7 +643,7 @@ fn canonical_f64(v: f64) -> f64 {
 /// onto `Float` when the value is exactly representable (predicate
 /// evaluation compares numerics by value, so `Int(1)`, `Float(1.0)` and
 /// `Bool(true)` select identical rows), integers beyond 2^53 stay `Int`.
-fn canonical_value(v: &Value) -> Value {
+pub(crate) fn canonical_value(v: &Value) -> Value {
     match v {
         Value::Null => Value::Null,
         Value::Bool(b) => Value::Float(if *b { 1.0 } else { 0.0 }),
@@ -616,7 +664,7 @@ fn canonical_value(v: &Value) -> Value {
 
 /// Appends a length-prefixed string (no escaping needed — the prefix makes
 /// the encoding unambiguous even if the string contains separators).
-fn encode_str(s: &str, out: &mut String) {
+pub(crate) fn encode_str(s: &str, out: &mut String) {
     out.push_str(&s.len().to_string());
     out.push(':');
     out.push_str(s);
@@ -1042,6 +1090,63 @@ mod tests {
         let s = Query::new().filter(Predicate::eq("airline", Value::from("1")));
         let i = Query::new().filter(Predicate::eq("airline", Value::Int(1)));
         assert_ne!(s.selection_key(), i.selection_key());
+    }
+
+    #[test]
+    fn tree_canonicalization_unifies_selection_keys() {
+        let a = Predicate::eq("airline", Value::from("AA"));
+        let b = Predicate::gt("distance", Value::Float(500.0));
+        // a AND b ≡ b AND a.
+        let ab = Query::expr(QueryExpr::and(vec![
+            QueryExpr::leaf(a.clone()),
+            QueryExpr::leaf(b.clone()),
+        ]));
+        let ba = Query::expr(QueryExpr::and(vec![
+            QueryExpr::leaf(b.clone()),
+            QueryExpr::leaf(a.clone()),
+        ]));
+        assert_eq!(ab.selection_key(), ba.selection_key());
+        // NOT (NOT p) ≡ p.
+        let p = Query::expr(QueryExpr::leaf(a.clone()));
+        let nnp = Query::expr(QueryExpr::leaf(a.clone()).negated().negated());
+        assert_eq!(p.selection_key(), nnp.selection_key());
+        // x IN (1, 2) ≡ x = 1 OR x = 2.
+        let in_set = Query::expr(QueryExpr::leaf(Predicate::in_set(
+            "cancelled",
+            vec![Value::Int(1), Value::Int(2)],
+        )));
+        let or_eq = Query::expr(QueryExpr::or(vec![
+            QueryExpr::leaf(Predicate::eq("cancelled", Value::Int(1))),
+            QueryExpr::leaf(Predicate::eq("cancelled", Value::Int(2))),
+        ]));
+        assert_eq!(in_set.selection_key(), or_eq.selection_key());
+        // Distinct trees stay distinct: AND vs OR of the same children, and
+        // a negation of one.
+        let or_q = Query::expr(QueryExpr::or(vec![
+            QueryExpr::leaf(a.clone()),
+            QueryExpr::leaf(b.clone()),
+        ]));
+        assert_ne!(ab.selection_key(), or_q.selection_key());
+        let not_ab =
+            Query::expr(QueryExpr::and(vec![QueryExpr::leaf(a), QueryExpr::leaf(b)]).negated());
+        assert_ne!(ab.selection_key(), not_ab.selection_key());
+    }
+
+    #[test]
+    fn parsed_commuted_spellings_share_selection_keys() {
+        let q1: Query = "distance > 500 AND (airline = 'AA' OR NOT cancelled IN (1, 2)) LIMIT 20"
+            .parse()
+            .unwrap();
+        let q2: Query =
+            "(NOT (cancelled = 1 OR cancelled = 2) OR airline = 'AA') AND distance > 500 LIMIT 20"
+                .parse()
+                .unwrap();
+        assert_eq!(q1.selection_key(), q2.selection_key());
+        // A different limit keeps the keys apart.
+        let q3: Query = "distance > 500 AND (airline = 'AA' OR NOT cancelled IN (1, 2)) LIMIT 21"
+            .parse()
+            .unwrap();
+        assert_ne!(q1.selection_key(), q3.selection_key());
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub mod zoo;
 
 pub use generator::{generate, PlantedDataset};
 pub use queries::{
-    benchmark_filter, benchmark_filter_query, benchmark_projected_query, benchmark_target_column,
+    benchmark_ast_query, benchmark_deep_nest_query, benchmark_filter, benchmark_filter_query,
+    benchmark_projected_query, benchmark_target_column,
 };
 pub use sessions::{generate_server_traces, generate_sessions, Session, SessionConfig};
 pub use spec::{Archetype, CellSpec, ColumnSpec, DatasetSize, DatasetSpec};

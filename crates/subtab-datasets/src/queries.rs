@@ -5,7 +5,7 @@
 //! generators whose schemas they assume — instead of being duplicated at
 //! each consumer.
 
-use subtab_data::{Predicate, Query, Table};
+use subtab_data::{Predicate, Query, QueryExpr, Table};
 
 /// An equality filter guaranteed to match a non-trivial subset of rows on
 /// any planted dataset: the first column whose row-0 value is non-null and
@@ -72,6 +72,42 @@ pub fn benchmark_projected_query(table: &Table) -> Query {
         .select(&projected)
 }
 
+/// The nested-AST benchmark query (depth ≥ 3: `AND` → `OR` → `NOT` →
+/// leaf), built on the same repeated categorical value as
+/// [`benchmark_filter`]. The tree is arranged so its row set is *exactly*
+/// the [`benchmark_filter_query`] row set — `(c = v OR NOT c IS NOT NULL)
+/// AND c IS NOT NULL` — so the AST benchmark modes measure tree-evaluation
+/// overhead against the flat filter at identical selection work, and the
+/// equivalence suite can pin all three queries to one reference row set.
+pub fn benchmark_ast_query(table: &Table) -> Query {
+    let (col, value) = repeated_value_column(table);
+    Query::expr(QueryExpr::and(vec![
+        QueryExpr::or(vec![
+            QueryExpr::leaf(Predicate::eq(&col, value)),
+            QueryExpr::leaf(Predicate::not_null(&col)).negated(),
+        ]),
+        QueryExpr::leaf(Predicate::not_null(&col)),
+    ]))
+}
+
+/// The deeply nested benchmark query: [`benchmark_ast_query`]'s tree
+/// wrapped in three rounds of double negation plus a redundant `AND c IS
+/// NOT NULL` conjunct (depth > 10, 8 leaves). Every wrap preserves the row
+/// set, so this still selects exactly the [`benchmark_filter_query`] rows
+/// while stressing tree traversal, `NOT` compilation, and canonicalization
+/// depth.
+pub fn benchmark_deep_nest_query(table: &Table) -> Query {
+    let (col, _) = repeated_value_column(table);
+    let mut expr = benchmark_ast_query(table).expr;
+    for _ in 0..3 {
+        expr = QueryExpr::and(vec![
+            expr.negated().negated(),
+            QueryExpr::leaf(Predicate::not_null(&col)),
+        ]);
+    }
+    Query::expr(expr)
+}
+
 fn column_names(table: &Table) -> Vec<String> {
     (0..table.num_columns())
         .map(|c| {
@@ -89,6 +125,16 @@ fn column_names(table: &Table) -> Vec<String> {
 mod tests {
     use super::*;
     use crate::{DatasetKind, DatasetSize};
+
+    fn expr_depth(e: &QueryExpr) -> usize {
+        match e {
+            QueryExpr::Leaf(_) => 1,
+            QueryExpr::Not(inner) => 1 + expr_depth(inner),
+            QueryExpr::And(cs) | QueryExpr::Or(cs) => {
+                1 + cs.iter().map(expr_depth).max().unwrap_or(0)
+            }
+        }
+    }
 
     #[test]
     fn benchmark_queries_hold_on_every_planted_dataset() {
@@ -112,6 +158,23 @@ mod tests {
                 matched,
                 "{kind:?}: both queries share the filter"
             );
+            // The nested and deeply nested AST queries select the exact
+            // same rows as the flat filter, by construction.
+            let aq = benchmark_ast_query(&dataset.table);
+            assert_eq!(
+                aq.matching_rows(&dataset.table).unwrap(),
+                matched,
+                "{kind:?}: the AST query preserves the filter's row set"
+            );
+            let dq = benchmark_deep_nest_query(&dataset.table);
+            assert_eq!(
+                dq.matching_rows(&dataset.table).unwrap(),
+                matched,
+                "{kind:?}: deep nesting preserves the filter's row set"
+            );
+            // Depth is what the AST benchmark modes advertise.
+            assert!(expr_depth(&aq.expr) >= 3, "{kind:?}: nested query depth");
+            assert!(expr_depth(&dq.expr) > 10, "{kind:?}: deep query depth");
             let target = benchmark_target_column(&dataset.table);
             assert!(
                 dataset.table.schema().index_of(&target).is_some(),

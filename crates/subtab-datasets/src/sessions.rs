@@ -114,7 +114,7 @@ pub fn generate_server_traces(dataset: &PlantedDataset, config: &SessionConfig) 
             .queries
             .iter()
             .rev()
-            .find(|q| !q.predicates.is_empty())
+            .find(|q| q.is_filtered())
             .cloned();
         session.queries.insert(0, Query::new());
         if let Some(q) = last_filtered {
@@ -236,7 +236,7 @@ mod tests {
             // every trace ends with its limited page view.
             let last = trace.queries.last().unwrap();
             assert_eq!(last.limit, Some(20));
-            assert!(!last.predicates.is_empty());
+            assert!(last.is_filtered());
         }
     }
 

@@ -70,6 +70,16 @@ impl RowBitmap {
             .sum()
     }
 
+    /// An all-one bitmap over `bits` rows; bits past `bits` in the trailing
+    /// word stay zero, so [`RowBitmap::count`] and complements stay exact.
+    pub fn ones(bits: usize) -> Self {
+        let mut bm = RowBitmap {
+            words: vec![u64::MAX; bits.div_ceil(64)],
+        };
+        bm.mask_tail(bits);
+        bm
+    }
+
     /// Overwrites `self` with `other`'s bits (same scope width).
     pub fn copy_from(&mut self, other: &RowBitmap) {
         self.words.copy_from_slice(&other.words);
@@ -79,6 +89,48 @@ impl RowBitmap {
     pub fn and_assign(&mut self, other: &RowBitmap) {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
+        }
+    }
+
+    /// In-place union `self |= other`.
+    pub fn or_assign(&mut self, other: &RowBitmap) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place complement over a scope of `bits` rows: flips every bit and
+    /// re-zeroes the slack bits of the trailing word (the scope width is not
+    /// stored, so the caller provides it — predicate compilation tracks the
+    /// table's row count).
+    pub fn negate_assign(&mut self, bits: usize) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail(bits);
+    }
+
+    /// The positions of all set bits, ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count());
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Zeroes the bits of the trailing word at positions `>= bits`.
+    fn mask_tail(&mut self, bits: usize) {
+        let slack = bits % 64;
+        if slack != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << slack) - 1;
+            }
         }
     }
 
@@ -422,6 +474,41 @@ mod tests {
         assert_eq!(count, 2);
         assert_eq!(ab.count(), 2);
         assert!(ab.get(3) && ab.get(64) && !ab.get(0) && !ab.get(119));
+    }
+
+    #[test]
+    fn bitmap_union_complement_and_indices_are_exact() {
+        // 130 bits crosses the u64 word boundary with 2 slack trailing bits.
+        let mut a = RowBitmap::zeros(130);
+        let mut b = RowBitmap::zeros(130);
+        for i in [0usize, 3, 64, 120] {
+            a.set(i);
+        }
+        for i in [3usize, 64, 119, 129] {
+            b.set(i);
+        }
+        let mut u = a.clone();
+        u.or_assign(&b);
+        assert_eq!(u.count(), 6, "union is {{0, 3, 64, 119, 120, 129}}");
+        assert_eq!(u.indices(), vec![0, 3, 64, 119, 120, 129]);
+        // Complement stays inside the 130-bit scope: no phantom slack bits.
+        let mut na = a.clone();
+        na.negate_assign(130);
+        assert_eq!(na.count(), 130 - 4);
+        assert!(!na.get(0) && na.get(1) && !na.get(120) && na.get(129));
+        // Double complement round-trips.
+        na.negate_assign(130);
+        assert_eq!(na, a);
+        // All-ones masks its trailing word too.
+        let ones = RowBitmap::ones(130);
+        assert_eq!(ones.count(), 130);
+        assert_eq!(ones.indices().len(), 130);
+        let mut empty = RowBitmap::ones(130);
+        empty.negate_assign(130);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty, RowBitmap::zeros(130));
+        // Exact-multiple scope has no slack word to mask.
+        assert_eq!(RowBitmap::ones(128).count(), 128);
     }
 
     /// A 130-row two-column table crossing the u64 word boundary, with a

@@ -141,6 +141,22 @@ pub enum Request {
         /// Sub-table dimensions and target columns.
         params: SelectionParams,
     },
+    /// Select a `k × l` sub-table scoped by a SQL-ish query *text* (e.g.
+    /// `"age > 30 AND (city = 'NYC' OR NOT risk IN ('high')) LIMIT 20"`) —
+    /// the wire-friendly twin of [`Request::Select`] for clients that ship
+    /// strings instead of [`Query`] values. The text is parsed server-side
+    /// when the request is submitted; a parse failure resolves the request
+    /// immediately with [`CoreError::QueryParse`] and never reaches the
+    /// result cache. A successfully parsed request is indistinguishable
+    /// from the equivalent structured [`Request::Select`] — including its
+    /// cache key, so a commuted respelling of a cached query text is a
+    /// cache hit. Runs on the interactive lane.
+    SelectText {
+        /// The SQL-ish query text; the empty string means the full table.
+        query: String,
+        /// Sub-table dimensions and target columns.
+        params: SelectionParams,
+    },
     /// Mine association rules over the binned table, optionally partitioned
     /// by target columns. Runs on the admission-controlled heavy lane.
     MineRules {
@@ -167,7 +183,7 @@ pub enum Request {
 impl Request {
     fn kind(&self) -> RequestKind {
         match self {
-            Request::Select { .. } => RequestKind::Select,
+            Request::Select { .. } | Request::SelectText { .. } => RequestKind::Select,
             Request::MineRules { .. } => RequestKind::MineRules,
             Request::SelectHighlighted { .. } => RequestKind::SelectHighlighted,
         }
@@ -175,7 +191,7 @@ impl Request {
 
     fn lane(&self) -> Lane {
         match self {
-            Request::Select { .. } => Lane::Interactive,
+            Request::Select { .. } | Request::SelectText { .. } => Lane::Interactive,
             Request::MineRules { .. } | Request::SelectHighlighted { .. } => Lane::Heavy,
         }
     }
@@ -185,7 +201,9 @@ impl Request {
             Request::Select { query, .. } | Request::SelectHighlighted { query, .. } => {
                 query.as_ref()
             }
-            Request::MineRules { .. } => None,
+            // Text requests are normalised into `Select` at submission, so
+            // a worker never sees this variant with its query unparsed.
+            Request::SelectText { .. } | Request::MineRules { .. } => None,
         }
     }
 }
@@ -344,6 +362,15 @@ impl Shared {
 
     fn handle(&self, request: &Request) -> Result<Outcome, ServerError> {
         match request {
+            // Normally normalised away at submission; parsing here keeps
+            // direct calls well-defined with the same error contract.
+            Request::SelectText { query, params } => {
+                let parsed: Query = query.parse().map_err(CoreError::from)?;
+                self.handle(&Request::Select {
+                    query: Some(parsed),
+                    params: params.clone(),
+                })
+            }
             Request::Select { query, params } => {
                 let (result, hit) = self.cached_select(query.as_ref(), params)?;
                 Ok(Outcome {
@@ -490,6 +517,24 @@ impl ExplorationServer {
                 return rx;
             }
         }
+        // SQL-ish text requests are parsed at submission and normalised into
+        // structured selects, so they share cache keys (and history records)
+        // with their structured twins. A parse failure is a client error:
+        // the receiver resolves immediately and no cache or worker is
+        // touched — failures can never poison the result cache.
+        let request = match request {
+            Request::SelectText { query, params } => match query.parse::<Query>() {
+                Ok(parsed) => Request::Select {
+                    query: Some(parsed),
+                    params,
+                },
+                Err(e) => {
+                    let _ = tx.send(Err(ServerError::Core(CoreError::from(e))));
+                    return rx;
+                }
+            },
+            other => other,
+        };
         let shared = Arc::clone(&self.shared);
         let lane = request.lane();
         self.pool.submit(lane, move || {
@@ -627,6 +672,93 @@ mod tests {
             )
             .unwrap();
         assert!(warm.cache_hit, "canonicalized queries must share an entry");
+    }
+
+    #[test]
+    fn text_requests_share_the_cache_with_structured_and_commuted_spellings() {
+        let server = server();
+        let session = server.open_session();
+        let params = SelectionParams::new(6, 5);
+        // Depth-3 nesting: AND over (OR over (NOT over a leaf)).
+        let text = "flagged = 1 AND (protocol = 'udp' OR NOT protocol IN ('tcp', 'icmp'))";
+        let cold = server
+            .execute(
+                session,
+                Request::SelectText {
+                    query: text.to_string(),
+                    params: params.clone(),
+                },
+            )
+            .unwrap();
+        assert!(!cold.cache_hit);
+        // A commuted respelling — operands flipped, the IN set written as a
+        // negated disjunction, the flag in a different numeric spelling —
+        // must land on the same cache entry.
+        let commuted =
+            "(NOT (protocol = 'icmp' OR protocol = 'tcp') OR protocol = 'udp') AND flagged = 1.0";
+        let warm = server
+            .execute(
+                session,
+                Request::SelectText {
+                    query: commuted.to_string(),
+                    params: params.clone(),
+                },
+            )
+            .unwrap();
+        assert!(warm.cache_hit, "commuted spelling must share the entry");
+        assert!(Arc::ptr_eq(
+            cold.response.sub_table().unwrap(),
+            warm.response.sub_table().unwrap()
+        ));
+        // The structured equivalent shares it too.
+        let structured: Query = text.parse().unwrap();
+        let hit = server
+            .execute(
+                session,
+                Request::Select {
+                    query: Some(structured),
+                    params,
+                },
+            )
+            .unwrap();
+        assert!(hit.cache_hit);
+        // All three requests record history as plain selects, with the
+        // parsed query attached.
+        let history = server.session_history(session).unwrap();
+        assert_eq!(history.len(), 3);
+        assert!(history
+            .iter()
+            .all(|h| h.kind == RequestKind::Select && h.query.is_some()));
+    }
+
+    #[test]
+    fn parse_errors_are_typed_and_never_touch_the_cache() {
+        let server = server();
+        let session = server.open_session();
+        let params = SelectionParams::new(6, 5);
+        for bad in [
+            "flagged = 1 AND (protocol = 'tcp'", // unbalanced parens
+            "flagged ** 2",                      // unknown operator
+            "protocol = 'unterminated",          // bad literal
+        ] {
+            let err = server
+                .execute(
+                    session,
+                    Request::SelectText {
+                        query: bad.to_string(),
+                        params: params.clone(),
+                    },
+                )
+                .unwrap_err();
+            assert!(
+                matches!(err, ServerError::Core(CoreError::QueryParse { .. })),
+                "query {bad:?} must fail with a typed parse error, got {err:?}"
+            );
+        }
+        // Parse failures never reach the result cache or session history.
+        let stats = server.stats().select_cache;
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert!(server.session_history(session).unwrap().is_empty());
     }
 
     #[test]

@@ -90,6 +90,11 @@ fn trace() -> Vec<Request> {
             query: Some(tcp),
             params: SelectionParams::new(5, 4).with_targets(&["flagged"]),
         },
+        Request::SelectText {
+            query: "flagged = 1 AND (protocol = 'udp' OR NOT protocol IN ('tcp', 'icmp'))"
+                .to_string(),
+            params: SelectionParams::new(6, 5),
+        },
     ]
 }
 
@@ -103,6 +108,13 @@ fn reference(subtab: &SubTab, request: &Request) -> Digest {
                 None => subtab.select(params),
             }
             .expect("reference select");
+            Digest::Select(digest(&result))
+        }
+        Request::SelectText { query, params } => {
+            let parsed: Query = query.parse().expect("reference parse");
+            let result = subtab
+                .select_for_query(&parsed, params)
+                .expect("reference select");
             Digest::Select(digest(&result))
         }
         Request::MineRules {
@@ -185,19 +197,21 @@ fn concurrent_sessions_match_the_sequential_reference() {
     });
 
     // Across 8 sessions, single-flight guarantees exactly one miss per
-    // distinct key. The trace has 4 distinct select keys (full table,
-    // flagged, tcp — issued twice per session — and the combined
-    // highlighted key) and 2 rules keys (targeted and untargeted mining).
+    // distinct key. The trace has 5 distinct select keys (full table,
+    // flagged, tcp — issued twice per session — the parsed text query, and
+    // the combined highlighted key) and 2 rules keys (targeted and
+    // untargeted mining).
     let stats = server.stats();
-    assert_eq!(stats.select_cache.misses, 4);
+    assert_eq!(stats.select_cache.misses, 5);
     assert_eq!(stats.rules_cache.misses, 2);
     let sessions = (THREADS * SESSIONS_PER_THREAD) as u64;
-    // Per session: 4 plain selects + 1 combined-key lookup; the single
-    // combined-key miss adds one inner select lookup (a guaranteed hit —
-    // its session already cached the flagged select).
+    // Per session: 5 plain selects (the text select normalises into one) +
+    // 1 combined-key lookup; the single combined-key miss adds one inner
+    // select lookup (a guaranteed hit — its session already cached the
+    // flagged select).
     assert_eq!(
         stats.select_cache.hits + stats.select_cache.misses,
-        5 * sessions + 1
+        6 * sessions + 1
     );
     // Per session: 1 mining request; the combined-key miss adds one inner
     // rules lookup.

@@ -5,11 +5,16 @@
 //! association rules mined once at load time highlighted per displayed row
 //! (the coloured-pattern UI of Figures 1–3).
 //!
+//! The closing segment issues the same nested analyst question three ways —
+//! SQL-ish text, the `QueryExpr` AST builder, and a commuted respelling —
+//! and shows all three share one canonical selection key.
+//!
 //! ```bash
 //! cargo run --release --example query_session
 //! ```
 
 use subtab::core::HighlightIndex;
+use subtab::data::{Predicate, Query, QueryExpr, Value};
 use subtab::datasets::{cyber, generate_sessions, DatasetSize, SessionConfig};
 use subtab::rules::MiningConfig;
 use subtab::{SelectionParams, SubTab, SubTabConfig};
@@ -55,7 +60,7 @@ fn main() {
         for (qi, query) in session.queries.iter().enumerate() {
             let result = query.execute(&dataset.table).expect("query executes");
             println!(
-                "\n-- query {}: {:?}\n   result: {} rows x {} columns",
+                "\n-- query {}: {}\n   result: {} rows x {} columns",
                 qi + 1,
                 query,
                 result.num_rows(),
@@ -76,4 +81,39 @@ fn main() {
             }
         }
     }
+
+    // The SQL-ish frontend: one nested analyst question, three spellings.
+    println!("\n================ nested query, three spellings ================");
+    let text = "flagged = 1 AND (protocol = 'udp' OR NOT protocol IN ('tcp', 'icmp'))";
+    let parsed: Query = text.parse().expect("query text parses");
+    let built = Query::expr(QueryExpr::and(vec![
+        QueryExpr::leaf(Predicate::eq("flagged", Value::Int(1))),
+        QueryExpr::or(vec![
+            QueryExpr::leaf(Predicate::eq("protocol", Value::from("udp"))),
+            QueryExpr::leaf(Predicate::in_set(
+                "protocol",
+                vec![Value::from("tcp"), Value::from("icmp")],
+            ))
+            .negated(),
+        ]),
+    ]));
+    let commuted: Query =
+        "(NOT (protocol = 'icmp' OR protocol = 'tcp') OR protocol = 'udp') AND flagged = 1.0"
+            .parse()
+            .expect("commuted spelling parses");
+    println!("text:     {text}");
+    println!("AST form: {built}");
+    println!("commuted: {commuted}");
+    assert_eq!(parsed.selection_key(), built.selection_key());
+    assert_eq!(parsed.selection_key(), commuted.selection_key());
+    println!("all three share one canonical selection key — one cache entry on the server");
+    let view = subtab
+        .select_for_query(&parsed, &params)
+        .expect("nested query selects");
+    println!(
+        "SubTab display for the nested query ({} rows x {} columns):\n{}",
+        view.sub_table.num_rows(),
+        view.sub_table.num_columns(),
+        view.sub_table
+    );
 }

@@ -64,7 +64,7 @@ pub use subtab_server as server;
 
 pub use subtab_binning::{Binner, BinningConfig, BinningStrategy};
 pub use subtab_core::{SelectionParams, SubTab, SubTabConfig, SubTableResult};
-pub use subtab_data::{Predicate, Query, Table, Value};
+pub use subtab_data::{Predicate, Query, QueryExpr, Table, Value};
 pub use subtab_metrics::{Evaluator, SubTableScore};
 pub use subtab_rules::{MiningConfig, RuleMiner};
 pub use subtab_server::{ExplorationServer, Request, Response, ServerConfig, ServerError};

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use subtab::baselines::{naive_clustering_select, Selection};
 use subtab::binning::{Binner, BinningConfig, BinningStrategy};
-use subtab::data::{Column, Table};
+use subtab::data::{Column, Predicate, QueryExpr, Table, Value};
 use subtab::metrics::{diversity, CoverageIndex, Evaluator};
 use subtab::rules::{MiningConfig, RuleMiner};
 
@@ -162,6 +162,96 @@ fn combined_score_formula() {
             (0.0..=1.0 + 1e-12).contains(&s.combined),
             "case {case}: {}",
             s.combined
+        );
+    }
+}
+
+/// A random literal drawn from every parseable value shape (finite floats
+/// only — non-finite literals have no text form).
+fn arbitrary_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0u8..4) {
+        0 => Value::Int(rng.gen_range(-100i64..100)),
+        1 => Value::Float(rng.gen_range(-8000i64..8000) as f64 / 8.0),
+        2 => {
+            let strings = ["alpha", "it's", "x y", "", "UDP"];
+            Value::from(strings[rng.gen_range(0usize..strings.len())])
+        }
+        _ => Value::Bool(rng.gen_bool(0.5)),
+    }
+}
+
+/// A random leaf over a column pool that exercises identifier quoting:
+/// plain names, a space-bearing name, an embedded quote, and a keyword.
+fn arbitrary_predicate(rng: &mut StdRng) -> Predicate {
+    let columns = ["age", "city", "risk level", "he said \"hi\"", "select"];
+    let col = columns[rng.gen_range(0usize..columns.len())];
+    match rng.gen_range(0u8..8) {
+        0 => Predicate::eq(col, arbitrary_value(rng)),
+        1 => Predicate::ne(col, arbitrary_value(rng)),
+        2 => Predicate::lt(col, arbitrary_value(rng)),
+        3 => Predicate::gt(col, arbitrary_value(rng)),
+        4 => {
+            let low = rng.gen_range(-500i64..500) as f64 / 4.0;
+            Predicate::between(col, low, low + rng.gen_range(0i64..200) as f64 / 4.0)
+        }
+        5 => Predicate::is_null(col),
+        6 => Predicate::not_null(col),
+        _ => {
+            let n = rng.gen_range(1usize..4);
+            Predicate::in_set(col, (0..n).map(|_| arbitrary_value(rng)).collect())
+        }
+    }
+}
+
+/// A random expression tree of bounded depth mixing AND/OR/NOT freely.
+fn arbitrary_expr(rng: &mut StdRng, depth: usize) -> QueryExpr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return QueryExpr::leaf(arbitrary_predicate(rng));
+    }
+    match rng.gen_range(0u8..3) {
+        0 => QueryExpr::and(
+            (0..rng.gen_range(1usize..4))
+                .map(|_| arbitrary_expr(rng, depth - 1))
+                .collect(),
+        ),
+        1 => QueryExpr::or(
+            (0..rng.gen_range(1usize..4))
+                .map(|_| arbitrary_expr(rng, depth - 1))
+                .collect(),
+        ),
+        _ => arbitrary_expr(rng, depth - 1).negated(),
+    }
+}
+
+/// Printing any random expression tree and reparsing the text yields an
+/// equivalent tree: the canonical encodings — hence server cache keys —
+/// are identical. (Structural equality is too strong: `x = 2.0` prints as
+/// `x = 2` and reparses as an integer literal, which canonicalization
+/// unifies.)
+#[test]
+fn printed_expressions_reparse_to_the_same_canonical_key() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9A25E + case);
+        let expr = arbitrary_expr(&mut rng, 4);
+        let text = expr.to_string();
+        let reparsed: QueryExpr = text
+            .parse()
+            .unwrap_or_else(|e| panic!("case {case}: {text:?} fails to reparse: {e}"));
+        assert_eq!(
+            expr.encode_canonical(),
+            reparsed.encode_canonical(),
+            "case {case}: canonical key drifts after print/reparse of {text:?}"
+        );
+        // Printing is a fixpoint once parsed: the reparsed tree prints to
+        // text that parses back to the same key again.
+        let reprinted = reparsed.to_string();
+        let again: QueryExpr = reprinted
+            .parse()
+            .unwrap_or_else(|e| panic!("case {case}: {reprinted:?} fails to reparse: {e}"));
+        assert_eq!(
+            reparsed.encode_canonical(),
+            again.encode_canonical(),
+            "case {case}: second round trip drifts for {reprinted:?}"
         );
     }
 }
