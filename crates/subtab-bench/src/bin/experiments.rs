@@ -8,8 +8,8 @@
 //! ```
 
 use subtab_bench::experiments::{
-    ablation, phases, preprocess_scaling, quality, query_scaling, rules_mining, server_load,
-    simulation, slow_baselines, tuning, user_study,
+    ablation, phases, preprocess_scaling, quality, query_scaling, rules_mining, scale as scale_exp,
+    server_load, simulation, slow_baselines, tuning, user_study,
 };
 use subtab_bench::ExperimentScale;
 
@@ -29,13 +29,15 @@ experiments:
   query       query-time selection scaling per engine mode (CI gate)
   rules       rule-engine scaling: bitmap vs Apriori mining, highlight index (CI gate)
   server      serving-layer load: session replay throughput + tail latency (CI gate)
-  all         everything above except `preprocess`, `query`, `rules` and `server`
+  scale       100k/1M-row tier: per-stage wall time + resident memory on the stress shapes (CI gate)
+  all         everything above except `preprocess`, `query`, `rules`, `server` and `scale`
 
 flags:
-  --quick           tiny datasets and small budgets (seconds instead of minutes)
-  --json PATH       (preprocess | query | rules | server) write the machine-readable report to PATH
-  --baseline PATH   (preprocess | query | rules | server) compare against a baseline JSON; exit 1
-                    on a >25% wall-time regression in any mode";
+  --quick           tiny datasets and small budgets (seconds instead of minutes);
+                    for `scale`, the 100k sub-tier instead of 1M rows
+  --json PATH       (preprocess | query | rules | server | scale) write the machine-readable report to PATH
+  --baseline PATH   (preprocess | query | rules | server | scale) compare against a baseline JSON; exit 1
+                    on a >25% wall-time regression in any mode (scale also gates resident memory)";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -92,12 +94,15 @@ fn main() {
     }
     let gated_requested = requested
         .iter()
-        .filter(|r| *r == "preprocess" || *r == "query" || *r == "rules" || *r == "server")
+        .filter(|r| {
+            *r == "preprocess" || *r == "query" || *r == "rules" || *r == "server" || *r == "scale"
+        })
         .count();
     if (json_path.is_some() || baseline_path.is_some()) && gated_requested != 1 {
         eprintln!(
             "--json/--baseline apply to exactly one of the `preprocess` / `query` / `rules` / \
-             `server` experiments per invocation (note: `all` includes none of them)\n\n{USAGE}"
+             `server` / `scale` experiments per invocation (note: `all` includes none of them)\n\n\
+             {USAGE}"
         );
         std::process::exit(2);
     }
@@ -162,6 +167,16 @@ fn main() {
                     baseline_path.as_deref(),
                     &rules_mining::to_json(&report),
                     |baseline| rules_mining::check_against_baseline(&report, baseline, 0.25),
+                );
+            }
+            "scale" => {
+                let report = scale_exp::run(scale);
+                println!("{}", scale_exp::render(&report));
+                write_and_gate(
+                    json_path.as_deref(),
+                    baseline_path.as_deref(),
+                    &scale_exp::to_json(&report),
+                    |baseline| scale_exp::check_against_baseline(&report, baseline, 0.25),
                 );
             }
             "server" => {

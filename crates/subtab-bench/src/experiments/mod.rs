@@ -7,6 +7,7 @@ pub mod preprocess_scaling;
 pub mod quality;
 pub mod query_scaling;
 pub mod rules_mining;
+pub mod scale;
 pub mod server_load;
 pub mod simulation;
 pub mod slow_baselines;

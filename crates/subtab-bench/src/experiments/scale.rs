@@ -1,0 +1,501 @@
+//! The `--scale large` tier benchmark: per-stage wall time **and resident
+//! memory** of the full pipeline — dataset pre-processing, query-scoped
+//! selection, rule mining and the serving layer — on the four 100k/1M-row
+//! stress shapes of `subtab_datasets::scale`, emitting machine-readable
+//! JSON (`BENCH_scale.json`) for the CI bench-regression gate.
+//!
+//! The six zoo stand-ins cap out at a few thousand rows, so none of the
+//! other gates notice when the columnar core starts copying planes or a
+//! stage goes accidentally quadratic. This experiment runs every stage at
+//! 100 000 rows (the CI quick sub-tier) or 1 000 000 rows (`--scale paper`,
+//! the local acceptance tier) and records, per `(shape, stage)` pair, the
+//! best-of-reps wall time plus the process resident set sampled right
+//! after the stage — the number that actually pages a laptop.
+//!
+//! Wall times are gated like every other bench: normalised to a fixed
+//! reference mode (`scale-ref-rowscan`, a per-row `Value`-API scan that exercises
+//! none of the optimised columnar paths) so CI-runner generations cancel
+//! out, with a >25% relative regression failing the gate. Resident memory
+//! is machine-independent at a pinned row count, so it is gated on the
+//! *absolute* ratio against the baseline with a deliberately generous 2×
+//! threshold (allocator and fragmentation noise stay well under that; a
+//! forgotten plane copy does not).
+
+use crate::experiments::common::{format_table, ExperimentScale};
+use crate::experiments::preprocess_scaling::check_gated_modes;
+use std::sync::Arc;
+use std::time::Instant;
+use subtab_core::{SelectionParams, SubTab, SubTabConfig};
+use subtab_data::{Query, Table};
+use subtab_datasets::{generate, scale_spec, ScaleShape, ScaleTier};
+use subtab_rules::{MiningConfig, RuleMiner};
+use subtab_server::{ExplorationServer, Request, ServerConfig};
+
+/// Wall time and resident memory of one `(shape, stage)` pair.
+#[derive(Debug, Clone)]
+pub struct ScaleStageResult {
+    /// Mode label, `scale-<shape>-<stage>` (also the CI gate's match key).
+    pub mode: String,
+    /// Best-of-`reps` wall time, in ms.
+    pub wall_ms: f64,
+    /// Resident set size (`VmRSS`) sampled after the stage's last
+    /// repetition, in bytes; 0 where `/proc` is unavailable.
+    pub rss_bytes: u64,
+}
+
+/// The scale-tier report: every stage of every stress shape.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Rows per generated dataset (pinned by the tier, so resident-memory
+    /// numbers are comparable across machines).
+    pub rows: usize,
+    /// Human label of the row count (`100k`, `1m`, or the literal count
+    /// for ad-hoc sizes).
+    pub tier: String,
+    /// One entry per mode, reference first.
+    pub results: Vec<ScaleStageResult>,
+}
+
+/// The gate's normalisation reference: a per-row `Value`-API scan over the
+/// wide shape. It touches every cell through the row-wise shim — a fixed
+/// workload that bypasses the columnar fast paths under test — so the
+/// ratio of any stage to it cancels raw machine speed.
+const REF_MODE: &str = "scale-ref-rowscan";
+
+/// Pipeline stages timed per shape, in execution order.
+const STAGES: [&str; 4] = ["preprocess", "select", "mine", "serve"];
+
+/// Resident-memory gate threshold: fail when a mode's resident bytes
+/// exceed the baseline's by more than this factor.
+const RSS_FACTOR: f64 = 2.0;
+
+/// The selection query and its serve-stage refinement for a shape, phrased
+/// against the planted archetypes so every query keeps enough matching
+/// rows for a `k × l` selection at any tier.
+fn shape_queries(shape: ScaleShape) -> (&'static str, &'static str) {
+    match shape {
+        ScaleShape::Wide => ("cat_00 = 'alpha' AND metric_00 > 500", "metric_01 < 900"),
+        ScaleShape::HighCardinality => {
+            ("status_class = '5xx' AND latency_ms > 1000", "retries > 1")
+        }
+        ScaleShape::SparseNulls => ("purchase_total IS NULL AND churned = 1", "seats > 10"),
+        ScaleShape::Timestamps => ("job_kind = 'backup' AND hour_of_day = 3", "exit_code = 0"),
+    }
+}
+
+/// Runs the scale benchmark: the 100k tier under `--quick` (the CI
+/// sub-tier), the 1M tier at paper scale (the local acceptance run).
+pub fn run(scale: ExperimentScale) -> ScaleReport {
+    match scale {
+        ExperimentScale::Quick => run_on(ScaleTier::Rows100k.num_rows(), 2),
+        ExperimentScale::Paper => run_on(ScaleTier::Rows1M.num_rows(), 1),
+    }
+}
+
+/// Runs the benchmark at an explicit row count with `reps` repetitions per
+/// stage (best-of wall time is reported, damping scheduler noise).
+pub fn run_on(rows: usize, reps: usize) -> ScaleReport {
+    let reps = reps.max(1);
+    let tier = match rows {
+        r if r == ScaleTier::Rows100k.num_rows() => ScaleTier::Rows100k.label().to_string(),
+        r if r == ScaleTier::Rows1M.num_rows() => ScaleTier::Rows1M.label().to_string(),
+        r => r.to_string(),
+    };
+    let mut results = Vec::with_capacity(1 + ScaleShape::ALL.len() * STAGES.len());
+
+    // Reference scan first: the wide shape has the most columns, so the
+    // row-wise shim pays the full fan-out cost the columnar paths avoid.
+    let ref_table = generate(&scale_spec(ScaleShape::Wide, rows), 97).table;
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(rowscan_checksum(&ref_table));
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    results.push(ScaleStageResult {
+        mode: REF_MODE.to_string(),
+        wall_ms: best_ms,
+        rss_bytes: resident_bytes(),
+    });
+    drop(ref_table);
+
+    for shape in ScaleShape::ALL {
+        results.extend(run_shape(shape, rows, reps));
+    }
+    ScaleReport {
+        rows,
+        tier,
+        results,
+    }
+}
+
+/// Times the four pipeline stages on one shape.
+fn run_shape(shape: ScaleShape, rows: usize, reps: usize) -> Vec<ScaleStageResult> {
+    let dataset = generate(&scale_spec(shape, rows), 97);
+    let config = SubTabConfig::fast();
+    let (base, refine) = shape_queries(shape);
+    let query: Query = base.parse().expect("benchmark query parses");
+    let params = SelectionParams::new(8, 4);
+    let label = |stage: &str| format!("scale-{}-{}", shape.label(), stage);
+    let mut out = Vec::with_capacity(STAGES.len());
+
+    // Stage 1: pre-processing (bin + corpus + embedding, the load path).
+    let mut best_ms = f64::INFINITY;
+    let mut subtab: Option<SubTab> = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let s = SubTab::preprocess(dataset.table.clone(), config.clone())
+            .expect("pre-processing succeeds on generated data");
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        subtab = Some(s);
+    }
+    let subtab = Arc::new(subtab.expect("reps >= 1"));
+    out.push(ScaleStageResult {
+        mode: label("preprocess"),
+        wall_ms: best_ms,
+        rss_bytes: resident_bytes(),
+    });
+
+    // Stage 2: one query-scoped selection (the interactive display path).
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let view = subtab
+            .select_for_query(&query, &params)
+            .expect("selection succeeds");
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(view.sub_table.num_rows(), params.k);
+    }
+    out.push(ScaleStageResult {
+        mode: label("select"),
+        wall_ms: best_ms,
+        rss_bytes: resident_bytes(),
+    });
+
+    // Stage 3: whole-table rule mining over the binned planes.
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let rules = RuleMiner::new(MiningConfig::default()).mine(subtab.preprocessed().binned());
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(rules.rules.len());
+    }
+    out.push(ScaleStageResult {
+        mode: label("mine"),
+        wall_ms: best_ms,
+        rss_bytes: resident_bytes(),
+    });
+
+    // Stage 4: the serving layer — a session running a three-step
+    // refinement chain of text queries (parse, per-session leaf-bitmap
+    // cache, result cache on the repeated spelling).
+    let chain = [
+        base.to_string(),
+        format!("{base} AND {refine}"),
+        base.to_string(),
+    ];
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let server = ExplorationServer::from_subtab(Arc::clone(&subtab), ServerConfig::default());
+        let start = Instant::now();
+        let session = server.open_session();
+        for q in &chain {
+            let outcome = server
+                .execute(
+                    session,
+                    Request::SelectText {
+                        query: q.clone(),
+                        params: params.clone(),
+                    },
+                )
+                .expect("served selection succeeds");
+            std::hint::black_box(outcome.cache_hit);
+        }
+        server.close_session(session).expect("session closes");
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    out.push(ScaleStageResult {
+        mode: label("serve"),
+        wall_ms: best_ms,
+        rss_bytes: resident_bytes(),
+    });
+    out
+}
+
+/// The reference workload: every cell of every row through the row-wise
+/// `Value` shim, folded into a checksum the optimiser cannot discard.
+fn rowscan_checksum(table: &Table) -> f64 {
+    let mut acc = 0.0f64;
+    for row in 0..table.num_rows() {
+        for col in table.columns() {
+            match col.get_f64(row) {
+                Some(x) => acc += x,
+                None => acc += col.get(row).is_null() as u8 as f64,
+            }
+        }
+    }
+    acc
+}
+
+/// Resident set size of the current process in bytes: `VmRSS` from
+/// `/proc/self/status` on Linux, 0 elsewhere (the gate skips zero sides).
+pub fn resident_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Renders the report as an aligned text table.
+pub fn render(report: &ScaleReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                format!("{:.3}", r.wall_ms),
+                format!("{:.1}", r.rss_bytes as f64 / (1024.0 * 1024.0)),
+            ]
+        })
+        .collect();
+    format!(
+        "Scale tier ({} rows per shape, tier {}): wall time and resident memory per pipeline \
+         stage on the four stress shapes\n{}",
+        report.rows,
+        report.tier,
+        format_table(&["mode", "wall-ms", "rss-MiB"], &rows)
+    )
+}
+
+/// Serialises the report as `BENCH_scale.json` (one result per line — the
+/// shape `preprocess_scaling::parse_results` expects, so the wall gate
+/// shares the fleet-wide parser; `rss_bytes` rides along on each line for
+/// the resident-memory gate).
+pub fn to_json(report: &ScaleReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"scale\",\n");
+    out.push_str(&format!("  \"rows\": {},\n", report.rows));
+    out.push_str(&format!("  \"tier\": \"{}\",\n", report.tier));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in report.results.iter().enumerate() {
+        let comma = if i + 1 < report.results.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"wall_ms\": {:.3}, \"rss_bytes\": {}}}{}\n",
+            r.mode, r.wall_ms, r.rss_bytes, comma
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `(mode, rss_bytes)` pairs from a `BENCH_scale.json`; lines
+/// without an `rss_bytes` field (other experiments sharing the parser
+/// shape) are skipped rather than rejected.
+pub fn parse_rss(json: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.contains("\"mode\"") || !line.contains("\"rss_bytes\"") {
+            continue;
+        }
+        let mode = line
+            .split("\"mode\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next());
+        let rss = line.split("\"rss_bytes\": ").nth(1).and_then(|rest| {
+            rest.split([',', '}'])
+                .next()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        });
+        if let (Some(mode), Some(rss)) = (mode, rss) {
+            out.push((mode.to_string(), rss));
+        }
+    }
+    out
+}
+
+/// Compares a fresh report against the checked-in
+/// `BENCH_scale_baseline.json`: wall times through the shared normalised
+/// gate (reference `scale-ref-rowscan`, fractional `threshold`), resident
+/// memory through an absolute 2× ratio check (skipped when either
+/// side reports 0 — non-Linux captures).
+pub fn check_against_baseline(
+    report: &ScaleReport,
+    baseline_json: &str,
+    threshold: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let gated: Vec<(String, f64)> = report
+        .results
+        .iter()
+        .map(|r| (r.mode.clone(), r.wall_ms))
+        .collect();
+    let (mut lines, mut regressions) =
+        match check_gated_modes(&gated, baseline_json, REF_MODE, threshold) {
+            Ok(lines) => (lines, Vec::new()),
+            Err(regs) => (Vec::new(), regs),
+        };
+    let baseline_rss = parse_rss(baseline_json);
+    for r in &report.results {
+        let Some(&(_, base)) = baseline_rss.iter().find(|(m, _)| m == &r.mode) else {
+            continue;
+        };
+        if r.rss_bytes == 0 || base == 0 {
+            lines.push(format!("{}: rss not captured on one side", r.mode));
+            continue;
+        }
+        let ratio = r.rss_bytes as f64 / base as f64;
+        let line = format!(
+            "{}: {:.1} MiB resident vs baseline {:.1} MiB ({:+.1}%)",
+            r.mode,
+            r.rss_bytes as f64 / (1024.0 * 1024.0),
+            base as f64 / (1024.0 * 1024.0),
+            (ratio - 1.0) * 100.0
+        );
+        if ratio > RSS_FACTOR {
+            regressions.push(format!(
+                "REGRESSION {line} exceeds {RSS_FACTOR:.0}x resident-memory budget"
+            ));
+        } else {
+            lines.push(line);
+        }
+    }
+    if regressions.is_empty() {
+        Ok(lines)
+    } else {
+        Err(regressions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::preprocess_scaling::parse_results;
+    use std::sync::OnceLock;
+
+    /// The full tiers are release-binary territory; the tests pin the
+    /// machinery at a debug-friendly row count and share one report.
+    fn tiny_report() -> &'static ScaleReport {
+        static REPORT: OnceLock<ScaleReport> = OnceLock::new();
+        REPORT.get_or_init(|| run_on(1_200, 1))
+    }
+
+    #[test]
+    fn report_covers_every_shape_and_stage() {
+        let report = tiny_report();
+        assert_eq!(report.rows, 1_200);
+        assert_eq!(report.tier, "1200");
+        assert_eq!(
+            report.results.len(),
+            1 + ScaleShape::ALL.len() * STAGES.len()
+        );
+        assert_eq!(report.results[0].mode, REF_MODE);
+        for shape in ScaleShape::ALL {
+            for stage in STAGES {
+                let mode = format!("scale-{}-{}", shape.label(), stage);
+                assert!(
+                    report.results.iter().any(|r| r.mode == mode),
+                    "missing {mode}"
+                );
+            }
+        }
+        assert!(report.results.iter().all(|r| r.wall_ms > 0.0));
+        let rendered = render(report);
+        assert!(rendered.contains("rss-MiB"));
+        assert!(rendered.contains(REF_MODE));
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn resident_memory_is_captured_on_linux() {
+        assert!(resident_bytes() > 0);
+        let report = tiny_report();
+        assert!(report.results.iter().all(|r| r.rss_bytes > 0));
+    }
+
+    #[test]
+    fn json_round_trips_through_both_parsers() {
+        let report = tiny_report();
+        let json = to_json(report);
+        let walls = parse_results(&json).unwrap();
+        let rss = parse_rss(&json);
+        assert_eq!(walls.len(), report.results.len());
+        assert_eq!(rss.len(), report.results.len());
+        for (r, ((pmode, pwall), (rmode, rbytes))) in
+            report.results.iter().zip(walls.iter().zip(&rss))
+        {
+            assert_eq!(&r.mode, pmode);
+            assert_eq!(&r.mode, rmode);
+            assert!((r.wall_ms - pwall).abs() < 0.01);
+            assert_eq!(r.rss_bytes, *rbytes);
+        }
+    }
+
+    #[test]
+    fn gate_passes_against_itself_and_catches_wall_regressions() {
+        let report = tiny_report();
+        let json = to_json(report);
+        assert!(check_against_baseline(report, &json, 0.25).is_ok());
+        // A uniformly faster machine is not a regression — the rowscan
+        // reference cancels it.
+        let mut faster = report.clone();
+        for r in &mut faster.results {
+            r.wall_ms /= 10.0;
+        }
+        assert!(check_against_baseline(report, &to_json(&faster), 0.25).is_ok());
+        // A baseline whose stages are 10x faster relative to the unchanged
+        // reference: every non-reference mode regresses.
+        let mut fast = report.clone();
+        for r in &mut fast.results {
+            if r.mode != REF_MODE {
+                r.wall_ms /= 10.0;
+            }
+        }
+        let err = check_against_baseline(report, &to_json(&fast), 0.25).unwrap_err();
+        assert_eq!(err.len(), report.results.len() - 1);
+        assert!(err[0].contains("REGRESSION"));
+        assert!(check_against_baseline(report, "not json", 0.25).is_err());
+    }
+
+    #[test]
+    fn gate_catches_resident_memory_blowups() {
+        let report = tiny_report();
+        if report.results[0].rss_bytes == 0 {
+            // Non-Linux capture: the rss gate self-disables.
+            return;
+        }
+        // A baseline captured with a third of the resident footprint: every
+        // mode blows the 2x budget even though wall times are identical.
+        let mut lean = report.clone();
+        for r in &mut lean.results {
+            r.rss_bytes /= 3;
+        }
+        let err = check_against_baseline(report, &to_json(&lean), 0.25).unwrap_err();
+        assert_eq!(err.len(), report.results.len());
+        assert!(err[0].contains("resident-memory budget"));
+    }
+
+    #[test]
+    fn every_shape_query_parses_and_selects() {
+        for shape in ScaleShape::ALL {
+            let (base, refine) = shape_queries(shape);
+            let _: Query = base.parse().expect("base query parses");
+            let _: Query = format!("{base} AND {refine}")
+                .parse()
+                .expect("refined query parses");
+        }
+    }
+}

@@ -77,15 +77,7 @@ impl ColumnBinner {
                 if !x.is_finite() {
                     return self.null_bin;
                 }
-                let mut idx = 0usize;
-                for &c in cuts {
-                    if x >= c {
-                        idx += 1;
-                    } else {
-                        break;
-                    }
-                }
-                idx as BinId
+                bin_of_cuts(cuts, x)
             }
             ColumnKind::Categorical { lookup, other } => {
                 let key = value.render();
@@ -179,7 +171,13 @@ impl Binner {
     /// Applies the fitted binning to a table (the original table, a query
     /// result over it, or a sub-table), producing a [`BinnedTable`].
     ///
-    /// Every column of `table` must have been present at fit time.
+    /// Every column of `table` must have been present at fit time. Columns
+    /// whose storage matches the fitted kind take a columnar fast path —
+    /// numeric binners scan the contiguous value plane and read nullness
+    /// off the validity bitmap, categorical binners resolve each *distinct*
+    /// dictionary entry once and then map the code plane — and fall back to
+    /// per-row [`ColumnBinner::bin_value`] otherwise. Both paths are
+    /// bit-identical (asserted by the storage-equivalence suite).
     pub fn apply(&self, table: &Table) -> Result<BinnedTable> {
         let mut names = Vec::with_capacity(table.num_columns());
         let mut labels = Vec::with_capacity(table.num_columns());
@@ -190,14 +188,122 @@ impl Binner {
                 .ok_or_else(|| BinningError::UnknownColumn(col.name().to_string()))?;
             names.push(col.name().to_string());
             labels.push(binner.labels.clone());
-            let mut col_codes = Vec::with_capacity(table.num_rows());
-            for r in 0..col.len() {
-                col_codes.push(binner.bin_value(&col.get(r)));
-            }
-            codes.push(col_codes);
+            codes.push(apply_column(binner, col));
         }
         Ok(BinnedTable::new(names, labels, codes))
     }
+}
+
+/// Bins one column, columnar when the storage allows it. Exactly mirrors
+/// [`ColumnBinner::bin_value`] on [`Column::get`] for every row.
+fn apply_column(binner: &ColumnBinner, col: &Column) -> Vec<BinId> {
+    let n = col.len();
+    let null_bin = binner.null_bin;
+    match &binner.kind {
+        ColumnKind::Numeric { cuts } => {
+            if let Some(v) = col.numeric_view() {
+                // The view widens exactly like `Value::as_f64`, so the
+                // finite/cut logic below is `bin_value` verbatim; null slots
+                // hold sentinels and are filed by the validity bit instead.
+                return v
+                    .values
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &x)| {
+                        if !v.validity.get(r) || !x.is_finite() {
+                            null_bin
+                        } else {
+                            bin_of_cuts(cuts, x)
+                        }
+                    })
+                    .collect();
+            }
+        }
+        ColumnKind::Categorical { lookup, other } => {
+            let unseen = other.unwrap_or(null_bin);
+            if let Some(v) = col.code_view() {
+                // One lookup per distinct value, then a pure code-plane map.
+                let by_code: Vec<BinId> = v
+                    .dict
+                    .iter()
+                    .map(|s| lookup.get(s).copied().unwrap_or(unseen))
+                    .collect();
+                return v
+                    .codes
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &c)| {
+                        if v.validity.get(r) {
+                            by_code[c as usize]
+                        } else {
+                            null_bin
+                        }
+                    })
+                    .collect();
+            }
+            if let Some(v) = col.int_view() {
+                // Categorical ints are low-cardinality by construction
+                // (`categorical_int_threshold`), so memoising the rendered
+                // lookups makes the scan allocation-free per row.
+                let mut memo: HashMap<i64, BinId> = HashMap::new();
+                return v
+                    .values
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &x)| {
+                        if v.validity.get(r) {
+                            *memo.entry(x).or_insert_with(|| {
+                                lookup.get(&x.to_string()).copied().unwrap_or(unseen)
+                            })
+                        } else {
+                            null_bin
+                        }
+                    })
+                    .collect();
+            }
+            if let Some(v) = col.bool_view() {
+                let of = |b: bool| {
+                    lookup
+                        .get(if b { "true" } else { "false" })
+                        .copied()
+                        .unwrap_or(unseen)
+                };
+                let (bin_false, bin_true) = (of(false), of(true));
+                return v
+                    .values
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &b)| {
+                        if v.validity.get(r) {
+                            if b {
+                                bin_true
+                            } else {
+                                bin_false
+                            }
+                        } else {
+                            null_bin
+                        }
+                    })
+                    .collect();
+            }
+        }
+    }
+    // Kind/storage mismatch (e.g. a numeric binner applied to a string
+    // column): the per-row reference path.
+    (0..n).map(|r| binner.bin_value(&col.get(r))).collect()
+}
+
+/// The interval index of `x` among sorted `cuts` (the `bin_value` cut scan).
+fn bin_of_cuts(cuts: &[f64], x: f64) -> BinId {
+    let mut idx = 0usize;
+    for &c in cuts {
+        if x >= c {
+            idx += 1;
+        } else {
+            break;
+        }
+    }
+    idx as BinId
 }
 
 /// Resolves a configured thread count: `0` means all available cores, and
@@ -264,10 +370,54 @@ fn fit_columns_parallel(
 }
 
 fn fit_categorical(col: &subtab_data::Column, config: &BinningConfig) -> ColumnBinner {
+    // Category frequencies, rendered exactly like `Value::render` on the
+    // row-wise iterator but computed plane-wise: string columns count codes
+    // and render each distinct dictionary entry once, low-cardinality
+    // ints/bools render per distinct value. No per-row string allocation.
     let mut counts: HashMap<String, usize> = HashMap::new();
-    for v in col.iter() {
-        if !v.is_null() {
-            *counts.entry(v.render()).or_insert(0) += 1;
+    if let Some(v) = col.code_view() {
+        let mut by_code = vec![0usize; v.dict.len()];
+        for (r, &c) in v.codes.iter().enumerate() {
+            if v.validity.get(r) {
+                by_code[c as usize] += 1;
+            }
+        }
+        for (c, &count) in by_code.iter().enumerate() {
+            if count > 0 {
+                counts.insert(v.dict[c].clone(), count);
+            }
+        }
+    } else if let Some(v) = col.int_view() {
+        let mut by_value: HashMap<i64, usize> = HashMap::new();
+        for (r, &x) in v.values.iter().enumerate() {
+            if v.validity.get(r) {
+                *by_value.entry(x).or_insert(0) += 1;
+            }
+        }
+        counts.extend(by_value.into_iter().map(|(x, c)| (x.to_string(), c)));
+    } else if let Some(v) = col.bool_view() {
+        let mut trues = 0usize;
+        let mut falses = 0usize;
+        for (r, &b) in v.values.iter().enumerate() {
+            if v.validity.get(r) {
+                if b {
+                    trues += 1;
+                } else {
+                    falses += 1;
+                }
+            }
+        }
+        if trues > 0 {
+            counts.insert("true".to_string(), trues);
+        }
+        if falses > 0 {
+            counts.insert("false".to_string(), falses);
+        }
+    } else {
+        for v in col.iter() {
+            if !v.is_null() {
+                *counts.entry(v.render()).or_insert(0) += 1;
+            }
         }
     }
     let grouping = group_categories(&counts, config.max_categories);
@@ -295,7 +445,18 @@ fn fit_categorical(col: &subtab_data::Column, config: &BinningConfig) -> ColumnB
 }
 
 fn fit_numeric(col: &subtab_data::Column, config: &BinningConfig) -> ColumnBinner {
-    let values: Vec<f64> = (0..col.len()).filter_map(|r| col.get_f64(r)).collect();
+    // Non-null values in row order, straight off the contiguous plane; the
+    // view widens ints/bools exactly like `Column::get_f64` did.
+    let values: Vec<f64> = match col.numeric_view() {
+        Some(v) => v
+            .values
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| v.validity.get(r))
+            .map(|(_, &x)| x)
+            .collect(),
+        None => (0..col.len()).filter_map(|r| col.get_f64(r)).collect(),
+    };
     let cuts = match config.strategy {
         BinningStrategy::EqualWidth => equal_width_cuts(&values, config.num_bins),
         BinningStrategy::Quantile => quantile_cuts(&values, config.num_bins),

@@ -6,89 +6,303 @@
 //! tree once instead: every leaf predicate becomes one [`RowBitmap`] over
 //! the table's rows, and the `AND`/`OR`/`NOT` structure of the tree is
 //! folded with the word-parallel bitmap operations the rule miner already
-//! uses (`subtab-rules::bitmap`). Leaves resolve their column exactly once;
-//! dictionary-encoded string columns evaluate the predicate once per
+//! uses (`subtab-rules::bitmap`).
+//!
+//! Leaves scan the column's *typed value plane* directly (the flat
+//! `&[f64]`/`&[i64]`/code buffers of the columnar storage) and then AND the
+//! column's validity bitmap — null slots hold sentinels, so a predicate may
+//! spuriously match them during the scan and the validity AND clears those
+//! bits in one word-parallel pass. Null tests never scan at all: `IS NOT
+//! NULL` *is* the validity bitmap and `IS NULL` is its complement.
+//! Dictionary-encoded string columns evaluate the predicate once per
 //! *distinct* value and then scan the code plane, so no string is cloned or
 //! compared per row.
+//!
+//! `AND` chains short-circuit: children are evaluated cheapest-first
+//! (already-cached leaves, then validity-only null tests, then dictionary
+//! scans, then full numeric scans, then composite subtrees) and once the
+//! accumulator has no bits left the remaining children are skipped — `AND`
+//! is commutative over bitmaps, so the result is bit-identical to the
+//! in-order fold. Every leaf's column is validated up front, in tree order,
+//! so an unknown column is still always reported (and the *same* column is
+//! reported) even when the leaf's bitmap is never materialised.
 //!
 //! Semantics are pinned to the per-row reference: predicates are two-valued
 //! (`NULL` comparisons are false, see [`Predicate::matches_value`]), so
 //! `NOT` is an exact bitmap complement over the table's row scope. The one
 //! deliberate difference is error strictness — the short-circuiting per-row
 //! walk may skip a branch that references an unknown column, while
-//! compilation always materialises every leaf and therefore always reports
-//! it. The equivalence suite in `tests/expr_equivalence.rs` asserts
+//! compilation always validates every leaf and therefore always reports it.
+//! The equivalence suite in `tests/expr_equivalence.rs` asserts
 //! bit-identical row sets on every planted dataset.
 
 use crate::Result;
-use subtab_data::{DataError, Predicate, Query, QueryExpr, Table, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use subtab_data::{Column, ColumnType, DataError, Predicate, Query, QueryExpr, Table, Value};
 use subtab_rules::RowBitmap;
+
+/// A cache of compiled leaf bitmaps, keyed by the leaf's canonical
+/// encoding ([`Predicate::encode_canonical`]).
+///
+/// One cache is only ever valid for one table (the bitmaps are row-indexed
+/// over it); the exploration server keeps one per session so repeated
+/// query refinements — the paper's exploration loop, where each query adds
+/// or tweaks one predicate — recompile only the changed leaf. Thread-safe:
+/// lookups take a mutex, the bitmaps themselves are shared via `Arc`.
+#[derive(Debug, Default)]
+pub struct LeafBitmapCache {
+    map: Mutex<HashMap<String, Arc<RowBitmap>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LeafBitmapCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached leaf bitmaps.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("leaf cache lock poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of leaf compilations answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of leaf compilations that had to scan the column.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Whether a bitmap for `key` is present (no hit/miss accounting).
+    fn peek(&self, key: &str) -> bool {
+        self.map
+            .lock()
+            .expect("leaf cache lock poisoned")
+            .contains_key(key)
+    }
+
+    fn lookup(&self, key: &str) -> Option<Arc<RowBitmap>> {
+        let found = self
+            .map
+            .lock()
+            .expect("leaf cache lock poisoned")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: String, bm: RowBitmap) {
+        self.map
+            .lock()
+            .expect("leaf cache lock poisoned")
+            .insert(key, Arc::new(bm));
+    }
+}
 
 /// Compiles `expr` into the bitmap of matching rows over `table`.
 ///
 /// The result has exactly [`Table::num_rows`] addressable bits; bit `r` is
 /// set iff [`QueryExpr::matches`] returns `true` for row `r`.
 pub fn query_bitmap(table: &Table, expr: &QueryExpr) -> Result<RowBitmap> {
+    validate_columns(table, expr)?;
+    compile_expr(table, expr, None)
+}
+
+/// Like [`query_bitmap`], but consulting (and filling) a per-session
+/// [`LeafBitmapCache`] so leaves shared with earlier queries are not
+/// recompiled. Bit-identical to [`query_bitmap`] on the same table.
+pub fn query_bitmap_cached(
+    table: &Table,
+    expr: &QueryExpr,
+    cache: &LeafBitmapCache,
+) -> Result<RowBitmap> {
+    validate_columns(table, expr)?;
+    compile_expr(table, expr, Some(cache))
+}
+
+/// Resolves every leaf's column in tree (DFS) order, so the compiled path
+/// reports exactly the column the uncompiled in-order fold would have
+/// reported first — regardless of any cost-based reordering or
+/// short-circuit skipping downstream.
+fn validate_columns(table: &Table, expr: &QueryExpr) -> Result<()> {
+    match expr {
+        QueryExpr::Leaf(p) => {
+            resolve_column(table, p)?;
+            Ok(())
+        }
+        QueryExpr::And(children) | QueryExpr::Or(children) => {
+            children.iter().try_for_each(|c| validate_columns(table, c))
+        }
+        QueryExpr::Not(inner) => validate_columns(table, inner),
+    }
+}
+
+fn resolve_column<'t>(table: &'t Table, p: &Predicate) -> Result<&'t subtab_data::Column> {
+    table
+        .column(p.column())
+        .ok_or_else(|| crate::CoreError::Data(DataError::UnknownColumn(p.column().to_string())))
+}
+
+/// Static evaluation-cost rank of an `AND` child, ascending. Cached leaves
+/// are free; null tests are validity-plane clones; dictionary scans touch
+/// one `u32` per row; numeric scans build a `Value` per row; composite
+/// subtrees go last so an emptied accumulator can skip whole branches.
+fn and_cost_rank(table: &Table, cache: Option<&LeafBitmapCache>, expr: &QueryExpr) -> u8 {
+    match expr {
+        QueryExpr::Leaf(p) => {
+            if cache.is_some_and(|c| c.peek(&p.encode_canonical())) {
+                return 0;
+            }
+            match p {
+                Predicate::IsNull { .. } | Predicate::NotNull { .. } => 1,
+                _ => match table.column(p.column()).map(Column::column_type) {
+                    Some(ColumnType::Str) => 2,
+                    _ => 3,
+                },
+            }
+        }
+        _ => 4,
+    }
+}
+
+/// The recursive compiler behind [`query_bitmap`] /
+/// [`query_bitmap_cached`]. Columns are already validated.
+fn compile_expr(
+    table: &Table,
+    expr: &QueryExpr,
+    cache: Option<&LeafBitmapCache>,
+) -> Result<RowBitmap> {
     let n = table.num_rows();
     match expr {
-        QueryExpr::Leaf(p) => leaf_bitmap(table, p),
+        QueryExpr::Leaf(p) => leaf_bitmap_cached(table, p, cache),
         QueryExpr::And(children) => {
             let mut acc = RowBitmap::ones(n);
-            for c in children {
-                acc.and_assign(&query_bitmap(table, c)?);
+            if children.is_empty() {
+                return Ok(acc);
+            }
+            // Stable cheapest-first order: ties keep tree order, so the
+            // evaluation sequence is deterministic.
+            let mut order: Vec<(u8, &QueryExpr)> = children
+                .iter()
+                .map(|c| (and_cost_rank(table, cache, c), c))
+                .collect();
+            order.sort_by_key(|&(rank, _)| rank);
+            let mut remaining = n;
+            for (_, c) in order {
+                // AND is commutative over bitmaps: once the accumulator is
+                // empty, the remaining children cannot set a bit back, so
+                // skipping them is exact.
+                if remaining == 0 {
+                    break;
+                }
+                acc.and_assign(&compile_expr(table, c, cache)?);
+                remaining = acc.count();
             }
             Ok(acc)
         }
         QueryExpr::Or(children) => {
             let mut acc = RowBitmap::zeros(n);
             for c in children {
-                acc.or_assign(&query_bitmap(table, c)?);
+                acc.or_assign(&compile_expr(table, c, cache)?);
             }
             Ok(acc)
         }
         QueryExpr::Not(inner) => {
-            let mut bm = query_bitmap(table, inner)?;
+            let mut bm = compile_expr(table, inner, cache)?;
             bm.negate_assign(n);
             Ok(bm)
         }
     }
 }
 
-/// The bitmap of one leaf predicate: the column is resolved by name exactly
-/// once, then its values stream through [`Predicate::matches_value`].
-/// String columns are dictionary-encoded, so the predicate is evaluated
-/// once per dictionary entry and rows are marked from the code plane.
+/// Leaf compilation with an optional cache in front of [`leaf_bitmap`].
+fn leaf_bitmap_cached(
+    table: &Table,
+    p: &Predicate,
+    cache: Option<&LeafBitmapCache>,
+) -> Result<RowBitmap> {
+    let Some(cache) = cache else {
+        return leaf_bitmap(table, p);
+    };
+    // Canonical encoding as the key: equivalent spellings of one leaf
+    // (loose-equal constants, reordered IN sets) share an entry.
+    let key = p.encode_canonical();
+    if let Some(bm) = cache.lookup(&key) {
+        return Ok((*bm).clone());
+    }
+    let bm = leaf_bitmap(table, p)?;
+    cache.insert(key, bm.clone());
+    Ok(bm)
+}
+
+/// The bitmap of one leaf predicate, computed plane-wise: null tests read
+/// the validity bitmap alone; everything else scans the typed value plane
+/// and ANDs validity afterwards (no non-null-test predicate matches a NULL
+/// row, so clearing sentinel-slot hits word-parallel is exact).
 fn leaf_bitmap(table: &Table, p: &Predicate) -> Result<RowBitmap> {
-    let col = table
-        .column(p.column())
-        .ok_or_else(|| crate::CoreError::Data(DataError::UnknownColumn(p.column().to_string())))?;
+    let col = resolve_column(table, p)?;
     let n = table.num_rows();
-    let mut bm = RowBitmap::zeros(n);
-    let dict = col.dictionary();
-    if dict.is_empty() {
-        // Numeric/bool storage: `Column::get` builds values without touching
-        // the heap.
-        for r in 0..n {
-            if p.matches_value(&col.get(r)) {
-                bm.set(r);
-            }
+    let validity = col.validity();
+    match p {
+        // IS NOT NULL *is* the validity plane; IS NULL is its complement.
+        Predicate::NotNull { .. } => return Ok(validity.clone()),
+        Predicate::IsNull { .. } => {
+            let mut bm = validity.clone();
+            bm.negate_assign(n);
+            return Ok(bm);
         }
-    } else {
-        let code_matches: Vec<bool> = dict
+        _ => {}
+    }
+    let mut bm = RowBitmap::zeros(n);
+    if let Some(v) = col.code_view() {
+        // Evaluate once per distinct dictionary value, then scan codes.
+        let code_matches: Vec<bool> = v
+            .dict
             .iter()
             .map(|s| p.matches_value(&Value::Str(s.clone())))
             .collect();
-        let null_matches = p.matches_value(&Value::Null);
-        for r in 0..n {
-            let hit = match col.get_code(r) {
-                Some(code) => code_matches[code as usize],
-                None => null_matches,
-            };
-            if hit {
+        if !code_matches.is_empty() {
+            for (r, &code) in v.codes.iter().enumerate() {
+                if code_matches[code as usize] {
+                    bm.set(r);
+                }
+            }
+        }
+    } else if let Some(v) = col.float_view() {
+        for (r, &x) in v.values.iter().enumerate() {
+            if p.matches_value(&Value::Float(x)) {
+                bm.set(r);
+            }
+        }
+    } else if let Some(v) = col.int_view() {
+        for (r, &x) in v.values.iter().enumerate() {
+            if p.matches_value(&Value::Int(x)) {
+                bm.set(r);
+            }
+        }
+    } else if let Some(v) = col.bool_view() {
+        for (r, &x) in v.values.iter().enumerate() {
+            if p.matches_value(&Value::Bool(x)) {
                 bm.set(r);
             }
         }
     }
+    bm.and_assign(validity);
     Ok(bm)
 }
 
@@ -98,6 +312,16 @@ fn leaf_bitmap(table: &Table, p: &Predicate) -> Result<RowBitmap> {
 /// sort-aware limit to the set bits.
 pub fn compiled_selection_rows(table: &Table, query: &Query) -> Result<Vec<usize>> {
     let rows = query_bitmap(table, &query.expr)?.indices();
+    Ok(query.restrict_selection_rows(table, rows)?)
+}
+
+/// Like [`compiled_selection_rows`], with a per-session leaf cache.
+pub fn compiled_selection_rows_cached(
+    table: &Table,
+    query: &Query,
+    cache: &LeafBitmapCache,
+) -> Result<Vec<usize>> {
+    let rows = query_bitmap_cached(table, &query.expr, cache)?.indices();
     Ok(query.restrict_selection_rows(table, rows)?)
 }
 
@@ -125,6 +349,22 @@ mod tests {
             .unwrap()
     }
 
+    const QUERIES: [&str; 13] = [
+        "airline = 'DL'",
+        "airline != 'DL'",
+        "NOT airline = 'DL'",
+        "airline IS NULL",
+        "airline IS NOT NULL",
+        "distance > 500 AND cancelled = 0",
+        "distance > 500 OR airline = 'AA'",
+        "NOT (distance > 500 OR airline = 'AA')",
+        "airline IN ('AA', 'UA') OR (cancelled = 1 AND NOT distance IS NULL)",
+        "airline = 'ZZ'",
+        "TRUE",
+        "FALSE",
+        "distance BETWEEN 100 AND 1000",
+    ];
+
     fn rows_of(t: &Table, text: &str) -> Vec<usize> {
         let q: Query = text.parse().unwrap();
         compiled_selection_rows(t, &q).unwrap()
@@ -138,23 +378,90 @@ mod tests {
     #[test]
     fn compiled_rows_match_the_per_row_reference() {
         let t = table();
+        for text in QUERIES {
+            assert_eq!(rows_of(&t, text), brute_rows_of(&t, text), "query: {text}");
+        }
+    }
+
+    #[test]
+    fn cached_compilation_is_bit_identical_and_reuses_leaves() {
+        let t = table();
+        let cache = LeafBitmapCache::new();
+        for text in QUERIES {
+            let q: Query = text.parse().unwrap();
+            let cached = compiled_selection_rows_cached(&t, &q, &cache).unwrap();
+            assert_eq!(cached, brute_rows_of(&t, text), "query: {text}");
+        }
+        let misses_after_first_pass = cache.misses();
+        assert!(!cache.is_empty());
+        // Replaying the same workload answers every leaf from the cache.
+        for text in QUERIES {
+            let q: Query = text.parse().unwrap();
+            let cached = compiled_selection_rows_cached(&t, &q, &cache).unwrap();
+            assert_eq!(cached, rows_of(&t, text), "query: {text}");
+        }
+        assert_eq!(cache.misses(), misses_after_first_pass, "no new misses");
+        assert!(cache.hits() > 0);
+        // A *new* composite query made of already-seen leaves adds no
+        // entries and compiles entirely from the cache.
+        let before = (cache.len(), cache.misses());
+        let q: Query = "airline = 'DL' AND distance > 500".parse().unwrap();
+        compiled_selection_rows_cached(&t, &q, &cache).unwrap();
+        assert_eq!(cache.len(), before.0, "no new leaf entries");
+        assert_eq!(cache.misses(), before.1, "both leaves were cache hits");
+    }
+
+    #[test]
+    fn short_circuit_preserves_and_semantics() {
+        let t = table();
+        // The first conjunct matches nothing; every evaluation order and
+        // skip must still produce the empty set, and the unknown-free
+        // remainder must not be required.
         for text in [
-            "airline = 'DL'",
-            "airline != 'DL'",
-            "NOT airline = 'DL'",
-            "airline IS NULL",
-            "airline IS NOT NULL",
-            "distance > 500 AND cancelled = 0",
-            "distance > 500 OR airline = 'AA'",
-            "NOT (distance > 500 OR airline = 'AA')",
-            "airline IN ('AA', 'UA') OR (cancelled = 1 AND NOT distance IS NULL)",
-            "airline = 'ZZ'",
-            "TRUE",
-            "FALSE",
-            "distance BETWEEN 100 AND 1000",
+            "airline = 'ZZ' AND distance > 0",
+            "distance > 0 AND airline = 'ZZ'",
+            "FALSE AND airline = 'DL' AND distance > 0",
+            "airline = 'ZZ' AND (distance > 0 OR cancelled = 1)",
+            "airline IS NULL AND cancelled = 1 AND distance > 0",
         ] {
             assert_eq!(rows_of(&t, text), brute_rows_of(&t, text), "query: {text}");
         }
+    }
+
+    #[test]
+    fn short_circuit_still_reports_unknown_columns() {
+        let t = table();
+        // The emptying conjunct comes first, but compilation must still
+        // report the unknown column the skipped leaf references.
+        let q: Query = "airline = 'ZZ' AND no_such = 1".parse().unwrap();
+        assert!(matches!(
+            compiled_selection_rows(&t, &q),
+            Err(CoreError::Data(DataError::UnknownColumn(c))) if c == "no_such"
+        ));
+        // And with two unknown columns, the *first in tree order* wins,
+        // exactly like the unreordered fold.
+        let q: Query = "zzz_late = 1 AND aaa_early = 2".parse().unwrap();
+        assert!(matches!(
+            compiled_selection_rows(&t, &q),
+            Err(CoreError::Data(DataError::UnknownColumn(c))) if c == "zzz_late"
+        ));
+    }
+
+    #[test]
+    fn null_tests_compile_to_validity_plane_ops() {
+        let t = table();
+        let not_null =
+            query_bitmap(&t, &"distance IS NOT NULL".parse::<Query>().unwrap().expr).unwrap();
+        assert_eq!(
+            &not_null,
+            t.column("distance").unwrap().validity(),
+            "IS NOT NULL is exactly the validity bitmap"
+        );
+        let is_null = query_bitmap(&t, &"distance IS NULL".parse::<Query>().unwrap().expr).unwrap();
+        assert_eq!(is_null.indices(), vec![3]);
+        let mut complement = not_null.clone();
+        complement.negate_assign(t.num_rows());
+        assert_eq!(is_null, complement);
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub mod result;
 pub mod select;
 pub mod subtab;
 
-pub use compile::{compiled_selection_rows, query_bitmap};
+pub use compile::{
+    compiled_selection_rows, compiled_selection_rows_cached, query_bitmap, query_bitmap_cached,
+    LeafBitmapCache,
+};
 pub use config::{SelectionParams, SubTabConfig};
 pub use error::CoreError;
 /// The error type of the query surface, under the paper's name for the
@@ -61,7 +64,7 @@ pub use error::CoreError as SubTabError;
 pub use highlight::{highlight_rules, highlight_rules_linear, HighlightIndex, RuleHighlight};
 pub use preprocess::PreprocessedTable;
 pub use result::SubTableResult;
-pub use select::{select_sub_table, select_sub_table_strkey};
+pub use select::{select_sub_table, select_sub_table_cached, select_sub_table_strkey};
 pub use subtab::SubTab;
 
 /// Result alias for SubTab operations.

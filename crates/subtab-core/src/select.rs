@@ -33,7 +33,25 @@ pub fn select_sub_table(
     seed: u64,
     threads: usize,
 ) -> Result<SubTableResult> {
-    let Some(ctx) = SelectionContext::prepare(pre, query, params, QueryEngine::CompiledBitmap)?
+    select_sub_table_cached(pre, query, params, seed, threads, None)
+}
+
+/// [`select_sub_table`] with an optional per-session
+/// [`LeafBitmapCache`](crate::compile::LeafBitmapCache): leaf predicates
+/// already compiled by an earlier query against the *same* table are reused
+/// instead of rescanned. With `cache = None` this is exactly
+/// [`select_sub_table`]; with a cache the selection is still bit-identical,
+/// only faster on repeated query refinements.
+pub fn select_sub_table_cached(
+    pre: &PreprocessedTable,
+    query: Option<&Query>,
+    params: &SelectionParams,
+    seed: u64,
+    threads: usize,
+    cache: Option<&crate::compile::LeafBitmapCache>,
+) -> Result<SubTableResult> {
+    let Some(ctx) =
+        SelectionContext::prepare(pre, query, params, QueryEngine::CompiledBitmap, cache)?
     else {
         return empty_result(pre);
     };
@@ -84,7 +102,8 @@ pub fn select_sub_table_strkey(
     seed: u64,
     threads: usize,
 ) -> Result<SubTableResult> {
-    let Some(ctx) = SelectionContext::prepare(pre, query, params, QueryEngine::PerRow)? else {
+    let Some(ctx) = SelectionContext::prepare(pre, query, params, QueryEngine::PerRow, None)?
+    else {
         return empty_result(pre);
     };
     let embedding = pre.embedding();
@@ -151,6 +170,7 @@ impl SelectionContext {
         query: Option<&Query>,
         params: &SelectionParams,
         engine: QueryEngine,
+        cache: Option<&crate::compile::LeafBitmapCache>,
     ) -> Result<Option<Self>> {
         if params.target_columns.len() > params.l {
             return Err(CoreError::InvalidParams(format!(
@@ -199,9 +219,14 @@ impl SelectionContext {
         // result may draw from (predicate tree plus sort-aware limit).
         let candidate_rows: Vec<usize> = match query {
             None => (0..table.num_rows()).collect(),
-            Some(q) => match engine {
-                QueryEngine::CompiledBitmap => crate::compile::compiled_selection_rows(table, q)?,
-                QueryEngine::PerRow => q.selection_rows(table)?,
+            Some(q) => match (engine, cache) {
+                (QueryEngine::CompiledBitmap, Some(c)) => {
+                    crate::compile::compiled_selection_rows_cached(table, q, c)?
+                }
+                (QueryEngine::CompiledBitmap, None) => {
+                    crate::compile::compiled_selection_rows(table, q)?
+                }
+                (QueryEngine::PerRow, _) => q.selection_rows(table)?,
             },
         };
         if candidate_rows.is_empty() {

@@ -71,6 +71,26 @@ impl SubTab {
         )
     }
 
+    /// [`SubTab::select_for_query`] with a per-session
+    /// [`LeafBitmapCache`](crate::compile::LeafBitmapCache), so an
+    /// exploration session that refines one predicate at a time recompiles
+    /// only the changed leaf. Bit-identical to the uncached path.
+    pub fn select_for_query_cached(
+        &self,
+        query: &Query,
+        params: &SelectionParams,
+        cache: &crate::compile::LeafBitmapCache,
+    ) -> Result<SubTableResult> {
+        crate::select::select_sub_table_cached(
+            &self.pre,
+            Some(query),
+            params,
+            self.config.seed,
+            self.config.threads,
+            Some(cache),
+        )
+    }
+
     /// Mines association rules over the binned table — the load-time step
     /// that feeds [`SubTab::with_highlights`] and the quality metrics. Runs
     /// the vertical bitmap engine with this SubTab's configured thread

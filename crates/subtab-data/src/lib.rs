@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod bitmap;
 pub mod column;
 pub mod csv;
 pub mod error;
@@ -51,7 +52,8 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use column::Column;
+pub use bitmap::Bitmap;
+pub use column::{BoolView, CodeView, Column, FloatView, IntView, NumericView};
 pub use error::DataError;
 pub use expr::QueryExpr;
 pub use query::{AggFunc, CompareOp, GroupBy, Predicate, Query, SortOrder, SortSpec};

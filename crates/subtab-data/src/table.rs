@@ -118,6 +118,17 @@ impl Table {
         Ok(self.columns.iter().map(|c| c.get(row)).collect())
     }
 
+    /// Reserves capacity for at least `additional` more rows in every
+    /// column — value planes, validity bitmaps and (for string columns) the
+    /// dictionary index. Batch appenders ([`Table::push_row`] loops, CSV
+    /// ingestion, the dataset generators) call this once up front so the
+    /// append loop never reallocates mid-plane.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        for col in &mut self.columns {
+            col.reserve(additional);
+        }
+    }
+
     /// Appends a row given as values in schema order.
     pub fn push_row(&mut self, values: Vec<Value>) -> Result<()> {
         if values.len() != self.columns.len() {
@@ -343,6 +354,27 @@ mod tests {
         assert_eq!(row.len(), 3);
         assert_eq!(row[2], Value::Int(1));
         assert!(t.row(99).is_err());
+    }
+
+    #[test]
+    fn reserve_rows_is_transparent_to_appends() {
+        let mut reserved = flights_like();
+        let mut plain = flights_like();
+        reserved.reserve_rows(1000);
+        for t in [&mut reserved, &mut plain] {
+            for i in 0..50 {
+                t.push_row(vec![
+                    Value::from(i as f64),
+                    Value::from(if i % 7 == 0 { "WN" } else { "AA" }),
+                    Value::from((i % 2) as i64),
+                ])
+                .unwrap();
+            }
+        }
+        assert_eq!(reserved.num_rows(), plain.num_rows());
+        for r in 0..reserved.num_rows() {
+            assert_eq!(reserved.row(r).unwrap(), plain.row(r).unwrap());
+        }
     }
 
     #[test]

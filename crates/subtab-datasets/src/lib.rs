@@ -36,6 +36,7 @@
 
 pub mod generator;
 pub mod queries;
+pub mod scale;
 pub mod sessions;
 pub mod spec;
 pub mod zoo;
@@ -45,6 +46,7 @@ pub use queries::{
     benchmark_ast_query, benchmark_deep_nest_query, benchmark_filter, benchmark_filter_query,
     benchmark_projected_query, benchmark_target_column,
 };
+pub use scale::{scale_dataset, scale_spec, ScaleShape, ScaleTier};
 pub use sessions::{generate_server_traces, generate_sessions, Session, SessionConfig};
 pub use spec::{Archetype, CellSpec, ColumnSpec, DatasetSize, DatasetSpec};
 pub use zoo::{bank_loans, credit_card, cyber, flights, spotify, us_funds, DatasetKind};

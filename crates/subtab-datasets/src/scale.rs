@@ -1,0 +1,365 @@
+//! The 100k–1M-row scale tier (`--scale large`).
+//!
+//! The six zoo datasets scale the paper's Kaggle tables *down* so the full
+//! experiment suite stays laptop-sized. This module scales *up*: four
+//! stress archetypes at 100k (CI quick sub-tier) and 1M rows (local/paper
+//! tier), each designed to lean on a different part of the columnar core:
+//!
+//! * [`ScaleShape::Wide`] — many columns of every type; stresses
+//!   per-column fit/apply fan-out and the token plane width.
+//! * [`ScaleShape::HighCardinality`] — string columns with thousands of
+//!   distinct values; stresses dictionary interning and code-plane scans.
+//! * [`ScaleShape::SparseNulls`] — NULL-heavy columns (≥ half the cells
+//!   missing); stresses the validity bitmaps, sentinel slots and
+//!   `IS NULL` compilation.
+//! * [`ScaleShape::Timestamps`] — wide-range epoch/duration integers;
+//!   stresses numeric cut binning and plane scans with high-entropy values.
+//!
+//! Row counts are pinned by [`ScaleTier`] rather than multiplied out of a
+//! base count, so `large-100k` means exactly 100 000 rows.
+
+use crate::generator::{generate, PlantedDataset};
+use crate::spec::{Archetype, CellSpec, ColumnSpec, DatasetSpec};
+
+/// Row count of a scale-tier dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleTier {
+    /// 100 000 rows — the CI quick sub-tier; end-to-end in seconds.
+    Rows100k,
+    /// 1 000 000 rows — the local acceptance tier.
+    Rows1M,
+}
+
+impl ScaleTier {
+    /// The exact number of rows this tier generates.
+    pub fn num_rows(self) -> usize {
+        match self {
+            ScaleTier::Rows100k => 100_000,
+            ScaleTier::Rows1M => 1_000_000,
+        }
+    }
+
+    /// Short label used in benchmark output (`100k` / `1m`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ScaleTier::Rows100k => "100k",
+            ScaleTier::Rows1M => "1m",
+        }
+    }
+}
+
+/// Which stress shape a scale-tier dataset takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleShape {
+    /// 48 columns across all types.
+    Wide,
+    /// String domains with thousands of distinct values.
+    HighCardinality,
+    /// Most cells missing.
+    SparseNulls,
+    /// Epoch-second and duration integers with huge ranges.
+    Timestamps,
+}
+
+impl ScaleShape {
+    /// All shapes, in the order benchmarks iterate them.
+    pub const ALL: [ScaleShape; 4] = [
+        ScaleShape::Wide,
+        ScaleShape::HighCardinality,
+        ScaleShape::SparseNulls,
+        ScaleShape::Timestamps,
+    ];
+
+    /// Short label used in benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScaleShape::Wide => "wide",
+            ScaleShape::HighCardinality => "highcard",
+            ScaleShape::SparseNulls => "sparse",
+            ScaleShape::Timestamps => "timestamp",
+        }
+    }
+}
+
+/// Builds the [`DatasetSpec`] of a scale shape at an explicit row count.
+///
+/// Exposed separately from [`scale_dataset`] so tests and the benchmark's
+/// quick sub-tier can generate the same *shape* at a smaller size.
+pub fn scale_spec(shape: ScaleShape, num_rows: usize) -> DatasetSpec {
+    match shape {
+        ScaleShape::Wide => wide_spec(num_rows),
+        ScaleShape::HighCardinality => high_cardinality_spec(num_rows),
+        ScaleShape::SparseNulls => sparse_nulls_spec(num_rows),
+        ScaleShape::Timestamps => timestamps_spec(num_rows),
+    }
+}
+
+/// Generates one scale-tier dataset deterministically.
+pub fn scale_dataset(shape: ScaleShape, tier: ScaleTier, seed: u64) -> PlantedDataset {
+    generate(&scale_spec(shape, tier.num_rows()), seed)
+}
+
+/// 48 columns: 16 numeric, 16 low-cardinality categorical, 16 integer.
+fn wide_spec(num_rows: usize) -> DatasetSpec {
+    let mut columns = Vec::with_capacity(48);
+    for i in 0..16 {
+        columns.push(ColumnSpec::numeric(
+            &format!("metric_{i:02}"),
+            0.0,
+            1_000.0 * (i + 1) as f64,
+        ));
+    }
+    let domains: [&[&str]; 4] = [
+        &["alpha", "beta", "gamma", "delta"],
+        &["north", "south", "east", "west", "central"],
+        &["low", "mid", "high"],
+        &["a", "b", "c", "d", "e", "f", "g", "h"],
+    ];
+    for i in 0..16 {
+        columns.push(ColumnSpec::categorical(
+            &format!("cat_{i:02}"),
+            domains[i % domains.len()],
+        ));
+    }
+    for i in 0..16 {
+        columns.push(ColumnSpec::integer(
+            &format!("count_{i:02}"),
+            0,
+            (i as i64 + 2) * 10,
+        ));
+    }
+    DatasetSpec {
+        name: "scale-wide".into(),
+        num_rows,
+        columns,
+        archetypes: vec![
+            Archetype::new(
+                "hot-alpha",
+                0.25,
+                vec![
+                    ("cat_00", CellSpec::Category("alpha".into())),
+                    ("metric_00", CellSpec::Range(900.0, 1_000.0)),
+                    ("count_00", CellSpec::IntValue(1)),
+                ],
+            ),
+            Archetype::new(
+                "cold-west",
+                0.2,
+                vec![
+                    ("cat_01", CellSpec::Category("west".into())),
+                    ("metric_01", CellSpec::Range(0.0, 100.0)),
+                    ("count_01", CellSpec::IntValue(0)),
+                ],
+            ),
+        ],
+        noise: 0.05,
+        missing_rate: 0.02,
+    }
+}
+
+/// String columns with thousands of distinct values (ids, hosts) alongside
+/// a handful of narrow columns so rules still exist.
+fn high_cardinality_spec(num_rows: usize) -> DatasetSpec {
+    // Domain sizes are fixed (independent of the row count) so the 1M tier
+    // revisits values — that is what a real id column does, and it is what
+    // makes dictionary interning worth measuring.
+    let users: Vec<String> = (0..8_192).map(|i| format!("user-{i:05}")).collect();
+    let hosts: Vec<String> = (0..2_048)
+        .map(|i| format!("host-{i:04}.internal"))
+        .collect();
+    let paths: Vec<String> = (0..4_096)
+        .map(|i| format!("/api/v2/resource/{i}"))
+        .collect();
+    DatasetSpec {
+        name: "scale-highcard".into(),
+        num_rows,
+        columns: vec![
+            ColumnSpec::Categorical {
+                name: "user".into(),
+                values: users,
+            },
+            ColumnSpec::Categorical {
+                name: "host".into(),
+                values: hosts,
+            },
+            ColumnSpec::Categorical {
+                name: "path".into(),
+                values: paths,
+            },
+            ColumnSpec::categorical("method", &["GET", "POST", "PUT", "DELETE"]),
+            ColumnSpec::categorical("status_class", &["2xx", "3xx", "4xx", "5xx"]),
+            ColumnSpec::numeric("latency_ms", 0.1, 2_000.0),
+            ColumnSpec::integer("bytes", 0, 1_048_576),
+            ColumnSpec::integer("retries", 0, 4),
+        ],
+        archetypes: vec![
+            Archetype::new(
+                "slow-errors",
+                0.25,
+                vec![
+                    ("status_class", CellSpec::Category("5xx".into())),
+                    ("latency_ms", CellSpec::Range(1_500.0, 2_000.0)),
+                    ("retries", CellSpec::IntValue(3)),
+                ],
+            ),
+            Archetype::new(
+                "fast-reads",
+                0.3,
+                vec![
+                    ("method", CellSpec::Category("GET".into())),
+                    ("status_class", CellSpec::Category("2xx".into())),
+                    ("latency_ms", CellSpec::Range(0.1, 50.0)),
+                ],
+            ),
+        ],
+        noise: 0.05,
+        missing_rate: 0.01,
+    }
+}
+
+/// NULL-heavy shape: a high background missing rate plus archetypes whose
+/// pattern *is* missingness (the paper's "NaN when cancelled" motif).
+fn sparse_nulls_spec(num_rows: usize) -> DatasetSpec {
+    DatasetSpec {
+        name: "scale-sparse".into(),
+        num_rows,
+        columns: vec![
+            ColumnSpec::integer("churned", 0, 2),
+            ColumnSpec::numeric("last_login_days", 0.0, 365.0),
+            ColumnSpec::numeric("purchase_total", 0.0, 10_000.0),
+            ColumnSpec::numeric("refund_total", 0.0, 2_000.0),
+            ColumnSpec::categorical("plan", &["free", "pro", "team", "enterprise"]),
+            ColumnSpec::categorical("referrer", &["ad", "organic", "partner"]),
+            ColumnSpec::numeric("support_tickets", 0.0, 50.0),
+            ColumnSpec::integer("seats", 1, 500),
+        ],
+        archetypes: vec![
+            Archetype::new(
+                "ghost-churner",
+                0.3,
+                vec![
+                    ("churned", CellSpec::IntValue(1)),
+                    ("purchase_total", CellSpec::Missing),
+                    ("last_login_days", CellSpec::Missing),
+                ],
+            ),
+            Archetype::new(
+                "active-pro",
+                0.25,
+                vec![
+                    ("plan", CellSpec::Category("pro".into())),
+                    ("churned", CellSpec::IntValue(0)),
+                    ("last_login_days", CellSpec::Range(0.0, 7.0)),
+                ],
+            ),
+        ],
+        noise: 0.05,
+        // More than half of all unconstrained cells are NULL: the validity
+        // planes are mostly zeros and the sentinel slots dominate.
+        missing_rate: 0.55,
+    }
+}
+
+/// Timestamp-heavy shape: epoch seconds across two years, durations, and a
+/// few derived low-cardinality time fields.
+fn timestamps_spec(num_rows: usize) -> DatasetSpec {
+    // 2023-01-01 .. 2025-01-01 as epoch seconds.
+    let (epoch_lo, epoch_hi) = (1_672_531_200i64, 1_735_689_600i64);
+    DatasetSpec {
+        name: "scale-timestamp".into(),
+        num_rows,
+        columns: vec![
+            ColumnSpec::integer("started_at", epoch_lo, epoch_hi),
+            ColumnSpec::integer("finished_at", epoch_lo, epoch_hi),
+            ColumnSpec::numeric("duration_s", 0.001, 86_400.0),
+            ColumnSpec::integer("hour_of_day", 0, 24),
+            ColumnSpec::integer("day_of_week", 0, 7),
+            ColumnSpec::categorical("job_kind", &["etl", "report", "backup", "compact"]),
+            ColumnSpec::integer("exit_code", 0, 3),
+            ColumnSpec::numeric("cpu_s", 0.0, 7_200.0),
+        ],
+        archetypes: vec![
+            Archetype::new(
+                "night-backup",
+                0.25,
+                vec![
+                    ("job_kind", CellSpec::Category("backup".into())),
+                    ("hour_of_day", CellSpec::IntValue(3)),
+                    ("exit_code", CellSpec::IntValue(0)),
+                ],
+            ),
+            Archetype::new(
+                "failing-etl",
+                0.2,
+                vec![
+                    ("job_kind", CellSpec::Category("etl".into())),
+                    ("duration_s", CellSpec::Range(20_000.0, 86_400.0)),
+                    ("exit_code", CellSpec::IntValue(2)),
+                ],
+            ),
+        ],
+        noise: 0.05,
+        missing_rate: 0.03,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_pin_exact_row_counts() {
+        assert_eq!(ScaleTier::Rows100k.num_rows(), 100_000);
+        assert_eq!(ScaleTier::Rows1M.num_rows(), 1_000_000);
+        assert_eq!(ScaleTier::Rows100k.label(), "100k");
+        assert_eq!(ScaleTier::Rows1M.label(), "1m");
+    }
+
+    #[test]
+    fn every_shape_generates_its_stress_property() {
+        // Small row counts here: the shapes, not the tiers, are under test.
+        let n = 3_000usize;
+        for shape in ScaleShape::ALL {
+            let ds = generate(&scale_spec(shape, n), 42);
+            assert_eq!(ds.table.num_rows(), n, "{}", shape.label());
+            assert!(!ds.archetypes.is_empty());
+            match shape {
+                ScaleShape::Wide => {
+                    assert_eq!(ds.table.num_columns(), 48);
+                }
+                ScaleShape::HighCardinality => {
+                    let distinct = ds.table.column("user").unwrap().distinct_count();
+                    assert!(distinct > 1_000, "user cardinality = {distinct}");
+                }
+                ScaleShape::SparseNulls => {
+                    let nulls = ds.table.null_fraction();
+                    assert!(nulls > 0.4, "null fraction = {nulls}");
+                }
+                ScaleShape::Timestamps => {
+                    let col = ds.table.column("started_at").unwrap();
+                    let distinct = col.distinct_count();
+                    // Epoch seconds over two years barely ever repeat.
+                    assert!(distinct as f64 > n as f64 * 0.9, "distinct = {distinct}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(&scale_spec(ScaleShape::SparseNulls, 500), 7);
+        let b = generate(&scale_spec(ScaleShape::SparseNulls, 500), 7);
+        for c in a.table.column_names() {
+            for r in [0usize, 250, 499] {
+                assert_eq!(a.table.value(r, c).unwrap(), b.table.value(r, c).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn scale_dataset_honours_the_tier() {
+        let ds = scale_dataset(ScaleShape::Wide, ScaleTier::Rows100k, 1);
+        assert_eq!(ds.table.num_rows(), 100_000);
+        assert_eq!(ds.table.num_columns(), 48);
+    }
+}

@@ -26,130 +26,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use subtab_binning::BinnedTable;
 
-/// A bitmap over the (local) row positions of one mining scope.
-///
-/// Bit `i` corresponds to the `i`-th row of the scope — for whole-table
-/// mining that is row `i` itself, for a target-bin partition it is the
-/// `i`-th row of the partition.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RowBitmap {
-    words: Vec<u64>,
-}
-
-impl RowBitmap {
-    /// An all-zero bitmap over `bits` rows.
-    pub fn zeros(bits: usize) -> Self {
-        RowBitmap {
-            words: vec![0u64; bits.div_ceil(64)],
-        }
-    }
-
-    /// Sets bit `i`.
-    pub fn set(&mut self, i: usize) {
-        self.words[i / 64] |= 1u64 << (i % 64);
-    }
-
-    /// Whether bit `i` is set.
-    pub fn get(&self, i: usize) -> bool {
-        self.words[i / 64] & (1u64 << (i % 64)) != 0
-    }
-
-    /// Number of set bits (the support count of the item set owning this
-    /// bitmap).
-    pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
-    }
-
-    /// Popcount of `self AND other` without materialising the intersection
-    /// — the support of the combined itemset.
-    pub fn and_count(&self, other: &RowBitmap) -> usize {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
-    }
-
-    /// An all-one bitmap over `bits` rows; bits past `bits` in the trailing
-    /// word stay zero, so [`RowBitmap::count`] and complements stay exact.
-    pub fn ones(bits: usize) -> Self {
-        let mut bm = RowBitmap {
-            words: vec![u64::MAX; bits.div_ceil(64)],
-        };
-        bm.mask_tail(bits);
-        bm
-    }
-
-    /// Overwrites `self` with `other`'s bits (same scope width).
-    pub fn copy_from(&mut self, other: &RowBitmap) {
-        self.words.copy_from_slice(&other.words);
-    }
-
-    /// In-place intersection `self &= other`.
-    pub fn and_assign(&mut self, other: &RowBitmap) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
-    }
-
-    /// In-place union `self |= other`.
-    pub fn or_assign(&mut self, other: &RowBitmap) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
-    }
-
-    /// In-place complement over a scope of `bits` rows: flips every bit and
-    /// re-zeroes the slack bits of the trailing word (the scope width is not
-    /// stored, so the caller provides it — predicate compilation tracks the
-    /// table's row count).
-    pub fn negate_assign(&mut self, bits: usize) {
-        for w in &mut self.words {
-            *w = !*w;
-        }
-        self.mask_tail(bits);
-    }
-
-    /// The positions of all set bits, ascending.
-    pub fn indices(&self) -> Vec<usize> {
-        let mut out = Vec::with_capacity(self.count());
-        for (wi, &word) in self.words.iter().enumerate() {
-            let mut w = word;
-            while w != 0 {
-                let bit = w.trailing_zeros() as usize;
-                out.push(wi * 64 + bit);
-                w &= w - 1;
-            }
-        }
-        out
-    }
-
-    /// Zeroes the bits of the trailing word at positions `>= bits`.
-    fn mask_tail(&mut self, bits: usize) {
-        let slack = bits % 64;
-        if slack != 0 {
-            if let Some(last) = self.words.last_mut() {
-                *last &= (1u64 << slack) - 1;
-            }
-        }
-    }
-
-    /// Materialises `self AND other` together with its popcount.
-    pub fn and_with_count(&self, other: &RowBitmap) -> (RowBitmap, usize) {
-        let mut count = 0usize;
-        let words = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| {
-                let w = a & b;
-                count += w.count_ones() as usize;
-                w
-            })
-            .collect();
-        (RowBitmap { words }, count)
-    }
-}
+/// The shared workspace bitmap, re-exported under its historical mining
+/// name. Bit `i` corresponds to the `i`-th row of the mining scope — for
+/// whole-table mining that is row `i` itself, for a target-bin partition it
+/// is the `i`-th row of the partition. The type itself lives in
+/// `subtab-data`, where it also serves as every column's validity plane.
+pub use subtab_data::Bitmap as RowBitmap;
 
 /// The vertical representation of one mining scope: every item that occurs
 /// in the scope, ascending by id, with its row bitmap and support count.
@@ -454,62 +336,6 @@ mod tests {
     use super::*;
     use subtab_binning::{Binner, BinningConfig};
     use subtab_data::Table;
-
-    #[test]
-    fn bitmap_set_count_and_intersection_are_exact() {
-        // Hand-checked: bits {0, 3, 64, 120} vs {3, 64, 119}.
-        let mut a = RowBitmap::zeros(130);
-        let mut b = RowBitmap::zeros(130);
-        for i in [0usize, 3, 64, 120] {
-            a.set(i);
-        }
-        for i in [3usize, 64, 119] {
-            b.set(i);
-        }
-        assert_eq!(a.count(), 4);
-        assert_eq!(b.count(), 3);
-        assert!(a.get(64) && !a.get(65));
-        assert_eq!(a.and_count(&b), 2, "intersection is {{3, 64}}");
-        let (ab, count) = a.and_with_count(&b);
-        assert_eq!(count, 2);
-        assert_eq!(ab.count(), 2);
-        assert!(ab.get(3) && ab.get(64) && !ab.get(0) && !ab.get(119));
-    }
-
-    #[test]
-    fn bitmap_union_complement_and_indices_are_exact() {
-        // 130 bits crosses the u64 word boundary with 2 slack trailing bits.
-        let mut a = RowBitmap::zeros(130);
-        let mut b = RowBitmap::zeros(130);
-        for i in [0usize, 3, 64, 120] {
-            a.set(i);
-        }
-        for i in [3usize, 64, 119, 129] {
-            b.set(i);
-        }
-        let mut u = a.clone();
-        u.or_assign(&b);
-        assert_eq!(u.count(), 6, "union is {{0, 3, 64, 119, 120, 129}}");
-        assert_eq!(u.indices(), vec![0, 3, 64, 119, 120, 129]);
-        // Complement stays inside the 130-bit scope: no phantom slack bits.
-        let mut na = a.clone();
-        na.negate_assign(130);
-        assert_eq!(na.count(), 130 - 4);
-        assert!(!na.get(0) && na.get(1) && !na.get(120) && na.get(129));
-        // Double complement round-trips.
-        na.negate_assign(130);
-        assert_eq!(na, a);
-        // All-ones masks its trailing word too.
-        let ones = RowBitmap::ones(130);
-        assert_eq!(ones.count(), 130);
-        assert_eq!(ones.indices().len(), 130);
-        let mut empty = RowBitmap::ones(130);
-        empty.negate_assign(130);
-        assert_eq!(empty.count(), 0);
-        assert_eq!(empty, RowBitmap::zeros(130));
-        // Exact-multiple scope has no slack word to mask.
-        assert_eq!(RowBitmap::ones(128).count(), 128);
-    }
 
     /// A 130-row two-column table crossing the u64 word boundary, with a
     /// hand-checkable layout: `x` alternates two values, `y` is constant on

@@ -192,9 +192,20 @@ impl RuleMiner {
         .flatten()
         .collect();
 
-        // Recompute global support over the full table for comparability and
-        // deduplicate identical rules. The bitmap engine ANDs full-table
-        // item bitmaps; the twin keeps its per-rule row scans.
+        // Deduplicate identical `(antecedent, consequent)` pairs in one hash
+        // pass — partitions overlap on rules that don't mention the split
+        // column, and the first partition's copy wins, exactly as the old
+        // sort-then-dedup kept the first occurrence under a stable sort.
+        // Deduplicating *before* the global recompute means each distinct
+        // rule is recounted once, and the deterministic output order below
+        // needs a single sort (the old pooled path sorted twice).
+        let mut seen: std::collections::HashSet<(Vec<ItemId>, Vec<ItemId>)> =
+            std::collections::HashSet::with_capacity(all.len());
+        all.retain(|r| seen.insert((r.antecedent.clone(), r.consequent.clone())));
+
+        // Recompute global support over the full table for comparability.
+        // The bitmap engine ANDs full-table item bitmaps; the twin keeps its
+        // per-rule row scans.
         let n = binned.num_rows().max(1) as f64;
         match engine {
             Engine::Bitmap => {
@@ -217,12 +228,6 @@ impl RuleMiner {
                 }
             }
         }
-        all.sort_by(|a, b| {
-            a.antecedent
-                .cmp(&b.antecedent)
-                .then_with(|| a.consequent.cmp(&b.consequent))
-        });
-        all.dedup_by(|a, b| a.antecedent == b.antecedent && a.consequent == b.consequent);
         let rules = self.cap(all);
         RuleSet::new(rules, binned.num_rows(), interner)
     }
@@ -255,12 +260,24 @@ impl RuleMiner {
         };
         let n = rows.map_or(binned.num_rows(), <[usize]>::len);
         let mut rules = Vec::new();
+        // One pair of split buffers for the whole run: candidate splits that
+        // fail the confidence threshold allocate nothing.
+        let mut scratch = SplitScratch::default();
         for level in levels.iter().skip(cfg.min_rule_size.saturating_sub(1)) {
             for itemset in level {
                 if itemset.items.len() < cfg.min_rule_size {
                     continue;
                 }
-                self.rules_from_itemset(binned, interner, n, rows, itemset, &levels, &mut rules);
+                self.rules_from_itemset(
+                    binned,
+                    interner,
+                    n,
+                    rows,
+                    itemset,
+                    &levels,
+                    &mut scratch,
+                    &mut rules,
+                );
             }
         }
         self.cap(rules)
@@ -297,6 +314,7 @@ impl RuleMiner {
         rows: Option<&[usize]>,
         itemset: &FrequentItemset,
         levels: &[Vec<FrequentItemset>],
+        scratch: &mut SplitScratch,
         out: &mut Vec<AssociationRule>,
     ) {
         let nf = n as f64;
@@ -323,17 +341,20 @@ impl RuleMiner {
         let column_mask = ColumnMask::from_columns(items.iter().map(|&id| interner.column_of(id)));
         // Enumerate non-empty proper subsets as consequents via bitmasks.
         // Rule sizes are small (≤ max_rule_size ≤ ~5), so this is cheap.
+        // Splits land in the reusable scratch buffers; the owned item
+        // vectors are only allocated once a split has passed every
+        // threshold, so rejected candidates are allocation-free.
         for mask in 1u32..((1u32 << k) - 1) {
-            let mut antecedent = Vec::new();
-            let mut consequent = Vec::new();
+            scratch.antecedent.clear();
+            scratch.consequent.clear();
             for (i, &item) in items.iter().enumerate() {
                 if mask & (1 << i) != 0 {
-                    consequent.push(item);
+                    scratch.consequent.push(item);
                 } else {
-                    antecedent.push(item);
+                    scratch.antecedent.push(item);
                 }
             }
-            let ante_count = count_of(&antecedent);
+            let ante_count = count_of(&scratch.antecedent);
             if ante_count == 0 {
                 continue;
             }
@@ -341,7 +362,7 @@ impl RuleMiner {
             if confidence < self.config.min_confidence {
                 continue;
             }
-            let cons_count = count_of(&consequent);
+            let cons_count = count_of(&scratch.consequent);
             let cons_support = cons_count as f64 / nf;
             let lift = if cons_support > 0.0 {
                 confidence / cons_support
@@ -349,8 +370,8 @@ impl RuleMiner {
                 0.0
             };
             out.push(AssociationRule {
-                antecedent,
-                consequent,
+                antecedent: scratch.antecedent.clone(),
+                consequent: scratch.consequent.clone(),
                 column_mask: column_mask.clone(),
                 support: itemset.count as f64 / nf,
                 support_count: itemset.count,
@@ -359,6 +380,13 @@ impl RuleMiner {
             });
         }
     }
+}
+
+/// Reusable antecedent/consequent split buffers for rule generation.
+#[derive(Debug, Default)]
+struct SplitScratch {
+    antecedent: Vec<ItemId>,
+    consequent: Vec<ItemId>,
 }
 
 fn lookup_count(levels: &[Vec<FrequentItemset>], items: &[ItemId]) -> Option<usize> {

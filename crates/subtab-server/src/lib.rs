@@ -61,7 +61,9 @@ use std::fmt;
 use std::sync::mpsc::{self, Receiver};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use subtab_core::{CoreError, SelectionParams, SubTab, SubTabConfig, SubTableResult};
+use subtab_core::{
+    CoreError, LeafBitmapCache, SelectionParams, SubTab, SubTabConfig, SubTableResult,
+};
 use subtab_data::{Query, Table};
 use subtab_rules::{MiningConfig, RuleSet};
 
@@ -309,14 +311,20 @@ impl Shared {
         key
     }
 
+    /// Runs a selection, compiling query leaves through the session's
+    /// leaf-bitmap cache when one is supplied. The cache only affects how
+    /// leaf bitmaps are obtained — results are bit-identical either way, so
+    /// the shared result cache stays sound across sessions.
     fn run_select(
         &self,
         query: Option<&Query>,
         params: &SelectionParams,
+        leaf_cache: Option<&LeafBitmapCache>,
     ) -> Result<Arc<SubTableResult>, ServerError> {
-        let result = match query {
-            Some(q) => self.subtab.select_for_query(q, params),
-            None => self.subtab.select(params),
+        let result = match (query, leaf_cache) {
+            (Some(q), Some(cache)) => self.subtab.select_for_query_cached(q, params, cache),
+            (Some(q), None) => self.subtab.select_for_query(q, params),
+            (None, _) => self.subtab.select(params),
         }?;
         Ok(Arc::new(result))
     }
@@ -325,10 +333,11 @@ impl Shared {
         &self,
         query: Option<&Query>,
         params: &SelectionParams,
+        leaf_cache: Option<&LeafBitmapCache>,
     ) -> Result<(Arc<SubTableResult>, bool), ServerError> {
         let key = self.select_key(query, params);
         self.selects
-            .get_or_compute(&key, || self.run_select(query, params))
+            .get_or_compute(&key, || self.run_select(query, params, leaf_cache))
     }
 
     /// Resolves target column names against the binned schema, then mines
@@ -360,19 +369,26 @@ impl Shared {
         })
     }
 
-    fn handle(&self, request: &Request) -> Result<Outcome, ServerError> {
+    fn handle(
+        &self,
+        request: &Request,
+        leaf_cache: Option<&LeafBitmapCache>,
+    ) -> Result<Outcome, ServerError> {
         match request {
             // Normally normalised away at submission; parsing here keeps
             // direct calls well-defined with the same error contract.
             Request::SelectText { query, params } => {
                 let parsed: Query = query.parse().map_err(CoreError::from)?;
-                self.handle(&Request::Select {
-                    query: Some(parsed),
-                    params: params.clone(),
-                })
+                self.handle(
+                    &Request::Select {
+                        query: Some(parsed),
+                        params: params.clone(),
+                    },
+                    leaf_cache,
+                )
             }
             Request::Select { query, params } => {
-                let (result, hit) = self.cached_select(query.as_ref(), params)?;
+                let (result, hit) = self.cached_select(query.as_ref(), params, leaf_cache)?;
                 Ok(Outcome {
                     response: Response::SubTable(result),
                     cache_hit: hit,
@@ -412,7 +428,7 @@ impl Shared {
                     )
                 };
                 let (result, hit) = self.selects.get_or_compute(&combined, || {
-                    let (plain, _) = self.cached_select(query.as_ref(), params)?;
+                    let (plain, _) = self.cached_select(query.as_ref(), params, leaf_cache)?;
                     let (rules, _) = self.cached_rules(mining, target_columns)?;
                     let highlighted = self.subtab.with_highlights((*plain).clone(), &rules);
                     Ok::<_, ServerError>(Arc::new(highlighted))
@@ -485,6 +501,27 @@ impl ExplorationServer {
             .ok_or(ServerError::UnknownSession(id))
     }
 
+    /// Counters of a session's private leaf-bitmap cache: how many
+    /// predicate-leaf compilations were answered from the cache vs had to
+    /// scan a column, and how many distinct leaves are resident. Evictions
+    /// are always zero (the cache is unbounded for the session's lifetime
+    /// and dropped on close).
+    pub fn leaf_cache_stats(&self, id: SessionId) -> Result<CacheStats, ServerError> {
+        let cache = self
+            .shared
+            .sessions
+            .lock()
+            .expect("session lock poisoned")
+            .leaf_cache(id)
+            .ok_or(ServerError::UnknownSession(id))?;
+        Ok(CacheStats {
+            hits: cache.hits(),
+            misses: cache.misses(),
+            evictions: 0,
+            entries: cache.len(),
+        })
+    }
+
     /// The history of an open session so far.
     pub fn session_history(&self, id: SessionId) -> Result<Vec<HistoryRecord>, ServerError> {
         self.shared
@@ -509,14 +546,21 @@ impl ExplorationServer {
         request: Request,
     ) -> Receiver<Result<Outcome, ServerError>> {
         let (tx, rx) = mpsc::channel();
-        {
+        // Validating the session also hands us its private leaf-bitmap
+        // cache: compiled predicate leaves are reused across this session's
+        // refinement chain, and the Arc keeps the cache usable even if the
+        // session closes while the request is in flight.
+        let leaf_cache = {
             let sessions = self.shared.sessions.lock().expect("session lock poisoned");
-            if !sessions.contains(session) {
-                // The receiver resolves immediately with the error.
-                let _ = tx.send(Err(ServerError::UnknownSession(session)));
-                return rx;
+            match sessions.leaf_cache(session) {
+                Some(cache) => cache,
+                None => {
+                    // The receiver resolves immediately with the error.
+                    let _ = tx.send(Err(ServerError::UnknownSession(session)));
+                    return rx;
+                }
             }
-        }
+        };
         // SQL-ish text requests are parsed at submission and normalised into
         // structured selects, so they share cache keys (and history records)
         // with their structured twins. A parse failure is a client error:
@@ -539,7 +583,7 @@ impl ExplorationServer {
         let lane = request.lane();
         self.pool.submit(lane, move || {
             let start = Instant::now();
-            let outcome = shared.handle(&request);
+            let outcome = shared.handle(&request, Some(&leaf_cache));
             let wall = start.elapsed();
             if let Ok(outcome) = &outcome {
                 let record = HistoryRecord {
@@ -637,6 +681,63 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.select_cache.hits, 1);
         assert_eq!(stats.select_cache.misses, 1);
+    }
+
+    #[test]
+    fn refinement_chains_reuse_leaf_bitmaps_per_session() {
+        let server = server();
+        let session = server.open_session();
+        let params = SelectionParams::new(6, 5);
+        // An exploration chain: each query refines the previous one, so the
+        // select keys differ (no result-cache hit) but the `flagged = 1`
+        // leaf repeats.
+        for text in [
+            "flagged = 1",
+            "flagged = 1 AND protocol = 'tcp'",
+            "flagged = 1 AND protocol = 'udp'",
+        ] {
+            let outcome = server
+                .execute(
+                    session,
+                    Request::SelectText {
+                        query: text.to_string(),
+                        params: params.clone(),
+                    },
+                )
+                .unwrap();
+            assert!(!outcome.cache_hit, "distinct refinements miss: {text}");
+        }
+        let stats = server.leaf_cache_stats(session).unwrap();
+        assert!(
+            stats.hits >= 2,
+            "repeated leaves compile from the cache: {stats:?}"
+        );
+        // flagged=1, protocol=tcp, protocol=udp.
+        assert_eq!(stats.entries, 3, "{stats:?}");
+
+        // A fresh session starts cold: its cache is private.
+        let other = server.open_session();
+        let cold = server.leaf_cache_stats(other).unwrap();
+        assert_eq!((cold.hits, cold.entries), (0, 0), "sessions are isolated");
+        server
+            .execute(
+                other,
+                Request::SelectText {
+                    query: "flagged = 1 AND protocol = 'tcp'".to_string(),
+                    params: params.clone(),
+                },
+            )
+            .unwrap();
+        // The shared *result* cache answers the repeat, so the other
+        // session's leaf cache is never even consulted.
+        let after = server.leaf_cache_stats(other).unwrap();
+        assert_eq!(after.entries, 0, "result-cache hit bypasses compilation");
+        // Closing invalidates the stats surface with the session.
+        server.close_session(other).unwrap();
+        assert_eq!(
+            server.leaf_cache_stats(other).unwrap_err(),
+            ServerError::UnknownSession(other)
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
+use subtab_core::LeafBitmapCache;
 use subtab_data::Query;
 
 /// Opaque identifier of one exploration session.
@@ -45,31 +47,45 @@ pub struct HistoryRecord {
     pub wall: Duration,
 }
 
+/// Everything the server keeps per open session: the request history and
+/// the session's private leaf-bitmap cache.
+///
+/// The leaf cache lives here (not in the shared result caches) because its
+/// working set tracks one analyst's refinement chain — each query in the
+/// paper's exploration loop shares most predicate leaves with the previous
+/// one. Closing the session drops the cache with it.
+#[derive(Debug, Default)]
+struct SessionState {
+    history: Vec<HistoryRecord>,
+    leaf_cache: Arc<LeafBitmapCache>,
+}
+
 /// Registry of open sessions and their histories.
 #[derive(Debug, Default)]
 pub(crate) struct SessionRegistry {
     next: u64,
-    sessions: HashMap<SessionId, Vec<HistoryRecord>>,
+    sessions: HashMap<SessionId, SessionState>,
 }
 
 impl SessionRegistry {
     pub(crate) fn open(&mut self) -> SessionId {
         let id = SessionId(self.next);
         self.next += 1;
-        self.sessions.insert(id, Vec::new());
+        self.sessions.insert(id, SessionState::default());
         id
     }
 
     /// Removes the session, returning its history — `None` when the id is
-    /// unknown (never issued, or already closed).
+    /// unknown (never issued, or already closed). The session's leaf-bitmap
+    /// cache is dropped with it.
     pub(crate) fn close(&mut self, id: SessionId) -> Option<Vec<HistoryRecord>> {
-        self.sessions.remove(&id)
+        self.sessions.remove(&id).map(|s| s.history)
     }
 
     pub(crate) fn record(&mut self, id: SessionId, record: HistoryRecord) -> bool {
         match self.sessions.get_mut(&id) {
-            Some(history) => {
-                history.push(record);
+            Some(state) => {
+                state.history.push(record);
                 true
             }
             None => false,
@@ -77,11 +93,13 @@ impl SessionRegistry {
     }
 
     pub(crate) fn history(&self, id: SessionId) -> Option<Vec<HistoryRecord>> {
-        self.sessions.get(&id).cloned()
+        self.sessions.get(&id).map(|s| s.history.clone())
     }
 
-    pub(crate) fn contains(&self, id: SessionId) -> bool {
-        self.sessions.contains_key(&id)
+    /// The session's private leaf-bitmap cache (cheap `Arc` clone), or
+    /// `None` for an unknown/closed session.
+    pub(crate) fn leaf_cache(&self, id: SessionId) -> Option<Arc<LeafBitmapCache>> {
+        self.sessions.get(&id).map(|s| Arc::clone(&s.leaf_cache))
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -116,7 +134,10 @@ mod tests {
         let history = reg.close(a).unwrap();
         assert_eq!(history.len(), 2);
         assert!(history[1].cache_hit);
-        assert!(!reg.contains(a));
+        assert!(
+            reg.leaf_cache(a).is_none(),
+            "cache dropped with the session"
+        );
         assert!(reg.close(a).is_none(), "double close is detected");
         assert!(!reg.record(a, record(RequestKind::Select, false)));
         assert!(reg.history(a).is_none());
