@@ -212,6 +212,54 @@ fn bench_rule_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Shared SIMD kernel layer: each runtime-dispatched kernel against its
+/// pinned scalar twin, on synthetic planes big enough to dwarf dispatch
+/// overhead. Tracks the speedups the `select-kernel-*` / `compile-leaf-*`
+/// bench-gate modes assert end to end.
+fn bench_kernels(c: &mut Criterion) {
+    use subtab_kernels::{
+        nearest_centroid_scalar, scan_codes, scan_f64, CentroidScan, CmpOp, NumericScan,
+    };
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+
+    let dim = 32usize;
+    let k = 10usize;
+    let n = 4096usize;
+    let points: Vec<f32> = (0..n * dim).map(|i| (i % 97) as f32 * 0.125).collect();
+    let centroids: Vec<f32> = points[..k * dim].to_vec();
+    let scan = CentroidScan::new(&centroids, dim, true);
+    group.bench_function("nearest_centroid_simd", |b| {
+        b.iter(|| {
+            for p in points.chunks_exact(dim) {
+                black_box(scan.nearest(p));
+            }
+        })
+    });
+    group.bench_function("nearest_centroid_scalar", |b| {
+        b.iter(|| {
+            for p in points.chunks_exact(dim) {
+                black_box(nearest_centroid_scalar(p, &centroids, dim));
+            }
+        })
+    });
+
+    let plane: Vec<f64> = (0..65_536).map(|i| (i % 1009) as f64 * 0.5).collect();
+    let range = NumericScan::Cmp {
+        op: CmpOp::Lt,
+        constant: 250.0,
+    };
+    group.bench_function("scan_f64_lt", |b| {
+        b.iter(|| black_box(scan_f64(black_box(&plane), &range)))
+    });
+    let codes: Vec<u32> = (0..65_536).map(|i| (i % 7) as u32).collect();
+    let table = [false, true, false, false, true, false, false];
+    group.bench_function("scan_codes", |b| {
+        b.iter(|| black_box(scan_codes(black_box(&codes), &table)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = configure(&mut Criterion::default());
@@ -223,6 +271,7 @@ criterion_group! {
         bench_phases,
         bench_parameter_tuning,
         bench_ablation_binning,
-        bench_rule_engine
+        bench_rule_engine,
+        bench_kernels
 }
 criterion_main!(benches);

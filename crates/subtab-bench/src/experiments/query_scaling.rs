@@ -11,8 +11,10 @@
 use crate::experiments::common::{format_table, ExperimentScale};
 use crate::experiments::preprocess_scaling::check_gated_modes;
 use std::time::Instant;
+use subtab_cluster::{assign_points, assign_points_scalar};
 use subtab_core::select::{select_sub_table, select_sub_table_strkey};
-use subtab_core::{PreprocessedTable, SelectionParams};
+use subtab_core::{leaf_bitmap, leaf_bitmap_scalar, PreprocessedTable, SelectionParams};
+use subtab_data::Predicate;
 use subtab_datasets::{
     benchmark_ast_query, benchmark_deep_nest_query, benchmark_filter_query,
     benchmark_projected_query, DatasetKind,
@@ -53,6 +55,12 @@ pub struct QueryScalingReport {
     /// Whole-table wall ratio strkey-1t / tokenid-1t (the token-ID side is
     /// the steady-state cached path a live session actually runs).
     pub table_speedup_tokenid_vs_strkey: f64,
+    /// Raw k-means assignment-step wall ratio scalar / SIMD — the headline
+    /// speedup of the shared kernel layer's centroid scan.
+    pub kernel_assign_speedup: f64,
+    /// Compiled-leaf plane-scan wall ratio scalar / SIMD over the benchmark
+    /// queries' predicates.
+    pub compile_leaf_speedup: f64,
 }
 
 /// Label of the string-keyed query comparator (the gate's normalisation
@@ -74,7 +82,28 @@ enum Workload {
     DeepNestQuery,
     /// Whole-table `select`.
     WholeTable,
+    /// The raw k-means assignment step over the cached row-vector plane:
+    /// the runtime-dispatched SIMD centroid scan (`scalar = false`) or its
+    /// pinned scalar twin (`scalar = true`), repeated
+    /// [`KERNEL_INNER_ITERS`] times so the wall time is measurable at
+    /// quick scale.
+    KernelAssign {
+        /// Time the pinned scalar twin instead of the SIMD scan.
+        scalar: bool,
+    },
+    /// The raw compiled-leaf plane scans of every predicate the benchmark
+    /// queries reference: kernel `leaf_bitmap` vs `leaf_bitmap_scalar`,
+    /// repeated [`KERNEL_INNER_ITERS`] times.
+    CompileLeaf {
+        /// Time the pinned scalar twin instead of the SIMD scan.
+        scalar: bool,
+    },
 }
+
+/// Inner repetitions of the raw kernel workloads inside one timed region —
+/// a single assignment or leaf scan at quick scale completes in
+/// microseconds, below timer noise.
+const KERNEL_INNER_ITERS: usize = 24;
 
 /// The selection modes: `(label, threads, strkey, workload)`.
 ///
@@ -94,6 +123,30 @@ const MODES: &[(&str, usize, bool, Workload)] = &[
     ("query-ast-deep-nest-1t", 1, false, Workload::DeepNestQuery),
     ("select-strkey-1t", 1, true, Workload::WholeTable),
     ("select-tokenid-1t", 1, false, Workload::WholeTable),
+    (
+        "select-kernel-simd-1t",
+        1,
+        false,
+        Workload::KernelAssign { scalar: false },
+    ),
+    (
+        "select-kernel-scalar-1t",
+        1,
+        false,
+        Workload::KernelAssign { scalar: true },
+    ),
+    (
+        "compile-leaf-simd-1t",
+        1,
+        false,
+        Workload::CompileLeaf { scalar: false },
+    ),
+    (
+        "compile-leaf-scalar-1t",
+        1,
+        false,
+        Workload::CompileLeaf { scalar: true },
+    ),
 ];
 
 /// Runs the scaling benchmark on the Flights stand-in (the paper's largest).
@@ -121,29 +174,82 @@ pub fn run_on(kind: DatasetKind, scale: ExperimentScale, reps: usize) -> QuerySc
     // The paper's default 10 × 10 selection.
     let params = SelectionParams::default();
     // Prime the whole-table row-vector cache so `select-tokenid-1t` measures
-    // the steady-state interactive cost, not the one-off cache fill.
-    pre.full_row_vectors();
+    // the steady-state interactive cost, not the one-off cache fill. The
+    // same cached plane doubles as the point set of the raw kernel modes,
+    // with the first rows seeding the paper's default k = 10 centroids.
+    let points = pre.full_row_vectors();
+    let dim = points.dim().max(1);
+    let k = 10.min(points.num_rows()).max(1);
+    let centroids: Vec<f32> = points.data()[..k * dim].to_vec();
+    let mut assign_buf = vec![0usize; points.num_rows()];
+    let mut dist_buf = vec![0.0f32; points.num_rows()];
+    let leaves: Vec<&Predicate> = [&filter_q, &proj_q, &ast_q, &deep_q]
+        .into_iter()
+        .flat_map(|q| q.leaf_predicates())
+        .collect();
 
     let mut results = Vec::new();
     for &(mode, threads, strkey, workload) in MODES {
-        let q = match workload {
-            Workload::FilterQuery => Some(&filter_q),
-            Workload::ProjQuery => Some(&proj_q),
-            Workload::AstQuery => Some(&ast_q),
-            Workload::DeepNestQuery => Some(&deep_q),
-            Workload::WholeTable => None,
-        };
         let mut best_ms = f64::INFINITY;
         for _ in 0..reps.max(1) {
             let start = Instant::now();
-            let r = if strkey {
-                select_sub_table_strkey(&pre, q, &params, config.seed, threads)
-            } else {
-                select_sub_table(&pre, q, &params, config.seed, threads)
+            match workload {
+                Workload::KernelAssign { scalar } => {
+                    for _ in 0..KERNEL_INNER_ITERS {
+                        if scalar {
+                            assign_points_scalar(
+                                points.view(),
+                                &centroids,
+                                dim,
+                                &mut assign_buf,
+                                &mut dist_buf,
+                                threads,
+                            );
+                        } else {
+                            assign_points(
+                                points.view(),
+                                &centroids,
+                                dim,
+                                &mut assign_buf,
+                                &mut dist_buf,
+                                threads,
+                                true,
+                            );
+                        }
+                    }
+                    assert!(assign_buf.iter().all(|&a| a < k));
+                }
+                Workload::CompileLeaf { scalar } => {
+                    for _ in 0..KERNEL_INNER_ITERS {
+                        for p in &leaves {
+                            let bitmap = if scalar {
+                                leaf_bitmap_scalar(pre.table(), p)
+                            } else {
+                                leaf_bitmap(pre.table(), p)
+                            }
+                            .expect("leaf compiles");
+                            std::hint::black_box(bitmap.count());
+                        }
+                    }
+                }
+                _ => {
+                    let q = match workload {
+                        Workload::FilterQuery => Some(&filter_q),
+                        Workload::ProjQuery => Some(&proj_q),
+                        Workload::AstQuery => Some(&ast_q),
+                        Workload::DeepNestQuery => Some(&deep_q),
+                        _ => None,
+                    };
+                    let r = if strkey {
+                        select_sub_table_strkey(&pre, q, &params, config.seed, threads)
+                    } else {
+                        select_sub_table(&pre, q, &params, config.seed, threads)
+                    }
+                    .expect("selection succeeds");
+                    assert!(!r.row_indices.is_empty());
+                }
             }
-            .expect("selection succeeds");
             best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
-            assert!(!r.row_indices.is_empty());
         }
         results.push(QueryModeResult {
             mode: mode.to_string(),
@@ -168,6 +274,10 @@ pub fn run_on(kind: DatasetKind, scale: ExperimentScale, reps: usize) -> QuerySc
             / wall("query-proj-tokenid-1t").max(1e-9),
         table_speedup_tokenid_vs_strkey: wall("select-strkey-1t")
             / wall("select-tokenid-1t").max(1e-9),
+        kernel_assign_speedup: wall("select-kernel-scalar-1t")
+            / wall("select-kernel-simd-1t").max(1e-9),
+        compile_leaf_speedup: wall("compile-leaf-scalar-1t")
+            / wall("compile-leaf-simd-1t").max(1e-9),
         results,
     }
 }
@@ -188,7 +298,9 @@ pub fn render(report: &QueryScalingReport) -> String {
     format!(
         "Query-time selection on {} ({} rows × {} cols, query matches {} rows): \
          token-ID engine {:.2}x over the string-keyed path on select_for_query \
-         ({:.2}x with a half-schema projection, {:.2}x on whole-table select)\n{}",
+         ({:.2}x with a half-schema projection, {:.2}x on whole-table select); \
+         SIMD kernels {:.2}x on the k-means assignment step, {:.2}x on \
+         compiled-leaf plane scans\n{}",
         report.dataset,
         report.rows,
         report.cols,
@@ -196,6 +308,8 @@ pub fn render(report: &QueryScalingReport) -> String {
         report.speedup_tokenid_vs_strkey,
         report.proj_speedup_tokenid_vs_strkey,
         report.table_speedup_tokenid_vs_strkey,
+        report.kernel_assign_speedup,
+        report.compile_leaf_speedup,
         format_table(&["mode", "threads", "wall-ms"], &rows)
     )
 }
@@ -233,8 +347,16 @@ pub fn to_json(report: &QueryScalingReport) -> String {
         report.proj_speedup_tokenid_vs_strkey
     ));
     out.push_str(&format!(
-        "  \"table_speedup_tokenid_vs_strkey\": {:.3}\n",
+        "  \"table_speedup_tokenid_vs_strkey\": {:.3},\n",
         report.table_speedup_tokenid_vs_strkey
+    ));
+    out.push_str(&format!(
+        "  \"kernel_assign_speedup\": {:.3},\n",
+        report.kernel_assign_speedup
+    ));
+    out.push_str(&format!(
+        "  \"compile_leaf_speedup\": {:.3}\n",
+        report.compile_leaf_speedup
     ));
     out.push_str("}\n");
     out
@@ -279,10 +401,23 @@ mod tests {
         assert!(report.speedup_tokenid_vs_strkey > 0.0);
         assert!(report.proj_speedup_tokenid_vs_strkey > 0.0);
         assert!(report.table_speedup_tokenid_vs_strkey > 0.0);
+        assert!(report.kernel_assign_speedup > 0.0);
+        assert!(report.compile_leaf_speedup > 0.0);
         assert!(report.query_rows > 0, "benchmark query must match rows");
         let rendered = render(report);
         assert!(rendered.contains("wall-ms"));
         assert!(rendered.contains(STRKEY_QUERY_MODE));
+        for kernel_mode in [
+            "select-kernel-simd-1t",
+            "select-kernel-scalar-1t",
+            "compile-leaf-simd-1t",
+            "compile-leaf-scalar-1t",
+        ] {
+            assert!(
+                report.results.iter().any(|r| r.mode == kernel_mode),
+                "kernel mode {kernel_mode} missing"
+            );
+        }
     }
 
     #[test]

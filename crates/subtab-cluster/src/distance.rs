@@ -1,42 +1,7 @@
-//! Distance helpers.
+//! Distance helpers, folded into the shared kernel crate.
+//!
+//! The scalar reference implementations (and their SIMD counterparts) live
+//! in [`subtab_kernels::distance`]; this module re-exports them so existing
+//! `subtab_cluster::distance::*` call sites keep working unchanged.
 
-/// Squared Euclidean distance between two equal-length vectors.
-///
-/// Panics in debug builds if the lengths differ (callers always compare
-/// vectors produced by the same pipeline, so this indicates a logic error).
-#[inline]
-pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
-}
-
-/// Euclidean distance between two equal-length vectors.
-#[inline]
-pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
-    squared_euclidean(a, b).sqrt()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn known_distances() {
-        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
-        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
-        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
-    }
-
-    #[test]
-    fn distance_is_symmetric() {
-        let a = [1.5, -2.0, 0.25];
-        let b = [0.0, 4.0, 1.0];
-        assert_eq!(squared_euclidean(&a, &b), squared_euclidean(&b, &a));
-    }
-}
+pub use subtab_kernels::distance::{euclidean, squared_euclidean};

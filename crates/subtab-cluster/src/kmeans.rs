@@ -4,6 +4,7 @@ use crate::distance::squared_euclidean;
 use crate::matrix::MatrixView;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use subtab_kernels::{nearest_centroid_scalar, CentroidScan};
 
 /// Below this many points a parallel assignment pass costs more in thread
 /// setup than it saves; the sequential path is used regardless of `threads`.
@@ -37,6 +38,7 @@ pub struct KMeans {
     max_iterations: usize,
     seed: u64,
     threads: usize,
+    deterministic: bool,
 }
 
 impl KMeans {
@@ -47,6 +49,7 @@ impl KMeans {
             max_iterations: 100,
             seed,
             threads: 1,
+            deterministic: true,
         }
     }
 
@@ -60,6 +63,20 @@ impl KMeans {
     /// available cores, `1` = sequential, the default).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Controls the bit-compatibility discipline of the assignment kernels
+    /// (default `true`).
+    ///
+    /// Deterministic fits use the no-reassociation SIMD distance scan that
+    /// is bit-identical to the pinned scalar twin on every ISA tier.
+    /// Passing `false` permits the fused multiply-add variant, which is
+    /// marginally faster but rounds differently, so results may differ in
+    /// the last bit (and under exact ties of rounded sums, in assignment)
+    /// across ISA tiers.
+    pub fn deterministic(mut self, deterministic: bool) -> Self {
+        self.deterministic = deterministic;
         self
     }
 
@@ -106,6 +123,7 @@ impl KMeans {
                 &mut assignments,
                 &mut dists,
                 threads,
+                self.deterministic,
             );
             // Update step.
             sums.fill(0.0);
@@ -159,6 +177,7 @@ impl KMeans {
                 &mut assignments,
                 &mut dists,
                 threads,
+                self.deterministic,
             );
         }
         let inertia = dists.iter().sum();
@@ -184,11 +203,35 @@ fn resolve_threads(configured: usize) -> usize {
 /// Assigns every point to its nearest centroid, recording the squared
 /// distance, and reports whether any assignment changed.
 ///
+/// The centroid set is packed once into a SIMD [`CentroidScan`] (one lane
+/// per centroid, best available ISA tier) and shared by every worker; with
+/// `deterministic = true` (the [`KMeans`] default) the scan is bit-identical
+/// to [`assign_points_scalar`], which the `kernel_equivalence` suite pins.
+///
 /// With `threads > 1` (and enough points to amortise thread setup) the
 /// points are split into contiguous chunks processed by scoped workers; each
 /// point's result is independent of the others, so the outcome is identical
 /// to the sequential pass.
-fn assign_points(
+#[allow(clippy::too_many_arguments)]
+pub fn assign_points(
+    points: MatrixView,
+    centroids: &[f32],
+    dim: usize,
+    assignments: &mut [usize],
+    dists: &mut [f32],
+    threads: usize,
+    deterministic: bool,
+) -> bool {
+    let dim = dim.max(1);
+    let scan = CentroidScan::new(centroids, dim, deterministic);
+    assign_points_impl(points, dim, assignments, dists, threads, &|p| {
+        scan.nearest(p)
+    })
+}
+
+/// The pinned scalar twin of [`assign_points`]: the 4-way blocked scalar
+/// scan ([`nearest_centroid_scalar`]) with the same chunked threading.
+pub fn assign_points_scalar(
     points: MatrixView,
     centroids: &[f32],
     dim: usize,
@@ -197,10 +240,23 @@ fn assign_points(
     threads: usize,
 ) -> bool {
     let dim = dim.max(1);
+    assign_points_impl(points, dim, assignments, dists, threads, &|p| {
+        nearest_centroid_scalar(p, centroids, dim)
+    })
+}
+
+fn assign_points_impl(
+    points: MatrixView,
+    dim: usize,
+    assignments: &mut [usize],
+    dists: &mut [f32],
+    threads: usize,
+    nearest: &(dyn Fn(&[f32]) -> (usize, f32) + Sync),
+) -> bool {
     let assign_chunk = |pts: &[f32], asg: &mut [usize], ds: &mut [f32]| -> bool {
         let mut changed = false;
         for ((p, a), d) in pts.chunks_exact(dim).zip(asg.iter_mut()).zip(ds.iter_mut()) {
-            let (best, best_d) = nearest_centroid(p, centroids, dim);
+            let (best, best_d) = nearest(p);
             if *a != best {
                 *a = best;
                 changed = true;
@@ -243,7 +299,7 @@ fn assign_points(
 fn reseed_empty_clusters(points: MatrixView, centroids: &mut [f32], dim: usize, empty: &[usize]) {
     let dists: Vec<f32> = points
         .rows()
-        .map(|p| nearest_centroid(p, centroids, dim).1)
+        .map(|p| nearest_centroid_scalar(p, centroids, dim).1)
         .collect();
     let mut order: Vec<usize> = (0..points.num_rows()).collect();
     // Farthest first; the stable sort keeps ties in index order so the
@@ -252,56 +308,6 @@ fn reseed_empty_clusters(points: MatrixView, centroids: &mut [f32], dim: usize, 
     for (&c, &far) in empty.iter().zip(order.iter()) {
         centroids[c * dim..(c + 1) * dim].copy_from_slice(points.row(far));
     }
-}
-
-/// Nearest centroid of `point` over a flat `k × dim` centroid buffer
-/// (candidates scanned in centroid order, first strict improvement wins —
-/// ties keep the earlier centroid).
-///
-/// Centroids are processed four at a time with one independent accumulator
-/// per centroid: each distance still accumulates its squared differences in
-/// element order exactly like [`squared_euclidean`] (no reassociation), and
-/// the best-so-far comparisons run in centroid order, so the result is
-/// bit-identical to a one-centroid-at-a-time scan — the blocking only lets
-/// the CPU overlap the four serial addition chains instead of waiting out
-/// one chain's latency per candidate.
-fn nearest_centroid(point: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
-    let mut best = 0usize;
-    let mut best_d = f32::INFINITY;
-    let mut update = |c: usize, d: f32| {
-        if d < best_d {
-            best_d = d;
-            best = c;
-        }
-    };
-    let mut blocks = centroids.chunks_exact(dim * 4);
-    let mut c = 0usize;
-    for block in &mut blocks {
-        let (c0, rest) = block.split_at(dim);
-        let (c1, rest) = rest.split_at(dim);
-        let (c2, c3) = rest.split_at(dim);
-        let (mut d0, mut d1, mut d2, mut d3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        for ((((&x, y0), y1), y2), y3) in point.iter().zip(c0).zip(c1).zip(c2).zip(c3) {
-            let e0 = x - y0;
-            d0 += e0 * e0;
-            let e1 = x - y1;
-            d1 += e1 * e1;
-            let e2 = x - y2;
-            d2 += e2 * e2;
-            let e3 = x - y3;
-            d3 += e3 * e3;
-        }
-        update(c, d0);
-        update(c + 1, d1);
-        update(c + 2, d2);
-        update(c + 3, d3);
-        c += 4;
-    }
-    for centroid in blocks.remainder().chunks_exact(dim) {
-        update(c, squared_euclidean(point, centroid));
-        c += 1;
-    }
-    (best, best_d)
 }
 
 /// k-means++ seeding: the first centroid is uniform, subsequent centroids are
@@ -467,7 +473,7 @@ mod tests {
                 let flat_centroids: Vec<f32> = r.centroids.concat();
                 let mut expected_inertia = 0.0f32;
                 for (i, p) in pts.view().rows().enumerate() {
-                    let (best, d) = nearest_centroid(p, &flat_centroids, 2);
+                    let (best, d) = nearest_centroid_scalar(p, &flat_centroids, 2);
                     assert_eq!(
                         r.assignments[i], best,
                         "seed {seed} cap {cap}: point {i} not assigned to its nearest centroid"
@@ -512,7 +518,7 @@ mod tests {
             centroids[start..start + dim].copy_from_slice(&dup);
             for p in 0..40 {
                 let point: Vec<f32> = (0..dim).map(|j| ((p * 5 + j) % 11) as f32 * 0.3).collect();
-                let (best, best_d) = nearest_centroid(&point, &centroids, dim);
+                let (best, best_d) = nearest_centroid_scalar(&point, &centroids, dim);
                 // Reference: full evaluation, first strict improvement wins.
                 let mut ref_best = 0usize;
                 let mut ref_d = f32::INFINITY;
@@ -525,6 +531,43 @@ mod tests {
                 }
                 assert_eq!(best, ref_best, "dim {dim} point {p}");
                 assert_eq!(best_d.to_bits(), ref_d.to_bits(), "dim {dim} point {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_assignment_is_bit_identical_to_scalar_twin() {
+        // The deterministic SIMD path must agree with the pinned scalar twin
+        // on assignments AND on distance bits, across thread counts and
+        // centroid counts straddling the vector widths.
+        let mut pts = Matrix::with_capacity(PARALLEL_MIN_POINTS + 300, 3);
+        for i in 0..PARALLEL_MIN_POINTS + 300 {
+            pts.push_row(&[
+                ((i * 13) % 101) as f32 * 0.37 - 18.0,
+                ((i * 7) % 89) as f32 * 0.51 - 22.0,
+                ((i * 29) % 97) as f32 * 0.23 - 11.0,
+            ]);
+        }
+        for k in [1usize, 3, 8, 9, 17] {
+            let centroids: Vec<f32> = (0..k * 3).map(|j| ((j * 31) % 53) as f32 - 26.0).collect();
+            for threads in [1usize, 2, 4] {
+                let n = pts.num_rows();
+                let (mut a_simd, mut d_simd) = (vec![0usize; n], vec![0.0f32; n]);
+                let (mut a_ref, mut d_ref) = (vec![0usize; n], vec![0.0f32; n]);
+                assign_points(
+                    pts.view(),
+                    &centroids,
+                    3,
+                    &mut a_simd,
+                    &mut d_simd,
+                    threads,
+                    true,
+                );
+                assign_points_scalar(pts.view(), &centroids, 3, &mut a_ref, &mut d_ref, threads);
+                assert_eq!(a_simd, a_ref, "k {k} threads {threads}");
+                let bits_simd: Vec<u32> = d_simd.iter().map(|d| d.to_bits()).collect();
+                let bits_ref: Vec<u32> = d_ref.iter().map(|d| d.to_bits()).collect();
+                assert_eq!(bits_simd, bits_ref, "k {k} threads {threads}");
             }
         }
     }

@@ -18,7 +18,9 @@
 //!   (the sub-table must contain real rows of the table, so the row nearest
 //!   to each centroid is selected, with duplicates resolved to the next
 //!   nearest unused point),
-//! * [`distance`] — the Euclidean distance helpers shared by both.
+//! * [`distance`] — the Euclidean distance helpers, re-exported from the
+//!   shared `subtab-kernels` crate (which also provides the SIMD centroid
+//!   scan the assignment step dispatches to).
 //!
 //! ```
 //! use subtab_cluster::{KMeans, Matrix, select_representatives};
@@ -43,7 +45,7 @@ pub mod matrix;
 pub mod representative;
 
 pub use distance::{euclidean, squared_euclidean};
-pub use kmeans::{KMeans, KMeansResult};
+pub use kmeans::{assign_points, assign_points_scalar, KMeans, KMeansResult};
 pub use matrix::{Matrix, MatrixView};
 pub use representative::{
     select_k_representatives, select_k_representatives_threaded, select_representatives,

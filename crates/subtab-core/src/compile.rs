@@ -40,7 +40,10 @@ use crate::Result;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use subtab_data::{Column, ColumnType, DataError, Predicate, Query, QueryExpr, Table, Value};
+use subtab_data::{ColumnType, CompareOp, DataError, Predicate, Query, QueryExpr, Table, Value};
+use subtab_kernels::{
+    scan_bools_masked, scan_codes_masked, scan_f64_masked, scan_i64_masked, CmpOp, NumericScan,
+};
 use subtab_rules::RowBitmap;
 
 /// A cache of compiled leaf bitmaps, keyed by the leaf's canonical
@@ -158,25 +161,49 @@ fn resolve_column<'t>(table: &'t Table, p: &Predicate) -> Result<&'t subtab_data
         .ok_or_else(|| crate::CoreError::Data(DataError::UnknownColumn(p.column().to_string())))
 }
 
-/// Static evaluation-cost rank of an `AND` child, ascending. Cached leaves
-/// are free; null tests are validity-plane clones; dictionary scans touch
-/// one `u32` per row; numeric scans build a `Value` per row; composite
-/// subtrees go last so an emptied accumulator can skip whole branches.
+/// Static evaluation-cost rank of an `AND` child, ascending.
+///
+/// Cached leaves are free (rank 0) and null tests are validity-plane clones
+/// (rank 1). Uncached scanning leaves start from a per-column-type base —
+/// dictionary scans touch one `u32` per row and pay one predicate
+/// evaluation per *distinct* value, so their base grows with the
+/// log₂-cardinality of the dictionary; bool planes are a two-outcome table;
+/// float planes scan one `f64` compare per row; int planes additionally
+/// widen each chunk — minus a bonus of up to 4 for mostly-null columns
+/// (their result bitmaps are sparser, so evaluating them earlier empties
+/// the `AND` accumulator sooner and skips more expensive siblings).
+/// Composite subtrees go last so an emptied accumulator can skip whole
+/// branches.
 fn and_cost_rank(table: &Table, cache: Option<&LeafBitmapCache>, expr: &QueryExpr) -> u8 {
     match expr {
         QueryExpr::Leaf(p) => {
             if cache.is_some_and(|c| c.peek(&p.encode_canonical())) {
                 return 0;
             }
-            match p {
-                Predicate::IsNull { .. } | Predicate::NotNull { .. } => 1,
-                _ => match table.column(p.column()).map(Column::column_type) {
-                    Some(ColumnType::Str) => 2,
-                    _ => 3,
-                },
+            if matches!(p, Predicate::IsNull { .. } | Predicate::NotNull { .. }) {
+                return 1;
             }
+            let Some(col) = table.column(p.column()) else {
+                // Unresolvable columns are rejected by validation before any
+                // ranking can matter; keep a deterministic middle rank.
+                return 32;
+            };
+            let base = match col.column_type() {
+                ColumnType::Str => {
+                    let card = col.code_view().map_or(0, |v| v.dict.len());
+                    // log₂ tier of the dictionary cardinality, capped so the
+                    // widest dictionaries still rank below numeric scans.
+                    8 + ((usize::BITS - card.leading_zeros()).min(7) as u8)
+                }
+                ColumnType::Bool => 16,
+                ColumnType::Float => 18,
+                ColumnType::Int => 20,
+            };
+            let n = table.num_rows().max(1);
+            let null_bonus = ((col.null_count() * 4) / n) as u8;
+            base - null_bonus
         }
-        _ => 4,
+        _ => 64,
     }
 }
 
@@ -252,9 +279,16 @@ fn leaf_bitmap_cached(
 
 /// The bitmap of one leaf predicate, computed plane-wise: null tests read
 /// the validity bitmap alone; everything else scans the typed value plane
-/// and ANDs validity afterwards (no non-null-test predicate matches a NULL
-/// row, so clearing sentinel-slot hits word-parallel is exact).
-fn leaf_bitmap(table: &Table, p: &Predicate) -> Result<RowBitmap> {
+/// with the SIMD kernels of `subtab-kernels` — emitting bitmap words a
+/// vector-width of rows at a time — and ANDs validity in the same pass (no
+/// non-null-test predicate matches a NULL row, so clearing sentinel-slot
+/// hits word-parallel is exact).
+///
+/// Bit-identical to [`leaf_bitmap_scalar`] on every ISA tier — the kernels
+/// evaluate the exact boolean function `Predicate::matches_value` defines
+/// per row; `tests/kernel_equivalence.rs` pins this on the planted
+/// datasets.
+pub fn leaf_bitmap(table: &Table, p: &Predicate) -> Result<RowBitmap> {
     let col = resolve_column(table, p)?;
     let n = table.num_rows();
     let validity = col.validity();
@@ -268,9 +302,52 @@ fn leaf_bitmap(table: &Table, p: &Predicate) -> Result<RowBitmap> {
         }
         _ => {}
     }
+    let vwords = validity.as_words();
+    let words = if let Some(v) = col.code_view() {
+        // Evaluate once per distinct dictionary value, then scan codes.
+        let code_matches: Vec<bool> = v
+            .dict
+            .iter()
+            .map(|s| p.matches_value(&Value::Str(s.clone())))
+            .collect();
+        scan_codes_masked(v.codes, &code_matches, vwords)
+    } else if let Some(v) = col.float_view() {
+        scan_f64_masked(v.values, &numeric_scan(p), vwords)
+    } else if let Some(v) = col.int_view() {
+        scan_i64_masked(v.values, &numeric_scan(p), vwords)
+    } else if let Some(v) = col.bool_view() {
+        // A bool plane has two possible values; evaluating the predicate
+        // once per outcome is exact for every predicate kind.
+        scan_bools_masked(
+            v.values,
+            p.matches_value(&Value::Bool(true)),
+            p.matches_value(&Value::Bool(false)),
+            vwords,
+        )
+    } else {
+        return Ok(RowBitmap::zeros(n));
+    };
+    Ok(RowBitmap::from_words(words, n))
+}
+
+/// The pinned scalar twin of [`leaf_bitmap`]: the original row-at-a-time
+/// `matches_value` walk. Kept callable so the equivalence suite and the
+/// `compile-leaf-*` bench modes can compare the kernel path against it.
+pub fn leaf_bitmap_scalar(table: &Table, p: &Predicate) -> Result<RowBitmap> {
+    let col = resolve_column(table, p)?;
+    let n = table.num_rows();
+    let validity = col.validity();
+    match p {
+        Predicate::NotNull { .. } => return Ok(validity.clone()),
+        Predicate::IsNull { .. } => {
+            let mut bm = validity.clone();
+            bm.negate_assign(n);
+            return Ok(bm);
+        }
+        _ => {}
+    }
     let mut bm = RowBitmap::zeros(n);
     if let Some(v) = col.code_view() {
-        // Evaluate once per distinct dictionary value, then scan codes.
         let code_matches: Vec<bool> = v
             .dict
             .iter()
@@ -304,6 +381,51 @@ fn leaf_bitmap(table: &Table, p: &Predicate) -> Result<RowBitmap> {
     }
     bm.and_assign(validity);
     Ok(bm)
+}
+
+/// Lowers a scanning predicate over a *numeric* plane (float or int) onto
+/// the kernel crate's [`NumericScan`], replicating `Value` comparison
+/// semantics exactly: numeric and bool constants widen to `f64`
+/// (`Value::as_f64`), a null constant matches nothing, and a string
+/// constant has a row-independent outcome (the total order places every
+/// number before every string, and loose equality across the divide is
+/// false), which const-folds to a [`NumericScan::Const`].
+fn numeric_scan(p: &Predicate) -> NumericScan {
+    match p {
+        Predicate::Compare { op, value, .. } => {
+            if let Some(c) = value.as_f64() {
+                let op = match op {
+                    CompareOp::Eq => CmpOp::Eq,
+                    CompareOp::Ne => CmpOp::Ne,
+                    CompareOp::Lt => CmpOp::Lt,
+                    CompareOp::Le => CmpOp::Le,
+                    CompareOp::Gt => CmpOp::Gt,
+                    CompareOp::Ge => CmpOp::Ge,
+                };
+                NumericScan::Cmp { op, constant: c }
+            } else if value.is_null() {
+                NumericScan::Const { matches: false }
+            } else {
+                // String constant vs numeric plane: every number sorts
+                // before every string and never loose-equals one.
+                NumericScan::Const {
+                    matches: matches!(op, CompareOp::Ne | CompareOp::Lt | CompareOp::Le),
+                }
+            }
+        }
+        Predicate::Between { low, high, .. } => NumericScan::Between {
+            low: *low,
+            high: *high,
+        },
+        Predicate::InSet { values, .. } => NumericScan::InSet {
+            // Non-numeric members (strings, nulls) never loose-equal a
+            // numeric row value; dropping them is exact.
+            values: values.iter().filter_map(Value::as_f64).collect(),
+        },
+        Predicate::IsNull { .. } | Predicate::NotNull { .. } => {
+            unreachable!("null tests are compiled on the validity plane")
+        }
+    }
 }
 
 /// The compiled twin of [`Query::selection_rows`]: the candidate rows a
@@ -445,6 +567,108 @@ mod tests {
             compiled_selection_rows(&t, &q),
             Err(CoreError::Data(DataError::UnknownColumn(c))) if c == "zzz_late"
         ));
+    }
+
+    #[test]
+    fn kernel_leaf_bitmaps_match_the_scalar_twin() {
+        let t = table();
+        let leaves = [
+            "airline = 'DL'",
+            "airline != 'DL'",
+            "airline IN ('AA', 'UA')",
+            "distance > 500",
+            "distance <= 700",
+            "distance BETWEEN 100 AND 1000",
+            "cancelled = 0",
+            "cancelled != 1",
+            "distance IS NULL",
+            "airline IS NOT NULL",
+            // Cross-type constants: string vs numeric plane const-folds,
+            // numeric vs dictionary plane matches nothing.
+            "distance = 'oops'",
+            "distance != 'oops'",
+            "distance < 'oops'",
+            "airline = 5",
+        ];
+        for text in leaves {
+            let q: Query = text.parse().unwrap();
+            let QueryExpr::Leaf(p) = &q.expr else {
+                panic!("not a leaf: {text}");
+            };
+            let kernel = leaf_bitmap(&t, p).unwrap();
+            let scalar = leaf_bitmap_scalar(&t, p).unwrap();
+            assert_eq!(kernel, scalar, "leaf: {text}");
+        }
+    }
+
+    #[test]
+    fn and_cost_rank_orders_leaves_by_refined_cost() {
+        // Wide table exercising the rank ingredients: dictionary
+        // cardinality and null fraction.
+        let n = 300usize;
+        let mut builder = Table::builder()
+            .column_str(
+                "low_card",
+                (0..n)
+                    .map(|i| Some(if i % 2 == 0 { "a" } else { "b" }))
+                    .collect(),
+            )
+            .column_f64("dense_num", (0..n).map(|i| Some(i as f64)).collect())
+            .column_f64(
+                "sparse_num",
+                (0..n)
+                    .map(|i| if i % 10 == 0 { Some(i as f64) } else { None })
+                    .collect(),
+            )
+            .column_i64("ints", (0..n).map(|i| Some(i as i64)).collect());
+        let high_card: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+        builder = builder.column_str(
+            "high_card",
+            high_card.iter().map(|s| Some(s.as_str())).collect(),
+        );
+        let t = builder.build().unwrap();
+
+        let rank = |text: &str| {
+            let q: Query = text.parse().unwrap();
+            and_cost_rank(&t, None, &q.expr)
+        };
+        // Null tests beat every scan.
+        assert!(rank("dense_num IS NULL") < rank("low_card = 'a'"));
+        // Narrow dictionaries beat wide ones; every dictionary beats a
+        // numeric scan.
+        assert!(rank("low_card = 'a'") < rank("high_card = 'v7'"));
+        assert!(rank("high_card = 'v7'") < rank("dense_num > 10"));
+        // Mostly-null planes get a bonus over dense ones of the same type.
+        assert!(rank("sparse_num > 10") < rank("dense_num > 10"));
+        // Int planes pay the widening surcharge over float planes.
+        assert!(rank("dense_num > 10") < rank("ints > 10"));
+        // Composite subtrees go last.
+        assert!(rank("dense_num > 10") < rank("ints > 10 OR dense_num > 10"));
+    }
+
+    #[test]
+    fn cheaper_leaf_is_evaluated_first_in_an_and_chain() {
+        let t = table();
+        // Tree order puts the expensive float scan first, but the dictionary
+        // leaf is cheaper and matches nothing, so cheapest-first evaluation
+        // must compile ONLY the dictionary leaf and skip the float scan
+        // entirely. The leaf cache records exactly what was compiled.
+        let cache = LeafBitmapCache::new();
+        let q: Query = "distance > 500 AND airline = 'ZZ'".parse().unwrap();
+        let rows = compiled_selection_rows_cached(&t, &q, &cache).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(
+            cache.len(),
+            1,
+            "only the cheap emptying leaf should have been compiled"
+        );
+        assert_eq!(cache.misses(), 1);
+        // And the compiled entry is the dictionary leaf: re-running it alone
+        // is answered from the cache.
+        let single: Query = "airline = 'ZZ'".parse().unwrap();
+        compiled_selection_rows_cached(&t, &single, &cache).unwrap();
+        assert_eq!(cache.misses(), 1, "dictionary leaf was already cached");
+        assert!(cache.hits() > 0);
     }
 
     #[test]

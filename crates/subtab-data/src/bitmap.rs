@@ -149,6 +149,23 @@ impl Bitmap {
         }
     }
 
+    /// The backing words, 64 bits per word, row `i` at word `i / 64` bit
+    /// `i % 64` — the interchange format of the SIMD plane-scan kernels.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a bitmap over `bits` rows directly from backing words (the
+    /// output of a word-at-a-time scan kernel). `words` must hold exactly
+    /// `ceil(bits / 64)` entries; slack bits in the trailing word are
+    /// zeroed, preserving the exact-count invariant.
+    pub fn from_words(words: Vec<u64>, bits: usize) -> Self {
+        assert_eq!(words.len(), bits.div_ceil(64));
+        let mut bm = Bitmap { words };
+        bm.mask_tail(bits);
+        bm
+    }
+
     /// Materialises `self AND other` together with its popcount.
     pub fn and_with_count(&self, other: &Bitmap) -> (Bitmap, usize) {
         let mut count = 0usize;
@@ -257,6 +274,21 @@ mod tests {
         assert_eq!(bm.count(), 65);
         assert!(bm.get(64));
         assert_eq!(bm, Bitmap::ones(65));
+    }
+
+    #[test]
+    fn word_round_trip_masks_slack_bits() {
+        let mut bm = Bitmap::zeros(130);
+        for i in [0usize, 63, 64, 129] {
+            bm.set(i);
+        }
+        let words = bm.as_words().to_vec();
+        assert_eq!(words.len(), 3);
+        assert_eq!(Bitmap::from_words(words.clone(), 130), bm);
+        // Slack bits handed in by a kernel are cleared on construction.
+        let mut dirty = words;
+        dirty[2] |= !0u64 << 2;
+        assert_eq!(Bitmap::from_words(dirty, 130), bm);
     }
 
     #[test]

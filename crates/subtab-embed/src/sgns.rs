@@ -42,6 +42,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use subtab_binning::BinnedTable;
+use subtab_kernels::{fma_select, AlignedBuf};
 
 /// Hyper-parameters of the embedding step.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -368,47 +369,10 @@ impl WeightsPtr {
     }
 }
 
-/// A 64-byte-aligned f32 buffer the fast paths train in: weight rows of the
-/// common dimensionalities then start on cache-line boundaries, so the wide
-/// loads and stores of the kernels never straddle two lines (straddling
-/// defeats store-to-load forwarding on the hot, frequently re-visited
-/// rows). Contents are copied in from and back out to the caller's plain
-/// vectors around training.
-struct AlignedBuf {
-    raw: Vec<f32>,
-    offset: usize,
-    len: usize,
-}
-
-impl AlignedBuf {
-    fn zeroed(len: usize) -> Self {
-        let raw = vec![0.0f32; len + 16];
-        // `Vec<f32>` data is at least 4-byte aligned, so the misalignment is
-        // a whole number of f32 slots.
-        let misalign = (raw.as_ptr() as usize % 64) / 4;
-        let offset = (16 - misalign) % 16;
-        AlignedBuf { raw, offset, len }
-    }
-
-    fn from_slice(src: &[f32]) -> Self {
-        let mut buf = AlignedBuf::zeroed(src.len());
-        buf.as_mut_slice().copy_from_slice(src);
-        buf
-    }
-
-    fn as_slice(&self) -> &[f32] {
-        &self.raw[self.offset..self.offset + self.len]
-    }
-
-    fn as_mut_slice(&mut self) -> &mut [f32] {
-        let (offset, len) = (self.offset, self.len);
-        &mut self.raw[offset..offset + len]
-    }
-
-    fn copy_back(&self, dst: &mut [f32]) {
-        dst.copy_from_slice(self.as_slice());
-    }
-}
+// The 64-byte-aligned training buffers (weight rows of the common
+// dimensionalities start on cache-line boundaries, so the wide loads and
+// stores of the kernels never straddle two lines) now live in
+// `subtab_kernels::AlignedBuf`, shared with every other SIMD consumer.
 
 /// Scratch state of one worker, kept across epochs so the learning-rate
 /// schedule and draw stream continue seamlessly.
@@ -469,8 +433,9 @@ unsafe fn train_shard_fast(
 ) {
     #[cfg(target_arch = "x86_64")]
     {
-        if std::arch::is_x86_feature_detected!("avx512f") && w.dim.is_multiple_of(16) && w.dim <= 64
-        {
+        // Shared runtime dispatch (honours `SUBTAB_FORCE_SCALAR_KERNELS`,
+        // which CI uses to exercise the portable path on any machine).
+        if subtab_kernels::has_avx512f() && w.dim.is_multiple_of(16) && w.dim <= 64 {
             return shard_kernel_avx512(
                 pairs,
                 w,
@@ -482,8 +447,7 @@ unsafe fn train_shard_fast(
                 state,
             );
         }
-        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
-        {
+        if subtab_kernels::has_avx2_fma() {
             match w.dim {
                 8 => {
                     return shard_kernel_fma::<8>(
@@ -565,14 +529,6 @@ unsafe fn kernel_body<const DIM: usize, const FUSED: bool>(
     lr_total: usize,
     state: &mut ShardState,
 ) {
-    #[inline(always)]
-    fn fma<const FUSED: bool>(a: f32, b: f32, c: f32) -> f32 {
-        if FUSED {
-            a.mul_add(b, c)
-        } else {
-            a * b + c
-        }
-    }
     debug_assert_eq!(w.dim, DIM);
     let inv_total = 1.0 / (lr_total as f32 + 1.0);
     let mut center = [0.0f32; DIM];
@@ -619,7 +575,7 @@ unsafe fn kernel_body<const DIM: usize, const FUSED: bool>(
             let mut d = 0;
             while d + lanes <= DIM {
                 for l in 0..lanes {
-                    acc[l] = fma::<FUSED>(center[d + l], *out.add(d + l), acc[l]);
+                    acc[l] = fma_select::<FUSED>(center[d + l], *out.add(d + l), acc[l]);
                 }
                 d += lanes;
             }
@@ -634,13 +590,13 @@ unsafe fn kernel_body<const DIM: usize, const FUSED: bool>(
                 t
             };
             while d < DIM {
-                dot = fma::<FUSED>(center[d], *out.add(d), dot);
+                dot = fma_select::<FUSED>(center[d], *out.add(d), dot);
                 d += 1;
             }
             let g = (label - sig.value(dot)) * lr;
             for d in 0..DIM {
-                grad[d] = fma::<FUSED>(g, *out.add(d), grad[d]);
-                *out.add(d) = fma::<FUSED>(g, center[d], *out.add(d));
+                grad[d] = fma_select::<FUSED>(g, *out.add(d), grad[d]);
+                *out.add(d) = fma_select::<FUSED>(g, center[d], *out.add(d));
             }
         }
         for d in 0..DIM {

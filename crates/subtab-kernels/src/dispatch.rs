@@ -1,0 +1,150 @@
+//! Runtime ISA detection shared by every SIMD kernel in the workspace.
+//!
+//! Detection is cached and honours the `SUBTAB_FORCE_SCALAR_KERNELS`
+//! environment variable (any non-empty value other than `0` pins every
+//! default dispatch to the scalar tier). Explicit `*_with_isa` kernel entry
+//! points ignore the override so equivalence tests can still compare tiers.
+
+use std::sync::OnceLock;
+
+/// Instruction-set tier a kernel can dispatch to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Isa {
+    /// AVX-512F: 16 f32 / 8 f64 lanes.
+    Avx512,
+    /// AVX2 + FMA: 8 f32 / 4 f64 lanes.
+    Avx2Fma,
+    /// Portable scalar fallback; always available.
+    Scalar,
+}
+
+impl Isa {
+    /// Raw CPU capability for this tier, ignoring the scalar override.
+    ///
+    /// Explicit-ISA kernel constructors use this to downgrade a requested
+    /// tier the hardware cannot run, while still letting equivalence tests
+    /// compare tiers on machines where `SUBTAB_FORCE_SCALAR_KERNELS` has
+    /// pinned the *default* dispatch.
+    pub fn available(self) -> bool {
+        match self {
+            Isa::Avx512 => cpu_has_avx512f(),
+            Isa::Avx2Fma => cpu_has_avx2_fma(),
+            Isa::Scalar => true,
+        }
+    }
+}
+
+/// True when `SUBTAB_FORCE_SCALAR_KERNELS` pins dispatch to the scalar tier.
+///
+/// Read once per process: flipping the variable after the first kernel call
+/// has no effect, which keeps dispatch stable for the lifetime of a run.
+pub fn force_scalar() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("SUBTAB_FORCE_SCALAR_KERNELS")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// True when the AVX-512F tier is usable (CPU support and no scalar override).
+pub fn has_avx512f() -> bool {
+    !force_scalar() && cpu_has_avx512f()
+}
+
+/// True when the AVX2+FMA tier is usable (CPU support and no scalar override).
+pub fn has_avx2_fma() -> bool {
+    !force_scalar() && cpu_has_avx2_fma()
+}
+
+/// Pick the best available tier, honouring the scalar override.
+pub fn detect() -> Isa {
+    if has_avx512f() {
+        Isa::Avx512
+    } else if has_avx2_fma() {
+        Isa::Avx2Fma
+    } else {
+        Isa::Scalar
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn cpu_has_avx512f() -> bool {
+    is_x86_feature_detected!("avx512f")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn cpu_has_avx512f() -> bool {
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+fn cpu_has_avx2_fma() -> bool {
+    is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn cpu_has_avx2_fma() -> bool {
+    false
+}
+
+/// Multiply-add with a compile-time choice between the fused contraction and
+/// the two-rounding `a * b + c` sequence.
+///
+/// `FUSED = false` is the bit-compatibility twin: it rounds the product
+/// before the add exactly like the scalar reference loops, so deterministic
+/// kernels must use it. `FUSED = true` maps to a hardware FMA where
+/// available and is reserved for paths that have opted out of determinism.
+#[inline(always)]
+pub fn fma_select<const FUSED: bool>(a: f32, b: f32, c: f32) -> f32 {
+    if FUSED {
+        a.mul_add(b, c)
+    } else {
+        a * b + c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_consistent_with_tier_helpers() {
+        let isa = detect();
+        match isa {
+            Isa::Avx512 => assert!(has_avx512f()),
+            Isa::Avx2Fma => assert!(has_avx2_fma() && !has_avx512f()),
+            Isa::Scalar => assert!(!has_avx512f() && !has_avx2_fma()),
+        }
+    }
+
+    #[test]
+    fn forced_scalar_env_pins_detection() {
+        // The override is latched on first use, so this test can only assert
+        // the env-consistent direction rather than toggling it mid-process.
+        if std::env::var("SUBTAB_FORCE_SCALAR_KERNELS")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+        {
+            assert_eq!(detect(), Isa::Scalar);
+            assert!(!has_avx512f());
+            assert!(!has_avx2_fma());
+        }
+    }
+
+    #[test]
+    fn unfused_fma_matches_separate_rounding() {
+        let cases = [
+            (1.0e-7f32, 3.0e7, -3.0),
+            (0.1, 0.2, 0.3),
+            (f32::MAX, 2.0, f32::MIN),
+            (-0.0, 5.0, 0.0),
+        ];
+        for (a, b, c) in cases {
+            assert_eq!(
+                fma_select::<false>(a, b, c).to_bits(),
+                (a * b + c).to_bits()
+            );
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Squared-euclidean distance and the lane-parallel argmin centroid scan.
+//!
+//! [`nearest_centroid_scalar`] is the pinned scalar twin: a 4-way blocked
+//! scan with one independent accumulator per centroid, each accumulating its
+//! squared differences in element order (no reassociation). [`CentroidScan`]
+//! is the SIMD counterpart — it vectorises *across centroids* (one lane per
+//! centroid) with the same per-lane operation sequence, so the deterministic
+//! AVX2 and AVX-512 paths are bit-identical to the scalar twin.
+
+use crate::dispatch::{self, Isa};
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// Panics in debug builds if the lengths differ (callers always compare
+/// vectors produced by the same pipeline, so this indicates a logic error).
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Nearest centroid of `point` over a flat `k × dim` centroid buffer
+/// (candidates scanned in centroid order, first strict improvement wins —
+/// ties keep the earlier centroid).
+///
+/// Centroids are processed four at a time with one independent accumulator
+/// per centroid: each distance still accumulates its squared differences in
+/// element order exactly like [`squared_euclidean`] (no reassociation), and
+/// the best-so-far comparisons run in centroid order, so the result is
+/// bit-identical to a one-centroid-at-a-time scan — the blocking only lets
+/// the CPU overlap the four serial addition chains instead of waiting out
+/// one chain's latency per candidate.
+pub fn nearest_centroid_scalar(point: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    let mut update = |c: usize, d: f32| {
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    };
+    let mut blocks = centroids.chunks_exact(dim * 4);
+    let mut c = 0usize;
+    for block in &mut blocks {
+        let (c0, rest) = block.split_at(dim);
+        let (c1, rest) = rest.split_at(dim);
+        let (c2, c3) = rest.split_at(dim);
+        let (mut d0, mut d1, mut d2, mut d3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for ((((&x, y0), y1), y2), y3) in point.iter().zip(c0).zip(c1).zip(c2).zip(c3) {
+            let e0 = x - y0;
+            d0 += e0 * e0;
+            let e1 = x - y1;
+            d1 += e1 * e1;
+            let e2 = x - y2;
+            d2 += e2 * e2;
+            let e3 = x - y3;
+            d3 += e3 * e3;
+        }
+        update(c, d0);
+        update(c + 1, d1);
+        update(c + 2, d2);
+        update(c + 3, d3);
+        c += 4;
+    }
+    for centroid in blocks.remainder().chunks_exact(dim) {
+        update(c, squared_euclidean(point, centroid));
+        c += 1;
+    }
+    (best, best_d)
+}
+
+/// A prepared argmin scan over a fixed centroid set.
+///
+/// Construction re-packs the `k × dim` centroid buffer into a
+/// lane-interleaved layout for the selected ISA tier (lane = centroid), so
+/// the per-point [`nearest`](CentroidScan::nearest) call is a straight run
+/// of wide loads. The deterministic kernels accumulate with separate
+/// subtract / multiply / add instructions per lane — the exact operation
+/// sequence of [`nearest_centroid_scalar`] — and resolve the argmin in
+/// centroid order with a strict `<`, so they are bit-identical to the
+/// scalar twin. Passing `deterministic = false` switches the accumulate to
+/// a hardware fused multiply-add, which skips the intermediate rounding and
+/// may pick a different (still valid) nearest centroid under exact ties of
+/// the rounded sums.
+pub struct CentroidScan {
+    k: usize,
+    dim: usize,
+    isa: Isa,
+    fused: bool,
+    /// Scalar tier: the flat `k × dim` buffer. Vector tiers: blocks of
+    /// `lanes` centroids, element-major within a block
+    /// (`data[block][d][lane]`), zero-padded to a whole block.
+    data: Vec<f32>,
+}
+
+impl CentroidScan {
+    /// Prepare a scan with the best available tier (honouring the
+    /// `SUBTAB_FORCE_SCALAR_KERNELS` override).
+    pub fn new(centroids: &[f32], dim: usize, deterministic: bool) -> Self {
+        Self::with_isa(dispatch::detect(), centroids, dim, deterministic)
+    }
+
+    /// Prepare a scan pinned to a specific tier (for equivalence tests); a
+    /// tier the CPU cannot run is downgraded to scalar.
+    pub fn with_isa(isa: Isa, centroids: &[f32], dim: usize, deterministic: bool) -> Self {
+        let dim = dim.max(1);
+        debug_assert_eq!(centroids.len() % dim, 0);
+        let k = centroids.len() / dim;
+        let isa = if isa.available() { isa } else { Isa::Scalar };
+        let data = match isa {
+            Isa::Scalar => centroids.to_vec(),
+            Isa::Avx2Fma => interleave(centroids, k, dim, 8),
+            Isa::Avx512 => interleave(centroids, k, dim, 16),
+        };
+        CentroidScan {
+            k,
+            dim,
+            isa,
+            fused: !deterministic,
+            data,
+        }
+    }
+
+    /// The tier this scan actually runs on.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// Number of centroids in the scan.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Index and squared distance of the nearest centroid to `point`
+    /// (`point.len()` must equal `dim`). Returns `(0, f32::INFINITY)` for an
+    /// empty centroid set, like the scalar twin.
+    pub fn nearest(&self, point: &[f32]) -> (usize, f32) {
+        debug_assert_eq!(point.len(), self.dim);
+        if self.k == 0 {
+            return (0, f32::INFINITY);
+        }
+        match self.isa {
+            Isa::Scalar => nearest_centroid_scalar(point, &self.data, self.dim),
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2Fma => unsafe {
+                if self.fused {
+                    self.nearest_avx2::<true>(point)
+                } else {
+                    self.nearest_avx2::<false>(point)
+                }
+            },
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => unsafe {
+                if self.fused {
+                    self.nearest_avx512::<true>(point)
+                } else {
+                    self.nearest_avx512::<false>(point)
+                }
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => unreachable!("non-scalar ISA constructed on non-x86_64"),
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2 + FMA (guaranteed by construction: `with_isa` only
+    /// selects tiers `Isa::available` confirmed).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn nearest_avx2<const FUSED: bool>(&self, point: &[f32]) -> (usize, f32) {
+        use std::arch::x86_64::*;
+        const LANES: usize = 8;
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        let mut lane_d = [0.0f32; LANES];
+        let mut base = 0usize;
+        for block in self.data.chunks_exact(LANES * self.dim) {
+            let mut acc = _mm256_setzero_ps();
+            for (d, &x) in point.iter().enumerate() {
+                let xs = _mm256_set1_ps(x);
+                let ys = _mm256_loadu_ps(block.as_ptr().add(d * LANES));
+                let e = _mm256_sub_ps(xs, ys);
+                if FUSED {
+                    acc = _mm256_fmadd_ps(e, e, acc);
+                } else {
+                    // Separate multiply and add: rounds the product before
+                    // accumulating, matching the scalar `d += e * e`.
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(e, e));
+                }
+            }
+            // Lanes that strictly beat the running best (an ordered compare,
+            // so NaN lanes never qualify — exactly like the scalar `<`).
+            // Most blocks improve on nothing, skipping the lane loop.
+            let live = LANES.min(self.k - base);
+            let live_bits = if live == LANES {
+                0xff
+            } else {
+                (1i32 << live) - 1
+            };
+            let lt = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LT_OQ>(acc, _mm256_set1_ps(best_d)))
+                & live_bits;
+            if lt != 0 {
+                _mm256_storeu_ps(lane_d.as_mut_ptr(), acc);
+                let mut m = lt as u32;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    let d = lane_d[l];
+                    if d < best_d {
+                        best_d = d;
+                        best = base + l;
+                    }
+                    m &= m - 1;
+                }
+            }
+            base += LANES;
+        }
+        (best, best_d)
+    }
+
+    /// # Safety
+    /// Requires AVX-512F (guaranteed by construction: `with_isa` only
+    /// selects tiers `Isa::available` confirmed).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn nearest_avx512<const FUSED: bool>(&self, point: &[f32]) -> (usize, f32) {
+        use std::arch::x86_64::*;
+        const LANES: usize = 16;
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        let mut base = 0usize;
+        for block in self.data.chunks_exact(LANES * self.dim) {
+            let mut acc = _mm512_setzero_ps();
+            for (d, &x) in point.iter().enumerate() {
+                let xs = _mm512_set1_ps(x);
+                let ys = _mm512_loadu_ps(block.as_ptr().add(d * LANES));
+                let e = _mm512_sub_ps(xs, ys);
+                if FUSED {
+                    acc = _mm512_fmadd_ps(e, e, acc);
+                } else {
+                    acc = _mm512_add_ps(acc, _mm512_mul_ps(e, e));
+                }
+            }
+            // Live lanes that strictly beat the running best (ordered
+            // compare, so NaN lanes never qualify — like the scalar `<`).
+            // The minimum of those lanes is what an in-order scalar scan of
+            // this block would end on, and the first lane equal to it is the
+            // index the scalar scan would keep (distances are sums of
+            // squares, so `-0.0` can never make the equality ambiguous).
+            let live = LANES.min(self.k - base);
+            let live_mask: __mmask16 = if live == LANES {
+                !0
+            } else {
+                (1u16 << live) - 1
+            };
+            let lt = _mm512_mask_cmp_ps_mask::<_CMP_LT_OQ>(live_mask, acc, _mm512_set1_ps(best_d));
+            if lt != 0 {
+                let block_min = _mm512_mask_reduce_min_ps(lt, acc);
+                let eq = _mm512_mask_cmp_ps_mask::<_CMP_EQ_OQ>(lt, acc, _mm512_set1_ps(block_min));
+                best_d = block_min;
+                best = base + eq.trailing_zeros() as usize;
+            }
+            base += LANES;
+        }
+        (best, best_d)
+    }
+}
+
+/// Re-pack a flat `k × dim` centroid buffer into lane-interleaved blocks:
+/// `out[block][d][lane]` holds element `d` of centroid `block * lanes +
+/// lane`, zero-padded so every block is full. Padding lanes never reach the
+/// argmin (the update loop stops at `k`), so their distance values are
+/// irrelevant.
+fn interleave(centroids: &[f32], k: usize, dim: usize, lanes: usize) -> Vec<f32> {
+    let mut data = vec![0.0f32; k.div_ceil(lanes) * lanes * dim];
+    for (c, row) in centroids.chunks_exact(dim).enumerate() {
+        let block = &mut data[(c / lanes) * lanes * dim..];
+        let lane = c % lanes;
+        for (d, &v) in row.iter().enumerate() {
+            block[d * lanes + lane] = v;
+        }
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn rand_f32(state: &mut u64) -> f32 {
+        // Uniform-ish in [-4, 4) with plenty of low-bit entropy.
+        ((splitmix(state) >> 40) as f32 / (1u64 << 24) as f32) * 8.0 - 4.0
+    }
+
+    fn rand_vec(state: &mut u64, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rand_f32(state)).collect()
+    }
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = [1.5, -2.0, 0.25];
+        let b = [0.0, 4.0, 1.0];
+        assert_eq!(squared_euclidean(&a, &b), squared_euclidean(&b, &a));
+    }
+
+    #[test]
+    fn scalar_scan_matches_naive_reference() {
+        let mut state = 7u64;
+        for dim in [1usize, 3, 7, 16, 33] {
+            for k in [1usize, 2, 4, 5, 9] {
+                let centroids = rand_vec(&mut state, k * dim);
+                let point = rand_vec(&mut state, dim);
+                let (best, best_d) = nearest_centroid_scalar(&point, &centroids, dim);
+                let mut ref_best = 0usize;
+                let mut ref_d = f32::INFINITY;
+                for (c, cen) in centroids.chunks_exact(dim).enumerate() {
+                    let d = squared_euclidean(&point, cen);
+                    if d < ref_d {
+                        ref_d = d;
+                        ref_best = c;
+                    }
+                }
+                assert_eq!(best, ref_best);
+                assert_eq!(best_d.to_bits(), ref_d.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_simd_tiers_are_bit_identical_to_scalar() {
+        let mut state = 42u64;
+        for dim in [1usize, 2, 8, 13, 16, 32, 64] {
+            // k values straddling both vector widths and their remainders.
+            for k in [1usize, 3, 7, 8, 9, 15, 16, 17, 31, 40] {
+                let centroids = rand_vec(&mut state, k * dim);
+                let scans: Vec<CentroidScan> = [Isa::Avx512, Isa::Avx2Fma, Isa::Scalar]
+                    .into_iter()
+                    .filter(|isa| isa.available())
+                    .map(|isa| CentroidScan::with_isa(isa, &centroids, dim, true))
+                    .collect();
+                for _ in 0..8 {
+                    let point = rand_vec(&mut state, dim);
+                    let (ref_best, ref_d) = nearest_centroid_scalar(&point, &centroids, dim);
+                    for scan in &scans {
+                        let (best, best_d) = scan.nearest(&point);
+                        assert_eq!(best, ref_best, "isa {:?} dim {dim} k {k}", scan.isa());
+                        assert_eq!(
+                            best_d.to_bits(),
+                            ref_d.to_bits(),
+                            "isa {:?} dim {dim} k {k}",
+                            scan.isa()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_keep_the_earlier_centroid_on_every_tier() {
+        // Duplicate centroids in every lane position of a 2-block scan.
+        let dim = 4usize;
+        let proto = [1.0f32, -2.0, 0.5, 3.0];
+        let k = 20usize;
+        let centroids: Vec<f32> = (0..k).flat_map(|_| proto).collect();
+        let point = [0.0f32, 0.0, 0.0, 0.0];
+        for isa in [Isa::Avx512, Isa::Avx2Fma, Isa::Scalar] {
+            if !isa.available() {
+                continue;
+            }
+            let scan = CentroidScan::with_isa(isa, &centroids, dim, true);
+            assert_eq!(scan.nearest(&point).0, 0, "isa {isa:?}");
+        }
+    }
+
+    #[test]
+    fn empty_centroid_set_matches_scalar_twin() {
+        let scan = CentroidScan::new(&[], 3, true);
+        let (best, best_d) = scan.nearest(&[0.0, 0.0, 0.0]);
+        assert_eq!(best, 0);
+        assert_eq!(best_d, f32::INFINITY);
+    }
+
+    #[test]
+    fn fused_variant_agrees_on_separated_data() {
+        // With well-separated centroids the fused rounding difference cannot
+        // flip the argmin; sanity-check the non-deterministic path.
+        let dim = 16usize;
+        let mut state = 99u64;
+        let centroids: Vec<f32> = (0..5)
+            .flat_map(|c| {
+                let base = c as f32 * 100.0;
+                (0..dim)
+                    .map(|_| base + rand_f32(&mut state))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let scan = CentroidScan::new(&centroids, dim, false);
+        for target in 0..5 {
+            let point: Vec<f32> = (0..dim).map(|_| target as f32 * 100.0).collect();
+            assert_eq!(scan.nearest(&point).0, target);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Shared SIMD kernel layer: runtime-dispatched vector kernels with pinned
+//! scalar twins.
+//!
+//! Every hot inner loop of the workspace that benefits from SIMD lives here:
+//! squared-euclidean distance with a lane-parallel argmin centroid scan (the
+//! k-means assignment step in `subtab-cluster`), and columnar predicate
+//! scans that compare a typed value plane against a constant and emit `u64`
+//! bitmap words directly (the compiled query leaves in `subtab-core`). The
+//! feature-detection and FMA helpers that used to be trapped inside
+//! `subtab-embed`'s SGNS trainer are exported from [`dispatch`] so every
+//! consumer shares one dispatch story.
+//!
+//! # Dispatch tiers
+//!
+//! Kernels pick an ISA tier at runtime — AVX-512F, AVX2+FMA, or the
+//! portable scalar fallback — via [`dispatch::detect`]. Setting the
+//! environment variable `SUBTAB_FORCE_SCALAR_KERNELS` (to anything but `0`
+//! or the empty string) before the first kernel call pins every default
+//! dispatch to the scalar tier, which is how CI exercises both sides of the
+//! equivalence suites on machines regardless of their CPU flags. Explicit
+//! `*_with_isa` entry points bypass the default dispatch so tests can
+//! compare tiers directly.
+//!
+//! # Bit-compatibility contract
+//!
+//! The vector kernels are *bit-identical* to their scalar twins, not merely
+//! close:
+//!
+//! - Predicate scans are exact boolean functions of each row (IEEE compares
+//!   plus the sign-flipped integer total-order key for `f64::total_cmp`
+//!   semantics), so every tier produces the same words by construction.
+//! - The centroid scan vectorises *across centroids* — one SIMD lane per
+//!   centroid — and accumulates each lane with separate subtract, multiply
+//!   and add instructions in element order: exactly the operation sequence
+//!   of the scalar per-centroid loop, with no reassociation and no fused
+//!   multiply-add (an FMA skips the intermediate rounding and changes the
+//!   low bits). Argmin comparisons run in centroid order with a strict `<`,
+//!   so ties keep the earlier centroid on every tier.
+//!
+//! A *reassociating* fused variant of the centroid scan exists for callers
+//! that opt out of determinism (`deterministic = false` in the consumer's
+//! config); it is never selected by default.
+
+pub mod aligned;
+pub mod dispatch;
+pub mod distance;
+pub mod scan;
+
+pub use aligned::AlignedBuf;
+pub use dispatch::{detect, fma_select, has_avx2_fma, has_avx512f, Isa};
+pub use distance::{euclidean, nearest_centroid_scalar, squared_euclidean, CentroidScan};
+pub use scan::{
+    scan_bools, scan_bools_masked, scan_codes, scan_codes_masked, scan_codes_with_isa, scan_f64,
+    scan_f64_masked, scan_f64_with_isa, scan_i64, scan_i64_masked, scan_i64_with_isa, CmpOp,
+    NumericScan,
+};

@@ -1,0 +1,865 @@
+//! Columnar predicate scans: compare a typed value plane against a constant
+//! and emit `u64` bitmap words directly.
+//!
+//! The scan semantics replicate the workspace's `Value` comparison rules
+//! exactly — IEEE equality with NaN-matches-NaN for `Eq`/`Ne`/`InSet`, the
+//! `f64::total_cmp` total order for `Lt`/`Le`/`Gt`/`Ge` (implemented on the
+//! sign-flipped integer key, which SIMD integer compares evaluate exactly),
+//! and plain IEEE range compares for `Between`. Because every row's bit is
+//! an exact boolean function of its value, the AVX2 / AVX-512 paths are
+//! bit-identical to the scalar twin by construction; the equivalence suites
+//! pin that.
+//!
+//! Vector kernels fill whole 64-row words (sixteen 4-lane or eight 8-lane
+//! compares per word); any tail shorter than 64 rows runs the scalar
+//! evaluator on every tier, so word counts and slack bits match the scalar
+//! twin exactly: every scan returns `ceil(n / 64)` words with slack bits
+//! zero.
+
+use crate::dispatch::{self, Isa};
+
+/// Comparison operator of a [`NumericScan::Cmp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// IEEE equality, except NaN matches NaN.
+    Eq,
+    /// Complement of [`CmpOp::Eq`].
+    Ne,
+    /// Strictly less in the `f64::total_cmp` order.
+    Lt,
+    /// Less or equal in the `f64::total_cmp` order.
+    Le,
+    /// Strictly greater in the `f64::total_cmp` order.
+    Gt,
+    /// Greater or equal in the `f64::total_cmp` order.
+    Ge,
+}
+
+/// A predicate over a numeric plane, lowered from the query layer's
+/// `Predicate` with the constant already widened to `f64`.
+#[derive(Clone, Debug)]
+pub enum NumericScan {
+    /// Compare every row against one constant.
+    Cmp {
+        /// The comparison to apply.
+        op: CmpOp,
+        /// The right-hand constant.
+        constant: f64,
+    },
+    /// Half-open range `low <= x < high` under plain IEEE compares (NaN
+    /// never matches).
+    Between {
+        /// Inclusive lower bound.
+        low: f64,
+        /// Exclusive upper bound.
+        high: f64,
+    },
+    /// Membership: any value equal under the [`CmpOp::Eq`] rules.
+    InSet {
+        /// The member constants.
+        values: Vec<f64>,
+    },
+    /// Every row gets the same bit — the lowering of predicates whose
+    /// constant makes the row value irrelevant (e.g. a string constant
+    /// compared against a numeric plane).
+    Const {
+        /// The bit every row receives.
+        matches: bool,
+    },
+}
+
+/// The sign-flipped integer key that maps `f64::total_cmp` onto a signed
+/// 64-bit integer compare (the same transform `std` uses internally).
+#[inline(always)]
+fn total_key(x: f64) -> i64 {
+    let b = x.to_bits() as i64;
+    b ^ (((b >> 63) as u64) >> 1) as i64
+}
+
+/// The scan lowered to one primitive compare the kernels implement
+/// directly.
+enum Prim {
+    Const(bool),
+    /// IEEE `x == c`, `c` non-NaN.
+    Eq(f64),
+    /// IEEE `x != c`, `c` non-NaN (true for NaN rows).
+    Ne(f64),
+    IsNan,
+    NotNan,
+    KeyLt(i64),
+    KeyLe(i64),
+    KeyGt(i64),
+    KeyGe(i64),
+    /// `x >= low && x < high`, plain IEEE.
+    Range {
+        low: f64,
+        high: f64,
+    },
+    /// Any IEEE equality against the non-NaN members; `has_nan` adds
+    /// NaN-rows-match.
+    AnyEq {
+        values: Vec<f64>,
+        has_nan: bool,
+    },
+}
+
+fn lower(scan: &NumericScan) -> Prim {
+    match scan {
+        NumericScan::Cmp { op, constant: c } => match op {
+            CmpOp::Eq if c.is_nan() => Prim::IsNan,
+            CmpOp::Eq => Prim::Eq(*c),
+            CmpOp::Ne if c.is_nan() => Prim::NotNan,
+            CmpOp::Ne => Prim::Ne(*c),
+            CmpOp::Lt => Prim::KeyLt(total_key(*c)),
+            CmpOp::Le => Prim::KeyLe(total_key(*c)),
+            CmpOp::Gt => Prim::KeyGt(total_key(*c)),
+            CmpOp::Ge => Prim::KeyGe(total_key(*c)),
+        },
+        NumericScan::Between { low, high } => Prim::Range {
+            low: *low,
+            high: *high,
+        },
+        NumericScan::InSet { values } => Prim::AnyEq {
+            has_nan: values.iter().any(|v| v.is_nan()),
+            values: values.iter().copied().filter(|v| !v.is_nan()).collect(),
+        },
+        NumericScan::Const { matches } => Prim::Const(*matches),
+    }
+}
+
+/// Scalar evaluation of one row — the pinned reference the vector kernels
+/// must match bit-for-bit.
+#[inline(always)]
+fn eval(prim: &Prim, x: f64) -> bool {
+    match prim {
+        Prim::Const(b) => *b,
+        Prim::Eq(c) => x == *c,
+        Prim::Ne(c) => x != *c,
+        Prim::IsNan => x.is_nan(),
+        Prim::NotNan => !x.is_nan(),
+        Prim::KeyLt(k) => total_key(x) < *k,
+        Prim::KeyLe(k) => total_key(x) <= *k,
+        Prim::KeyGt(k) => total_key(x) > *k,
+        Prim::KeyGe(k) => total_key(x) >= *k,
+        Prim::Range { low, high } => x >= *low && x < *high,
+        Prim::AnyEq { values, has_nan } => (*has_nan && x.is_nan()) || values.contains(&x),
+    }
+}
+
+/// One bitmap word from up to 64 rows, scalar tier.
+fn word_scalar(chunk: &[f64], prim: &Prim) -> u64 {
+    let mut word = 0u64;
+    for (i, &x) in chunk.iter().enumerate() {
+        word |= (eval(prim, x) as u64) << i;
+    }
+    word
+}
+
+/// One bitmap word from exactly 64 rows, AVX2 tier (sixteen 4-lane
+/// compares).
+///
+/// # Safety
+/// Requires AVX2 and 64 readable f64s at `ptr`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn word64_avx2(ptr: *const f64, prim: &Prim) -> u64 {
+    use std::arch::x86_64::*;
+    let mut word = 0u64;
+    macro_rules! sweep {
+        (|$v:ident| $mask:expr) => {
+            for i in 0..16 {
+                let $v = _mm256_loadu_pd(ptr.add(i * 4));
+                let m = $mask;
+                word |= ((_mm256_movemask_pd(m) as u64) & 0xF) << (i * 4);
+            }
+        };
+    }
+    // Integer total-order key: flip the payload bits of negatives so a
+    // signed compare realises `f64::total_cmp`. AVX2 has no 64-bit
+    // arithmetic shift, so the sign fill comes from a compare-less-than-
+    // zero instead.
+    macro_rules! key {
+        ($v:ident, $zero:ident, $payload:ident) => {{
+            let b = _mm256_castpd_si256($v);
+            let neg = _mm256_cmpgt_epi64($zero, b);
+            _mm256_xor_si256(b, _mm256_and_si256(neg, $payload))
+        }};
+    }
+    match prim {
+        Prim::Const(b) => {
+            if *b {
+                word = !0u64;
+            }
+        }
+        Prim::Eq(c) => {
+            let cv = _mm256_set1_pd(*c);
+            sweep!(|v| _mm256_cmp_pd::<_CMP_EQ_OQ>(v, cv));
+        }
+        Prim::Ne(c) => {
+            let cv = _mm256_set1_pd(*c);
+            sweep!(|v| _mm256_cmp_pd::<_CMP_NEQ_UQ>(v, cv));
+        }
+        Prim::IsNan => {
+            sweep!(|v| _mm256_cmp_pd::<_CMP_UNORD_Q>(v, v));
+        }
+        Prim::NotNan => {
+            sweep!(|v| _mm256_cmp_pd::<_CMP_ORD_Q>(v, v));
+        }
+        Prim::KeyLt(k) => {
+            let kv = _mm256_set1_epi64x(*k);
+            let zero = _mm256_setzero_si256();
+            let payload = _mm256_set1_epi64x(0x7FFF_FFFF_FFFF_FFFF);
+            sweep!(|v| {
+                let key = key!(v, zero, payload);
+                _mm256_castsi256_pd(_mm256_cmpgt_epi64(kv, key))
+            });
+        }
+        Prim::KeyLe(k) => {
+            let kv = _mm256_set1_epi64x(*k);
+            let zero = _mm256_setzero_si256();
+            let payload = _mm256_set1_epi64x(0x7FFF_FFFF_FFFF_FFFF);
+            let ones = _mm256_set1_epi64x(-1);
+            sweep!(|v| {
+                let key = key!(v, zero, payload);
+                // le = !(key > k)
+                _mm256_castsi256_pd(_mm256_xor_si256(_mm256_cmpgt_epi64(key, kv), ones))
+            });
+        }
+        Prim::KeyGt(k) => {
+            let kv = _mm256_set1_epi64x(*k);
+            let zero = _mm256_setzero_si256();
+            let payload = _mm256_set1_epi64x(0x7FFF_FFFF_FFFF_FFFF);
+            sweep!(|v| {
+                let key = key!(v, zero, payload);
+                _mm256_castsi256_pd(_mm256_cmpgt_epi64(key, kv))
+            });
+        }
+        Prim::KeyGe(k) => {
+            let kv = _mm256_set1_epi64x(*k);
+            let zero = _mm256_setzero_si256();
+            let payload = _mm256_set1_epi64x(0x7FFF_FFFF_FFFF_FFFF);
+            let ones = _mm256_set1_epi64x(-1);
+            sweep!(|v| {
+                let key = key!(v, zero, payload);
+                // ge = !(k > key)
+                _mm256_castsi256_pd(_mm256_xor_si256(_mm256_cmpgt_epi64(kv, key), ones))
+            });
+        }
+        Prim::Range { low, high } => {
+            let lo = _mm256_set1_pd(*low);
+            let hi = _mm256_set1_pd(*high);
+            sweep!(|v| _mm256_and_pd(
+                _mm256_cmp_pd::<_CMP_GE_OQ>(v, lo),
+                _mm256_cmp_pd::<_CMP_LT_OQ>(v, hi)
+            ));
+        }
+        Prim::AnyEq { values, has_nan } => {
+            sweep!(|v| {
+                let mut m = if *has_nan {
+                    _mm256_cmp_pd::<_CMP_UNORD_Q>(v, v)
+                } else {
+                    _mm256_setzero_pd()
+                };
+                for &c in values {
+                    m = _mm256_or_pd(m, _mm256_cmp_pd::<_CMP_EQ_OQ>(v, _mm256_set1_pd(c)));
+                }
+                m
+            });
+        }
+    }
+    word
+}
+
+/// One bitmap word from exactly 64 rows, AVX-512F tier (eight 8-lane
+/// compares).
+///
+/// # Safety
+/// Requires AVX-512F and 64 readable f64s at `ptr`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn word64_avx512(ptr: *const f64, prim: &Prim) -> u64 {
+    use std::arch::x86_64::*;
+    let mut word = 0u64;
+    macro_rules! sweep {
+        (|$v:ident| $mask:expr) => {
+            for i in 0..8 {
+                let $v = _mm512_loadu_pd(ptr.add(i * 8));
+                let m: __mmask8 = $mask;
+                word |= (m as u64) << (i * 8);
+            }
+        };
+    }
+    // AVX-512 has the 64-bit arithmetic shift, so the total-order key is the
+    // textbook `b ^ ((b >> 63) >>> 1)`.
+    macro_rules! key {
+        ($v:ident) => {{
+            let b = _mm512_castpd_si512($v);
+            _mm512_xor_si512(b, _mm512_srli_epi64::<1>(_mm512_srai_epi64::<63>(b)))
+        }};
+    }
+    match prim {
+        Prim::Const(b) => {
+            if *b {
+                word = !0u64;
+            }
+        }
+        Prim::Eq(c) => {
+            let cv = _mm512_set1_pd(*c);
+            sweep!(|v| _mm512_cmp_pd_mask::<_CMP_EQ_OQ>(v, cv));
+        }
+        Prim::Ne(c) => {
+            let cv = _mm512_set1_pd(*c);
+            sweep!(|v| _mm512_cmp_pd_mask::<_CMP_NEQ_UQ>(v, cv));
+        }
+        Prim::IsNan => {
+            sweep!(|v| _mm512_cmp_pd_mask::<_CMP_UNORD_Q>(v, v));
+        }
+        Prim::NotNan => {
+            sweep!(|v| _mm512_cmp_pd_mask::<_CMP_ORD_Q>(v, v));
+        }
+        Prim::KeyLt(k) => {
+            let kv = _mm512_set1_epi64(*k);
+            sweep!(|v| _mm512_cmp_epi64_mask::<_MM_CMPINT_LT>(key!(v), kv));
+        }
+        Prim::KeyLe(k) => {
+            let kv = _mm512_set1_epi64(*k);
+            sweep!(|v| _mm512_cmp_epi64_mask::<_MM_CMPINT_LE>(key!(v), kv));
+        }
+        Prim::KeyGt(k) => {
+            let kv = _mm512_set1_epi64(*k);
+            sweep!(|v| _mm512_cmp_epi64_mask::<_MM_CMPINT_NLE>(key!(v), kv));
+        }
+        Prim::KeyGe(k) => {
+            let kv = _mm512_set1_epi64(*k);
+            sweep!(|v| _mm512_cmp_epi64_mask::<_MM_CMPINT_NLT>(key!(v), kv));
+        }
+        Prim::Range { low, high } => {
+            let lo = _mm512_set1_pd(*low);
+            let hi = _mm512_set1_pd(*high);
+            sweep!(|v| _mm512_cmp_pd_mask::<_CMP_GE_OQ>(v, lo)
+                & _mm512_cmp_pd_mask::<_CMP_LT_OQ>(v, hi));
+        }
+        Prim::AnyEq { values, has_nan } => {
+            sweep!(|v| {
+                let mut m: __mmask8 = if *has_nan {
+                    _mm512_cmp_pd_mask::<_CMP_UNORD_Q>(v, v)
+                } else {
+                    0
+                };
+                for &c in values {
+                    m |= _mm512_cmp_pd_mask::<_CMP_EQ_OQ>(v, _mm512_set1_pd(c));
+                }
+                m
+            });
+        }
+    }
+    word
+}
+
+/// All-ones bitmap words for `n` rows, slack bits zeroed.
+fn ones_words(n: usize) -> Vec<u64> {
+    let mut words = vec![!0u64; n.div_ceil(64)];
+    mask_tail(&mut words, n);
+    words
+}
+
+fn mask_tail(words: &mut [u64], n: usize) {
+    if !n.is_multiple_of(64) {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << (n % 64)) - 1;
+        }
+    }
+}
+
+fn scan_prim_f64(isa: Isa, values: &[f64], prim: &Prim) -> Vec<u64> {
+    let n = values.len();
+    if let Prim::Const(b) = prim {
+        return if *b {
+            ones_words(n)
+        } else {
+            vec![0u64; n.div_ceil(64)]
+        };
+    }
+    let isa = if isa.available() { isa } else { Isa::Scalar };
+    let mut words = vec![0u64; n.div_ceil(64)];
+    let full = n / 64;
+    #[cfg(target_arch = "x86_64")]
+    let simd_done = match isa {
+        Isa::Avx2Fma => {
+            for (w, word) in words.iter_mut().enumerate().take(full) {
+                *word = unsafe { word64_avx2(values.as_ptr().add(w * 64), prim) };
+            }
+            full
+        }
+        Isa::Avx512 => {
+            for (w, word) in words.iter_mut().enumerate().take(full) {
+                *word = unsafe { word64_avx512(values.as_ptr().add(w * 64), prim) };
+            }
+            full
+        }
+        Isa::Scalar => 0,
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let simd_done = 0;
+    for (w, word) in words.iter_mut().enumerate().skip(simd_done) {
+        *word = word_scalar(&values[w * 64..n.min(w * 64 + 64)], prim);
+    }
+    words
+}
+
+/// Scan an `f64` plane with the best available tier. Returns `ceil(n / 64)`
+/// bitmap words, slack bits zero.
+pub fn scan_f64(values: &[f64], scan: &NumericScan) -> Vec<u64> {
+    scan_f64_with_isa(dispatch::detect(), values, scan)
+}
+
+/// [`scan_f64`] pinned to a specific tier (downgraded to scalar if the CPU
+/// cannot run it) — the entry point equivalence tests compare through.
+pub fn scan_f64_with_isa(isa: Isa, values: &[f64], scan: &NumericScan) -> Vec<u64> {
+    scan_prim_f64(isa, values, &lower(scan))
+}
+
+/// [`scan_f64`] with the result ANDed against validity words (same word
+/// count), clearing rows whose stored value is a null sentinel.
+pub fn scan_f64_masked(values: &[f64], scan: &NumericScan, validity: &[u64]) -> Vec<u64> {
+    let mut words = scan_f64(values, scan);
+    apply_mask(&mut words, validity);
+    words
+}
+
+/// Scan an `i64` plane: each 64-row chunk is widened to `f64` on the stack
+/// (the same `x as f64` rounding the row-at-a-time reference applies) and
+/// run through the `f64` kernels.
+pub fn scan_i64(values: &[i64], scan: &NumericScan) -> Vec<u64> {
+    scan_i64_with_isa(dispatch::detect(), values, scan)
+}
+
+/// [`scan_i64`] pinned to a specific tier.
+pub fn scan_i64_with_isa(isa: Isa, values: &[i64], scan: &NumericScan) -> Vec<u64> {
+    let n = values.len();
+    let prim = lower(scan);
+    if let Prim::Const(b) = &prim {
+        return if *b {
+            ones_words(n)
+        } else {
+            vec![0u64; n.div_ceil(64)]
+        };
+    }
+    let isa = if isa.available() { isa } else { Isa::Scalar };
+    let mut words = vec![0u64; n.div_ceil(64)];
+    let mut buf = [0.0f64; 64];
+    for (word, chunk) in words.iter_mut().zip(values.chunks(64)) {
+        for (slot, &x) in buf.iter_mut().zip(chunk) {
+            *slot = x as f64;
+        }
+        *word = match isa {
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2Fma if chunk.len() == 64 => unsafe { word64_avx2(buf.as_ptr(), &prim) },
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 if chunk.len() == 64 => unsafe { word64_avx512(buf.as_ptr(), &prim) },
+            _ => word_scalar(&buf[..chunk.len()], &prim),
+        };
+    }
+    words
+}
+
+/// [`scan_i64`] with the result ANDed against validity words.
+pub fn scan_i64_masked(values: &[i64], scan: &NumericScan, validity: &[u64]) -> Vec<u64> {
+    let mut words = scan_i64(values, scan);
+    apply_mask(&mut words, validity);
+    words
+}
+
+/// Scan a `bool` plane given the predicate's precomputed outcome for each
+/// of the two possible values (exact for every predicate kind, since a bool
+/// plane only ever holds two distinct values).
+pub fn scan_bools(values: &[bool], match_true: bool, match_false: bool) -> Vec<u64> {
+    let n = values.len();
+    match (match_true, match_false) {
+        (true, true) => ones_words(n),
+        (false, false) => vec![0u64; n.div_ceil(64)],
+        _ => {
+            // Exactly one of the two values matches.
+            let mut words = vec![0u64; n.div_ceil(64)];
+            for (word, chunk) in words.iter_mut().zip(values.chunks(64)) {
+                let mut w = 0u64;
+                for (i, &b) in chunk.iter().enumerate() {
+                    w |= ((b == match_true) as u64) << i;
+                }
+                *word = w;
+            }
+            words
+        }
+    }
+}
+
+/// [`scan_bools`] with the result ANDed against validity words.
+pub fn scan_bools_masked(
+    values: &[bool],
+    match_true: bool,
+    match_false: bool,
+    validity: &[u64],
+) -> Vec<u64> {
+    let mut words = scan_bools(values, match_true, match_false);
+    apply_mask(&mut words, validity);
+    words
+}
+
+/// Scan a dictionary-code plane given a per-dictionary-value match table
+/// (`table[code]` = does the predicate match that dictionary string).
+///
+/// Fast paths: an all-false or all-true table short-circuits to constant
+/// words; a single matching (or single non-matching) dictionary value
+/// becomes a SIMD code-equality scan (complemented in the latter case);
+/// anything else falls back to a scalar table lookup per row. Codes outside
+/// the table (possible in null sentinel slots) never match — callers AND
+/// with validity via [`scan_codes_masked`].
+pub fn scan_codes(codes: &[u32], table: &[bool]) -> Vec<u64> {
+    scan_codes_with_isa(dispatch::detect(), codes, table)
+}
+
+/// [`scan_codes`] pinned to a specific tier.
+pub fn scan_codes_with_isa(isa: Isa, codes: &[u32], table: &[bool]) -> Vec<u64> {
+    let n = codes.len();
+    let trues = table.iter().filter(|&&b| b).count();
+    if trues == 0 {
+        return vec![0u64; n.div_ceil(64)];
+    }
+    if trues == table.len() {
+        return ones_words(n);
+    }
+    if trues == 1 {
+        let target = table.iter().position(|&b| b).unwrap() as u32;
+        return scan_code_eq(isa, codes, target);
+    }
+    if trues + 1 == table.len() {
+        let target = table.iter().position(|&b| !b).unwrap() as u32;
+        let mut words = scan_code_eq(isa, codes, target);
+        for w in words.iter_mut() {
+            *w = !*w;
+        }
+        mask_tail(&mut words, n);
+        return words;
+    }
+    let mut words = vec![0u64; n.div_ceil(64)];
+    for (word, chunk) in words.iter_mut().zip(codes.chunks(64)) {
+        let mut w = 0u64;
+        for (i, &code) in chunk.iter().enumerate() {
+            let hit = table.get(code as usize).copied().unwrap_or(false);
+            w |= (hit as u64) << i;
+        }
+        *word = w;
+    }
+    words
+}
+
+/// [`scan_codes`] with the result ANDed against validity words.
+pub fn scan_codes_masked(codes: &[u32], table: &[bool], validity: &[u64]) -> Vec<u64> {
+    let mut words = scan_codes(codes, table);
+    apply_mask(&mut words, validity);
+    words
+}
+
+fn scan_code_eq(isa: Isa, codes: &[u32], target: u32) -> Vec<u64> {
+    let isa = if isa.available() { isa } else { Isa::Scalar };
+    let n = codes.len();
+    let mut words = vec![0u64; n.div_ceil(64)];
+    let full = n / 64;
+    #[cfg(target_arch = "x86_64")]
+    let simd_done = match isa {
+        Isa::Avx2Fma => {
+            for (w, word) in words.iter_mut().enumerate().take(full) {
+                *word = unsafe { word64_codes_eq_avx2(codes.as_ptr().add(w * 64), target) };
+            }
+            full
+        }
+        Isa::Avx512 => {
+            for (w, word) in words.iter_mut().enumerate().take(full) {
+                *word = unsafe { word64_codes_eq_avx512(codes.as_ptr().add(w * 64), target) };
+            }
+            full
+        }
+        Isa::Scalar => 0,
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let simd_done = 0;
+    for (w, word) in words.iter_mut().enumerate().skip(simd_done) {
+        let chunk = &codes[w * 64..n.min(w * 64 + 64)];
+        let mut bits = 0u64;
+        for (i, &code) in chunk.iter().enumerate() {
+            bits |= ((code == target) as u64) << i;
+        }
+        *word = bits;
+    }
+    words
+}
+
+/// # Safety
+/// Requires AVX2 and 64 readable u32s at `ptr`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn word64_codes_eq_avx2(ptr: *const u32, target: u32) -> u64 {
+    use std::arch::x86_64::*;
+    let cv = _mm256_set1_epi32(target as i32);
+    let mut word = 0u64;
+    for i in 0..8 {
+        let v = _mm256_loadu_si256(ptr.add(i * 8) as *const __m256i);
+        let m = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, cv)));
+        word |= ((m as u64) & 0xFF) << (i * 8);
+    }
+    word
+}
+
+/// # Safety
+/// Requires AVX-512F and 64 readable u32s at `ptr`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn word64_codes_eq_avx512(ptr: *const u32, target: u32) -> u64 {
+    use std::arch::x86_64::*;
+    let cv = _mm512_set1_epi32(target as i32);
+    let mut word = 0u64;
+    for i in 0..4 {
+        let v = _mm512_loadu_si512(ptr.add(i * 16) as *const _);
+        let m: __mmask16 = _mm512_cmpeq_epi32_mask(v, cv);
+        word |= (m as u64) << (i * 16);
+    }
+    word
+}
+
+fn apply_mask(words: &mut [u64], validity: &[u64]) {
+    debug_assert_eq!(words.len(), validity.len());
+    for (w, v) in words.iter_mut().zip(validity) {
+        *w &= v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    /// Independent row-at-a-time reference mirroring the query layer's
+    /// `Value` comparison semantics.
+    fn ref_bit(scan: &NumericScan, x: f64) -> bool {
+        match scan {
+            NumericScan::Cmp { op, constant } => {
+                let ord = x.total_cmp(constant);
+                let loose = x == *constant || (x.is_nan() && constant.is_nan());
+                match op {
+                    CmpOp::Eq => loose,
+                    CmpOp::Ne => !loose,
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                }
+            }
+            NumericScan::Between { low, high } => x >= *low && x < *high,
+            NumericScan::InSet { values } => {
+                values.iter().any(|&v| x == v || (x.is_nan() && v.is_nan()))
+            }
+            NumericScan::Const { matches } => *matches,
+        }
+    }
+
+    fn ref_words(scan: &NumericScan, values: &[f64]) -> Vec<u64> {
+        let mut words = vec![0u64; values.len().div_ceil(64)];
+        for (i, &x) in values.iter().enumerate() {
+            if ref_bit(scan, x) {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        words
+    }
+
+    fn adversarial_plane(len: usize) -> Vec<f64> {
+        let specials = [
+            f64::NAN,
+            -f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE / 2.0,  // subnormal
+            -f64::MIN_POSITIVE / 2.0, // negative subnormal
+            1.0,
+            -1.0,
+            2.5,
+            -2.5,
+            1e300,
+            -1e300,
+        ];
+        let mut state = 0x5EEDu64;
+        (0..len)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if i % 3 == 0 {
+                    specials[(state >> 33) as usize % specials.len()]
+                } else {
+                    ((state >> 16) as i64 as f64) / 1e7 - 1.0
+                }
+            })
+            .collect()
+    }
+
+    fn battery() -> Vec<NumericScan> {
+        let mut scans = Vec::new();
+        for c in [2.5, 0.0, -0.0, f64::NAN, f64::INFINITY, -1.0, 1e300] {
+            for op in [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ] {
+                scans.push(NumericScan::Cmp { op, constant: c });
+            }
+        }
+        scans.push(NumericScan::Between {
+            low: -1.0,
+            high: 2.5,
+        });
+        scans.push(NumericScan::Between {
+            low: f64::NEG_INFINITY,
+            high: 0.0,
+        });
+        scans.push(NumericScan::InSet {
+            values: vec![2.5, -0.0, f64::NAN],
+        });
+        scans.push(NumericScan::InSet { values: vec![] });
+        scans.push(NumericScan::Const { matches: true });
+        scans.push(NumericScan::Const { matches: false });
+        scans
+    }
+
+    fn available_isas() -> Vec<Isa> {
+        [Isa::Avx512, Isa::Avx2Fma, Isa::Scalar]
+            .into_iter()
+            .filter(|isa| isa.available())
+            .collect()
+    }
+
+    #[test]
+    fn every_tier_matches_the_reference_on_adversarial_f64() {
+        for len in [0usize, 1, 63, 64, 65, 130, 256] {
+            let plane = adversarial_plane(len);
+            for scan in battery() {
+                let expected = ref_words(&scan, &plane);
+                for isa in available_isas() {
+                    let got = scan_f64_with_isa(isa, &plane, &scan);
+                    assert_eq!(got, expected, "isa {isa:?} len {len} scan {scan:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i64_scan_matches_widened_reference() {
+        let values: Vec<i64> = [
+            0i64,
+            1,
+            -1,
+            i64::MAX,
+            i64::MIN,
+            1 << 53,
+            (1 << 53) + 1, // rounds when widened — reference must agree
+            42,
+            -42,
+        ]
+        .into_iter()
+        .cycle()
+        .take(130)
+        .collect();
+        let widened: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+        for scan in battery() {
+            let expected = ref_words(&scan, &widened);
+            for isa in available_isas() {
+                let got = scan_i64_with_isa(isa, &values, &scan);
+                assert_eq!(got, expected, "isa {isa:?} scan {scan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_variants_clear_invalid_rows() {
+        let plane = adversarial_plane(100);
+        let mut validity = vec![!0u64; 2];
+        validity[0] &= !0b1010; // rows 1 and 3 invalid
+        validity[1] &= (1u64 << 36) - 1;
+        let scan = NumericScan::Cmp {
+            op: CmpOp::Ne,
+            constant: 123.0,
+        };
+        let masked = scan_f64_masked(&plane, &scan, &validity);
+        let unmasked = scan_f64(&plane, &scan);
+        for (i, (m, u)) in masked.iter().zip(unmasked.iter()).enumerate() {
+            assert_eq!(*m, u & validity[i]);
+        }
+    }
+
+    #[test]
+    fn bool_scan_covers_all_four_outcome_pairs() {
+        let values: Vec<bool> = (0..70).map(|i| i % 3 == 0).collect();
+        for (mt, mf) in [(false, false), (true, false), (false, true), (true, true)] {
+            let words = scan_bools(&values, mt, mf);
+            assert_eq!(words.len(), 2);
+            for (i, &b) in values.iter().enumerate() {
+                let expected = if b { mt } else { mf };
+                assert_eq!(
+                    words[i / 64] >> (i % 64) & 1,
+                    expected as u64,
+                    "mt {mt} mf {mf} row {i}"
+                );
+            }
+            // Slack bits stay zero.
+            assert_eq!(words[1] >> (70 - 64), 0);
+        }
+    }
+
+    #[test]
+    fn code_scan_fast_paths_match_the_table_lookup() {
+        let dict_len = 5usize;
+        let mut state = 77u64;
+        let codes: Vec<u32> = (0..200)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % dict_len as u64) as u32
+            })
+            .collect();
+        // Tables exercising each fast path plus the general case.
+        let tables: Vec<Vec<bool>> = vec![
+            vec![false; dict_len],
+            vec![true; dict_len],
+            (0..dict_len).map(|i| i == 2).collect(),
+            (0..dict_len).map(|i| i != 2).collect(),
+            (0..dict_len).map(|i| i % 2 == 0).collect(),
+        ];
+        for table in &tables {
+            let mut expected = vec![0u64; codes.len().div_ceil(64)];
+            for (i, &c) in codes.iter().enumerate() {
+                if table[c as usize] {
+                    expected[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+            for isa in available_isas() {
+                let got = scan_codes_with_isa(isa, &codes, table);
+                assert_eq!(got, expected, "isa {isa:?} table {table:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_key_realises_total_cmp() {
+        let xs = adversarial_plane(64);
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(total_key(a).cmp(&total_key(b)), a.total_cmp(&b));
+            }
+        }
+    }
+}
