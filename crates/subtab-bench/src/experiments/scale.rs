@@ -10,7 +10,12 @@
 //! 100 000 rows (the CI quick sub-tier) or 1 000 000 rows (`--scale paper`,
 //! the local acceptance tier) and records, per `(shape, stage)` pair, the
 //! best-of-reps wall time plus the process resident set sampled right
-//! after the stage — the number that actually pages a laptop.
+//! after the stage — the number that actually pages a laptop. Three extra
+//! modes ride along: the embed-stage preprocess twins
+//! (`scale-preprocess-legacy` vs `scale-preprocess-stream`, the
+//! materialized corpus against the streaming builder with pruning,
+//! subsampling and f16 storage on) and the CSV spill → reserved-capacity
+//! ingest path (`scale-ingest-csv`) that feeds the 1M tier.
 //!
 //! Wall times are gated like every other bench: normalised to a fixed
 //! reference mode (`scale-ref-rowscan`, a per-row `Value`-API scan that exercises
@@ -25,9 +30,12 @@ use crate::experiments::common::{format_table, ExperimentScale};
 use crate::experiments::preprocess_scaling::check_gated_modes;
 use std::sync::Arc;
 use std::time::Instant;
+use subtab_binning::Binner;
 use subtab_core::{SelectionParams, SubTab, SubTabConfig};
+use subtab_data::csv::{read_csv_file, write_csv_file};
 use subtab_data::{Query, Table};
 use subtab_datasets::{generate, scale_spec, ScaleShape, ScaleTier};
+use subtab_embed::{train_embedding, train_embedding_materialized, EmbeddingConfig, Quantization};
 use subtab_rules::{MiningConfig, RuleMiner};
 use subtab_server::{ExplorationServer, Request, ServerConfig};
 
@@ -69,6 +77,25 @@ const STAGES: [&str; 4] = ["preprocess", "select", "mine", "serve"];
 /// exceed the baseline's by more than this factor.
 const RSS_FACTOR: f64 = 2.0;
 
+/// Modes beyond the `(shape, stage)` grid: the two embed-stage preprocess
+/// twins on the high-cardinality shape (the materialized-corpus legacy
+/// path against the streaming builder with pruning, subsampling and f16
+/// storage on) and the CSV spill-to-disk → reserved-capacity ingest path
+/// the 1M tier loads through.
+const EXTRA_MODES: [&str; 3] = [
+    "scale-preprocess-legacy",
+    "scale-preprocess-stream",
+    "scale-ingest-csv",
+];
+
+/// Absolute resident ceiling for the embed-stage twins
+/// (`scale-preprocess-*`) at the pinned 100k CI tier. Row count fixes the
+/// working set, so unlike wall time this is machine-independent: blowing
+/// it means the embed stage re-grew a materialized corpus or a
+/// full-vocabulary weight matrix, regardless of what the baseline
+/// recorded.
+const EMBED_RSS_CEILING_100K: u64 = 1024 * 1024 * 1024;
+
 /// The selection query and its serve-stage refinement for a shape, phrased
 /// against the planted archetypes so every query keeps enough matching
 /// rows for a `k × l` selection at any tier.
@@ -101,7 +128,8 @@ pub fn run_on(rows: usize, reps: usize) -> ScaleReport {
         r if r == ScaleTier::Rows1M.num_rows() => ScaleTier::Rows1M.label().to_string(),
         r => r.to_string(),
     };
-    let mut results = Vec::with_capacity(1 + ScaleShape::ALL.len() * STAGES.len());
+    let mut results =
+        Vec::with_capacity(1 + ScaleShape::ALL.len() * STAGES.len() + EXTRA_MODES.len());
 
     // Reference scan first: the wide shape has the most columns, so the
     // row-wise shim pays the full fan-out cost the columnar paths avoid.
@@ -122,6 +150,7 @@ pub fn run_on(rows: usize, reps: usize) -> ScaleReport {
     for shape in ScaleShape::ALL {
         results.extend(run_shape(shape, rows, reps));
     }
+    results.extend(run_extra_modes(rows, reps));
     ScaleReport {
         rows,
         tier,
@@ -216,6 +245,86 @@ fn run_shape(shape: ScaleShape, rows: usize, reps: usize) -> Vec<ScaleStageResul
     }
     out.push(ScaleStageResult {
         mode: label("serve"),
+        wall_ms: best_ms,
+        rss_bytes: resident_bytes(),
+    });
+    out
+}
+
+/// Times the [`EXTRA_MODES`]: both embed-stage preprocess twins on the
+/// high-cardinality shape (the shape whose vocabulary stresses corpus
+/// construction hardest) and the CSV spill → reserved-capacity ingest
+/// path.
+fn run_extra_modes(rows: usize, reps: usize) -> Vec<ScaleStageResult> {
+    let mut out = Vec::with_capacity(EXTRA_MODES.len());
+    let dataset = generate(&scale_spec(ScaleShape::HighCardinality, rows), 97);
+    let config = SubTabConfig::fast();
+    let binner = Binner::fit(&dataset.table, &config.binning).expect("binner fits generated data");
+    let binned = binner.apply(&dataset.table).expect("binning succeeds");
+
+    // Legacy twin: materialized sentence corpus, full vocabulary, dense
+    // f32 weights — the pre-streaming pipeline, kept as the perf anchor.
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let model = train_embedding_materialized(&binned, &config.embedding);
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(model.len());
+    }
+    out.push(ScaleStageResult {
+        mode: "scale-preprocess-legacy".to_string(),
+        wall_ms: best_ms,
+        rss_bytes: resident_bytes(),
+    });
+
+    // Streaming path with the scale knobs on: pairs built straight from
+    // the code planes, rare bins pruned, frequent bins subsampled, and
+    // the trained matrix stored as f16.
+    let stream_config = EmbeddingConfig {
+        min_count: 2,
+        subsample_t: 1e-3,
+        quantize: Quantization::F16,
+        ..config.embedding.clone()
+    };
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let model = train_embedding(&binned, &stream_config);
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(model.len());
+    }
+    out.push(ScaleStageResult {
+        mode: "scale-preprocess-stream".to_string(),
+        wall_ms: best_ms,
+        rss_bytes: resident_bytes(),
+    });
+    drop(binned);
+
+    // CSV spill + ingest: the 1M tier is generated once, spilled to disk
+    // (untimed — that is generator territory) and loaded back through the
+    // reader plus the reserved-capacity append path.
+    let path = std::env::temp_dir().join(format!(
+        "subtab-scale-ingest-{}-{rows}.csv",
+        std::process::id()
+    ));
+    write_csv_file(&dataset.table, &path).expect("csv spill succeeds");
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let spilled = read_csv_file(&path).expect("csv ingest succeeds");
+        let mut ingested = Table::empty(spilled.schema().clone());
+        ingested.reserve_rows(spilled.num_rows());
+        for row in 0..spilled.num_rows() {
+            ingested
+                .push_row(spilled.row(row).expect("row in range"))
+                .expect("spilled row round-trips");
+        }
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(ingested.num_rows(), dataset.table.num_rows());
+    }
+    let _ = std::fs::remove_file(&path);
+    out.push(ScaleStageResult {
+        mode: "scale-ingest-csv".to_string(),
         wall_ms: best_ms,
         rss_bytes: resident_bytes(),
     });
@@ -332,7 +441,9 @@ pub fn parse_rss(json: &str) -> Vec<(String, u64)> {
 /// `BENCH_scale_baseline.json`: wall times through the shared normalised
 /// gate (reference `scale-ref-rowscan`, fractional `threshold`), resident
 /// memory through an absolute 2× ratio check (skipped when either
-/// side reports 0 — non-Linux captures).
+/// side reports 0 — non-Linux captures). At the pinned 100k tier the
+/// embed-stage twins are additionally held under the absolute
+/// `EMBED_RSS_CEILING_100K`, baseline or not.
 pub fn check_against_baseline(
     report: &ScaleReport,
     baseline_json: &str,
@@ -373,6 +484,22 @@ pub fn check_against_baseline(
             lines.push(line);
         }
     }
+    if report.rows == ScaleTier::Rows100k.num_rows() {
+        for r in &report.results {
+            if !r.mode.starts_with("scale-preprocess-") || r.rss_bytes == 0 {
+                continue;
+            }
+            if r.rss_bytes > EMBED_RSS_CEILING_100K {
+                regressions.push(format!(
+                    "REGRESSION {}: {:.1} MiB resident exceeds the {:.0} MiB embed-stage \
+                     ceiling at the 100k tier",
+                    r.mode,
+                    r.rss_bytes as f64 / (1024.0 * 1024.0),
+                    EMBED_RSS_CEILING_100K as f64 / (1024.0 * 1024.0)
+                ));
+            }
+        }
+    }
     if regressions.is_empty() {
         Ok(lines)
     } else {
@@ -400,7 +527,7 @@ mod tests {
         assert_eq!(report.tier, "1200");
         assert_eq!(
             report.results.len(),
-            1 + ScaleShape::ALL.len() * STAGES.len()
+            1 + ScaleShape::ALL.len() * STAGES.len() + EXTRA_MODES.len()
         );
         assert_eq!(report.results[0].mode, REF_MODE);
         for shape in ScaleShape::ALL {
@@ -411,6 +538,12 @@ mod tests {
                     "missing {mode}"
                 );
             }
+        }
+        for mode in EXTRA_MODES {
+            assert!(
+                report.results.iter().any(|r| r.mode == mode),
+                "missing {mode}"
+            );
         }
         assert!(report.results.iter().all(|r| r.wall_ms > 0.0));
         let rendered = render(report);
@@ -486,6 +619,35 @@ mod tests {
         let err = check_against_baseline(report, &to_json(&lean), 0.25).unwrap_err();
         assert_eq!(err.len(), report.results.len());
         assert!(err[0].contains("resident-memory budget"));
+    }
+
+    #[test]
+    fn gate_enforces_the_embed_stage_ceiling_at_the_ci_tier() {
+        let report = tiny_report();
+        if report.results[0].rss_bytes == 0 {
+            // Non-Linux capture: the rss gate self-disables.
+            return;
+        }
+        // Re-badge the tiny run as the pinned CI tier: tiny footprints sit
+        // far under the ceiling, so against itself the gate still passes.
+        let mut pinned = report.clone();
+        pinned.rows = ScaleTier::Rows100k.num_rows();
+        assert!(check_against_baseline(&pinned, &to_json(&pinned), 0.25).is_ok());
+        // Blow both embed twins past the ceiling. The crafted baseline
+        // records the same bytes, so the relative 2x gate stays quiet and
+        // only the absolute ceiling can fire.
+        for r in &mut pinned.results {
+            if r.mode.starts_with("scale-preprocess-") {
+                r.rss_bytes = EMBED_RSS_CEILING_100K + 1;
+            }
+        }
+        let err = check_against_baseline(&pinned, &to_json(&pinned), 0.25).unwrap_err();
+        assert_eq!(err.len(), 2);
+        assert!(err.iter().all(|e| e.contains("embed-stage ceiling")));
+        // At any other row count the same report passes: the ceiling is
+        // meaningless without the pinned working set.
+        pinned.rows = 1_200;
+        assert!(check_against_baseline(&pinned, &to_json(&pinned), 0.25).is_ok());
     }
 
     #[test]

@@ -324,9 +324,15 @@ fn fit_column(col: &Column, config: &BinningConfig) -> ColumnBinner {
         ColumnType::Str | ColumnType::Bool => fit_categorical(col, config),
         // Integer columns with few distinct values (flags, small codes
         // like CANCELLED or MONTH) are treated as categorical; other
-        // numeric columns are binned by the configured strategy.
+        // numeric columns are binned by the configured strategy. The probe
+        // must early-exit at the threshold: a full distinct count over a
+        // ~all-distinct timestamp column is quadratic in rows and used to
+        // dominate the whole fit at the 100k/1M scale tiers.
         ColumnType::Int => {
-            if col.distinct_count() <= config.categorical_int_threshold {
+            if col
+                .distinct_at_most(config.categorical_int_threshold)
+                .is_some()
+            {
                 fit_categorical(col, config)
             } else {
                 fit_numeric(col, config)
@@ -747,6 +753,39 @@ mod tests {
                 assert!(c.num_bins() >= 2);
             }
         }
+    }
+
+    #[test]
+    fn high_cardinality_int_column_fits_fast_with_bounded_bins() {
+        // Regression for the scale tier's timestamp shape: a ~all-distinct
+        // epoch-seconds column. The categorical probe must early-exit at
+        // the threshold (the old full distinct count was O(rows²) and
+        // effectively hung here), and the numeric strategy must keep the
+        // token count per column bounded by the configured bin budget.
+        let rows = 100_000;
+        let values: Vec<Option<i64>> = (0..rows)
+            .map(|i| {
+                if i % 97 == 0 {
+                    None
+                } else {
+                    Some(1_672_531_200 + (i as i64 * 6_007) % 63_158_400)
+                }
+            })
+            .collect();
+        let t = Table::builder()
+            .column_i64("started_at", values)
+            .build()
+            .unwrap();
+        let cfg = BinningConfig::default();
+        let b = Binner::fit(&t, &cfg).unwrap();
+        let c = b.column("started_at").unwrap();
+        assert!(
+            c.num_bins() <= cfg.num_bins + 1,
+            "{} bins exceed the budget of {} value bins + 1 null bin",
+            c.num_bins(),
+            cfg.num_bins
+        );
+        assert!(c.num_bins() >= 2, "binning collapsed the column");
     }
 
     #[test]

@@ -75,6 +75,18 @@ impl DictLookup {
     }
 }
 
+/// Rows inspected before the dictionary-lookup sizing heuristics trust the
+/// observed distinct ratio of a string column.
+const DICT_RATIO_SAMPLE: usize = 1024;
+
+/// Expected number of *new* distinct values among `additional` upcoming rows
+/// of a column that showed `distinct` distinct values over `observed` rows,
+/// clamped to a small floor (rehash slack) and to `additional` itself.
+fn projected_distinct(distinct: usize, observed: usize, additional: usize) -> usize {
+    let ratio = distinct as f64 / observed.max(1) as f64;
+    ((additional as f64 * ratio).ceil() as usize).clamp(additional.min(64), additional.max(1))
+}
+
 /// Typed backing storage of a column: one value plane + one validity plane
 /// (see the [module docs](self) for the layout contract).
 #[derive(Debug, Clone)]
@@ -201,14 +213,20 @@ impl Column {
 
     /// Creates a dictionary-encoded string column.
     pub fn from_str_values<S: AsRef<str>>(name: impl Into<String>, values: Vec<Option<S>>) -> Self {
+        let len = values.len();
         let mut dict: Vec<String> = Vec::new();
         let mut lookup = DictLookup::default();
-        // Same slab heuristic as `reserve`: enough to dodge the first few
-        // rehashes of a bulk load without over-allocating tiny columns.
-        lookup.reserve(values.len().min(64));
-        let mut codes = Vec::with_capacity(values.len());
-        let mut validity = Bitmap::with_capacity(values.len());
+        // Reserve enough for the sampling prefix; once the prefix is
+        // interned the observed distinct ratio sizes the rest of the load
+        // (high-cardinality columns would otherwise rehash the lookup
+        // dozens of times across a bulk ingest).
+        lookup.reserve(len.min(DICT_RATIO_SAMPLE));
+        let mut codes = Vec::with_capacity(len);
+        let mut validity = Bitmap::with_capacity(len);
         for (i, v) in values.into_iter().enumerate() {
+            if i == DICT_RATIO_SAMPLE {
+                lookup.reserve(projected_distinct(dict.len(), i, len - i));
+            }
             match v {
                 None => {
                     codes.push(0);
@@ -271,15 +289,23 @@ impl Column {
             ColumnData::Str {
                 codes,
                 validity,
+                dict,
                 lookup,
-                ..
             } => {
                 validity.reserve(codes.len() + additional);
                 codes.reserve(additional);
-                // Heuristic: most appends repeat existing dictionary values;
-                // reserving a small slab avoids rehash storms on fresh
-                // columns without over-allocating on low-cardinality ones.
-                lookup.reserve(additional.min(64));
+                // Size the lookup from the column's observed distinct ratio
+                // (sampled over at most the first `DICT_RATIO_SAMPLE` rows'
+                // worth of data): a high-cardinality column pre-reserves
+                // close to one slot per appended row, a low-cardinality one
+                // keeps the small slab. A fixed small slab here caused
+                // rehash churn on every reserved bulk append of a
+                // high-cardinality column.
+                lookup.reserve(if codes.is_empty() {
+                    additional.min(64)
+                } else {
+                    projected_distinct(dict.len(), codes.len(), additional)
+                });
             }
         }
     }
@@ -651,6 +677,46 @@ impl Column {
         }
     }
 
+    /// Number of distinct non-null values if it does not exceed `limit`,
+    /// `None` as soon as a `limit + 1`-th distinct value is seen.
+    ///
+    /// Equivalent to `self.distinct_count() <= limit` (same loose numeric
+    /// equality: values that compare equal as `f64`, with all NaNs
+    /// identified, count once) but O(rows) with a bounded hash set instead
+    /// of the O(rows × distinct) pairwise scan of [`Column::distinct`] —
+    /// the difference between milliseconds and tens of seconds when a
+    /// binner probes a ~100k-distinct timestamp column against a
+    /// single-digit categorical threshold.
+    pub fn distinct_at_most(&self, limit: usize) -> Option<usize> {
+        // Canonical key under loose equality: the f64 bit pattern with all
+        // NaNs collapsed and -0.0 folded into +0.0.
+        fn key(x: f64) -> u64 {
+            if x.is_nan() {
+                f64::NAN.to_bits()
+            } else if x == 0.0 {
+                0.0f64.to_bits()
+            } else {
+                x.to_bits()
+            }
+        }
+        match &self.data {
+            ColumnData::Str { .. } => {
+                let n = self.distinct_count();
+                (n <= limit).then_some(n)
+            }
+            _ => {
+                let view = self.numeric_view().expect("non-string column");
+                let mut seen = std::collections::HashSet::with_capacity(limit.saturating_add(1));
+                for (i, &x) in view.values.iter().enumerate() {
+                    if view.validity.get(i) && seen.insert(key(x)) && seen.len() > limit {
+                        return None;
+                    }
+                }
+                Some(seen.len())
+            }
+        }
+    }
+
     /// Number of distinct non-null values.
     pub fn distinct_count(&self) -> usize {
         match &self.data {
@@ -944,6 +1010,63 @@ mod tests {
         assert!(!lookup.overflow.is_empty(), "collision chained to overflow");
         assert_eq!(lookup.get("x", &dict), Some(1));
         assert_eq!(lookup.get("decoy", &dict), None, "hash mismatch stays miss");
+    }
+
+    #[test]
+    fn distinct_at_most_matches_distinct_count() {
+        let cols = [
+            Column::from_i64("i", vec![Some(1), Some(1), Some(2), None, Some(3)]),
+            Column::from_f64(
+                "f",
+                vec![
+                    Some(0.0),
+                    Some(-0.0),
+                    Some(f64::NAN),
+                    Some(f64::NAN),
+                    Some(2.5),
+                    None,
+                ],
+            ),
+            Column::from_bool("b", vec![Some(true), Some(false), Some(true)]),
+            Column::from_str_values("s", vec![Some("a"), Some("b"), Some("a"), None]),
+        ];
+        for c in &cols {
+            let n = c.distinct_count();
+            assert_eq!(c.distinct_at_most(c.len()), Some(n), "{}", c.name());
+            assert_eq!(c.distinct_at_most(n), Some(n), "{}", c.name());
+            if n > 0 {
+                assert_eq!(c.distinct_at_most(n - 1), None, "{}", c.name());
+            }
+        }
+        // Empty column: zero distinct values fit under any limit.
+        assert_eq!(Column::from_i64("e", vec![]).distinct_at_most(0), Some(0));
+    }
+
+    #[test]
+    fn reserve_sizes_lookup_from_distinct_ratio() {
+        // A high-cardinality column (every value distinct) must project
+        // roughly one lookup slot per reserved row, not the old fixed slab.
+        let values: Vec<Option<String>> = (0..2000).map(|i| Some(format!("v{i}"))).collect();
+        let mut c = Column::from_str_values("s", values);
+        c.reserve(10_000);
+        let cap = match &c.data {
+            ColumnData::Str { lookup, .. } => lookup.map.capacity(),
+            _ => unreachable!(),
+        };
+        assert!(cap >= 12_000, "capacity {cap} ignores the distinct ratio");
+
+        // A constant column keeps the small slab.
+        let values: Vec<Option<&str>> = (0..2000).map(|_| Some("same")).collect();
+        let mut c = Column::from_str_values("s", values);
+        c.reserve(1_000_000);
+        let cap = match &c.data {
+            ColumnData::Str { lookup, .. } => lookup.map.capacity(),
+            _ => unreachable!(),
+        };
+        assert!(
+            cap < 10_000,
+            "capacity {cap} over-reserves a constant column"
+        );
     }
 
     #[test]

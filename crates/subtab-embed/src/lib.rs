@@ -12,8 +12,13 @@
 //!
 //! This crate reimplements that pipeline from scratch:
 //!
-//! * [`corpus`] — building and capping the sentence corpus (the paper caps it
-//!   at 100 000 sentences sampled uniformly at random),
+//! * [`stream`] — the default preprocess path: the `(center, context)` pair
+//!   stream built directly from the columnar code planes (no materialized
+//!   sentence corpus), with optional frequency pruning (`min_count`) and
+//!   Word2Vec subsampling (`subsample_t`),
+//! * [`corpus`] — the materialized sentence corpus, preserved as the pinned
+//!   reference twin of the streaming builder (the paper caps it at 100 000
+//!   sentences sampled uniformly at random),
 //! * [`vocab`] — the token vocabulary with a unigram^0.75 negative-sampling
 //!   table,
 //! * [`sgns`] — a sharded skip-gram-with-negative-sampling trainer (the
@@ -21,9 +26,10 @@
 //!   across cores Hogwild-style, with a bit-exact single-threaded reference
 //!   path and a reproducible parallel mode,
 //! * [`model`] — the resulting [`CellEmbedding`]: one flat row-major vector
-//!   matrix over the (column, bin) tokens, plus the [`TokenPlane`] of
-//!   precomputed per-cell embedding-row ids that makes query-time row/column
-//!   gathers string-free (the string index is kept only for the cold API).
+//!   matrix over the (column, bin) tokens — storable as f32, f16 or scaled
+//!   i8 ([`Quantization`]) — plus the [`TokenPlane`] of precomputed per-cell
+//!   embedding-row ids that makes query-time row/column gathers string-free
+//!   (the string index is kept only for the cold API).
 //!
 //! Everything is deterministic given the seed in [`EmbeddingConfig`] unless
 //! `deterministic = false` is combined with `threads > 1` (lock-free
@@ -35,9 +41,11 @@
 pub mod corpus;
 pub mod model;
 pub mod sgns;
+pub mod stream;
 pub mod vocab;
 
 pub use corpus::{build_corpus, Corpus};
-pub use model::{CellEmbedding, TokenPlane, NO_TOKEN};
-pub use sgns::{train_embedding, EmbeddingConfig};
+pub use model::{CellEmbedding, Quantization, TokenPlane, NO_TOKEN};
+pub use sgns::{train_embedding, train_embedding_materialized, EmbeddingConfig};
+pub use stream::{build_pair_stream, PairStream, StreamOptions};
 pub use vocab::{AliasTable, Vocab};

@@ -6,10 +6,18 @@
 //! of a binned table to its embedding-row id once, after which
 //! [`CellEmbedding::row_vector`] / [`CellEmbedding::column_vector`] are pure
 //! integer-indexed gathers over the flat matrix.
+//!
+//! The matrix itself can be re-encoded post-training into half floats or
+//! scaled signed bytes ([`Quantization`]) — the gathers then decode rows on
+//! the fly through the runtime-dispatched `subtab-kernels` dequantizers,
+//! halving or quartering the resident footprint of the largest preprocess
+//! artefact.
 
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 use subtab_binning::BinnedTable;
+use subtab_kernels::dequant::{f16_to_f32, f32_to_f16};
 
 /// Sentinel id for a cell whose (column, bin) token was never embedded
 /// (possible only for bins absent from the training corpus).
@@ -19,14 +27,55 @@ pub const NO_TOKEN: u32 = u32::MAX;
 /// setup than it saves; the sequential path is used regardless of `threads`.
 const PARALLEL_MIN_CELLS: usize = 4096;
 
+/// Post-training storage format of the embedding matrix.
+///
+/// Quantization trades per-weight precision for a 2× ([`Quantization::F16`])
+/// or ~4× ([`Quantization::I8`]) smaller resident matrix — the remaining
+/// memory ceiling of preprocess at the million-row tier. The hot gathers
+/// ([`CellEmbedding::row_vector_into`] and friends) decode rows on the fly
+/// through the runtime-dispatched `subtab-kernels` dequantizers; the
+/// borrow-returning cold APIs ([`CellEmbedding::matrix`],
+/// [`CellEmbedding::vector_by_id`], [`CellEmbedding::vector`]) have no f32
+/// row to lend out of quantized storage and panic — use
+/// [`CellEmbedding::vector_owned`] there instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quantization {
+    /// Keep the full-precision f32 matrix (default; output byte-identical
+    /// to the pre-quantization code).
+    #[default]
+    None,
+    /// IEEE binary16 halves: exact decode, at most 2^-11 relative rounding
+    /// per weight on encode.
+    F16,
+    /// Signed bytes with one f32 scale per row (`max_abs / 127`): each
+    /// weight is within ~0.4% of the row's largest magnitude.
+    I8,
+}
+
+/// The trained matrix in one of the [`Quantization`] encodings.
+#[derive(Debug, Clone)]
+enum Storage {
+    /// Full-precision row-major f32 matrix (the training output).
+    F32(Vec<f32>),
+    /// IEEE binary16 halves in the same row-major layout.
+    F16(Vec<u16>),
+    /// Signed bytes plus one decode scale per matrix row.
+    I8 {
+        /// Row-major `tokens × dim` byte codes.
+        codes: Vec<i8>,
+        /// Per-row scale: `weight = code * scale`.
+        scales: Vec<f32>,
+    },
+}
+
 /// A trained embedding: a dense vector for every (column, bin) token that
 /// occurred in the training corpus.
 #[derive(Debug, Clone)]
 pub struct CellEmbedding {
     dim: usize,
     tokens: Vec<Arc<str>>,
-    /// Row-major `tokens.len() × dim` vector matrix.
-    flat: Vec<f32>,
+    /// Row-major `tokens.len() × dim` vector matrix, possibly quantized.
+    storage: Storage,
     /// Cold string → row-id lookup. The keys share the `Arc<str>` backing of
     /// `tokens`, so each token's character data is stored exactly once.
     index: HashMap<Arc<str>, usize>,
@@ -58,8 +107,75 @@ impl CellEmbedding {
         CellEmbedding {
             dim,
             tokens,
-            flat,
+            storage: Storage::F32(flat),
             index,
+        }
+    }
+
+    /// Re-encodes the matrix into the requested storage format, consuming
+    /// the model. `Quantization::None` is the identity.
+    ///
+    /// # Panics
+    /// Panics if the model is already quantized (quantization is a one-way,
+    /// post-training step).
+    pub fn quantized(mut self, quantization: Quantization) -> Self {
+        if quantization == Quantization::None {
+            return self;
+        }
+        let flat = match std::mem::replace(&mut self.storage, Storage::F32(Vec::new())) {
+            Storage::F32(flat) => flat,
+            other => {
+                panic!("CellEmbedding::quantized: storage is already quantized ({other:?})")
+            }
+        };
+        self.storage = match quantization {
+            Quantization::None => unreachable!(),
+            Quantization::F16 => Storage::F16(flat.iter().map(|&x| f32_to_f16(x)).collect()),
+            Quantization::I8 => {
+                let mut codes = Vec::with_capacity(flat.len());
+                let mut scales = Vec::with_capacity(self.tokens.len());
+                if self.dim == 0 {
+                    scales.resize(self.tokens.len(), 0.0);
+                } else {
+                    for row in flat.chunks_exact(self.dim) {
+                        let max_abs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                        let scale = max_abs / 127.0;
+                        scales.push(scale);
+                        if scale == 0.0 {
+                            codes.extend(std::iter::repeat_n(0i8, self.dim));
+                        } else {
+                            let inv = 127.0 / max_abs;
+                            codes.extend(
+                                row.iter()
+                                    .map(|&x| (x * inv).round().clamp(-127.0, 127.0) as i8),
+                            );
+                        }
+                    }
+                }
+                Storage::I8 { codes, scales }
+            }
+        };
+        self
+    }
+
+    /// The storage format the matrix currently uses.
+    pub fn quantization(&self) -> Quantization {
+        match &self.storage {
+            Storage::F32(_) => Quantization::None,
+            Storage::F16(_) => Quantization::F16,
+            Storage::I8 { .. } => Quantization::I8,
+        }
+    }
+
+    /// The f32 matrix, or a panic naming `what` when storage is quantized.
+    fn dense(&self, what: &str) -> &[f32] {
+        match &self.storage {
+            Storage::F32(flat) => flat,
+            _ => panic!(
+                "CellEmbedding::{what}: matrix is quantized ({:?}); use vector_owned or the \
+                 *_into gathers, which decode on the fly",
+                self.quantization()
+            ),
         }
     }
 
@@ -84,8 +200,11 @@ impl CellEmbedding {
     }
 
     /// The flat row-major `len() × dim` vector matrix.
+    ///
+    /// # Panics
+    /// Panics on quantized storage (no f32 matrix exists to borrow).
     pub fn matrix(&self) -> &[f32] {
-        &self.flat
+        self.dense("matrix")
     }
 
     /// The embedding-row id of a token, if the token was seen during
@@ -96,12 +215,35 @@ impl CellEmbedding {
 
     /// The vector stored at embedding row `id`.
     ///
-    /// Panics if `id` is [`NO_TOKEN`] or out of range; gather loops must
-    /// skip sentinel cells before indexing.
+    /// Panics if `id` is [`NO_TOKEN`] or out of range (gather loops must
+    /// skip sentinel cells before indexing), or on quantized storage — use
+    /// [`CellEmbedding::vector_owned`] there.
     #[inline]
     pub fn vector_by_id(&self, id: u32) -> &[f32] {
         let start = id as usize * self.dim;
-        &self.flat[start..start + self.dim]
+        &self.dense("vector_by_id")[start..start + self.dim]
+    }
+
+    /// The vector at embedding row `id`, decoded into an owned buffer — the
+    /// cold-path accessor that works for every storage format.
+    ///
+    /// Panics if `id` is [`NO_TOKEN`] or out of range.
+    pub fn vector_owned(&self, id: u32) -> Vec<f32> {
+        let start = id as usize * self.dim;
+        match &self.storage {
+            Storage::F32(flat) => flat[start..start + self.dim].to_vec(),
+            Storage::F16(halves) => halves[start..start + self.dim]
+                .iter()
+                .map(|&h| f16_to_f32(h))
+                .collect(),
+            Storage::I8 { codes, scales } => {
+                let scale = scales[id as usize];
+                codes[start..start + self.dim]
+                    .iter()
+                    .map(|&c| c as f32 * scale)
+                    .collect()
+            }
+        }
     }
 
     /// The vector of a token, if the token was seen during training (cold
@@ -148,20 +290,51 @@ impl CellEmbedding {
         debug_assert_eq!(out.len(), self.dim);
         out.fill(0.0);
         let ids = plane.row_ids(row);
-        let mut n = 0usize;
-        for &c in cols {
-            let id = ids[c];
-            if id != NO_TOKEN {
-                for (a, x) in out.iter_mut().zip(self.vector_by_id(id)) {
-                    *a += x;
-                }
-                n += 1;
-            }
-        }
+        let n = self.accumulate(out, cols.iter().map(|&c| ids[c]));
         if n > 0 {
             let inv = 1.0 / n as f32;
             out.iter_mut().for_each(|a| *a *= inv);
         }
+    }
+
+    /// Adds the matrix row of every non-sentinel id into `acc`, decoding
+    /// quantized storage on the fly through the runtime-dispatched
+    /// `subtab-kernels` dequantizers, and returns how many rows contributed.
+    /// The f32 arm keeps the exact operation order of the pre-quantization
+    /// gather, so dense models stay bit-identical.
+    fn accumulate(&self, acc: &mut [f32], ids: impl Iterator<Item = u32>) -> usize {
+        let dim = self.dim;
+        let mut n = 0usize;
+        match &self.storage {
+            Storage::F32(flat) => {
+                for id in ids.filter(|&id| id != NO_TOKEN) {
+                    let start = id as usize * dim;
+                    for (a, x) in acc.iter_mut().zip(&flat[start..start + dim]) {
+                        *a += x;
+                    }
+                    n += 1;
+                }
+            }
+            Storage::F16(halves) => {
+                for id in ids.filter(|&id| id != NO_TOKEN) {
+                    let start = id as usize * dim;
+                    subtab_kernels::add_assign_f16(acc, &halves[start..start + dim]);
+                    n += 1;
+                }
+            }
+            Storage::I8 { codes, scales } => {
+                for id in ids.filter(|&id| id != NO_TOKEN) {
+                    let start = id as usize * dim;
+                    subtab_kernels::add_assign_i8(
+                        acc,
+                        &codes[start..start + dim],
+                        scales[id as usize],
+                    );
+                    n += 1;
+                }
+            }
+        }
+        n
     }
 
     /// The column-vector of a column: the average of its cell vectors over
@@ -183,16 +356,7 @@ impl CellEmbedding {
     ) {
         debug_assert_eq!(out.len(), self.dim);
         out.fill(0.0);
-        let mut n = 0usize;
-        for &r in rows {
-            let id = plane.id(r, col);
-            if id != NO_TOKEN {
-                for (a, x) in out.iter_mut().zip(self.vector_by_id(id)) {
-                    *a += x;
-                }
-                n += 1;
-            }
-        }
+        let n = self.accumulate(out, rows.iter().map(|&r| plane.id(r, col)));
         if n > 0 {
             let inv = 1.0 / n as f32;
             out.iter_mut().for_each(|a| *a *= inv);
@@ -590,6 +754,47 @@ mod tests {
             assert_eq!(sequential, m.row_vectors(&plane, &rows, &cols, threads));
             assert_eq!(col_seq, m.column_vectors(&plane, &cols, &rows, threads));
         }
+    }
+
+    #[test]
+    fn quantized_gathers_track_the_dense_reference() {
+        let (m, bt) = toy_model();
+        let plane = m.token_plane(&bt);
+        let dense_rv = m.row_vector(&plane, 1, &[0, 1]);
+        let dense_cv = m.column_vector(&plane, 0, &[0, 1]);
+        for q in [Quantization::F16, Quantization::I8] {
+            let qm = m.clone().quantized(q);
+            assert_eq!(qm.quantization(), q);
+            assert_eq!(qm.len(), m.len());
+            let tol = match q {
+                Quantization::F16 => 1e-3,
+                _ => 1e-2,
+            };
+            for (got, want) in qm.row_vector(&plane, 1, &[0, 1]).iter().zip(&dense_rv) {
+                assert!((got - want).abs() <= tol, "{q:?}: {got} vs {want}");
+            }
+            for (got, want) in qm.column_vector(&plane, 0, &[0, 1]).iter().zip(&dense_cv) {
+                assert!((got - want).abs() <= tol, "{q:?}: {got} vs {want}");
+            }
+            // The owned decoder agrees with the dense rows to the same tol.
+            for id in 0..qm.len() as u32 {
+                for (got, want) in qm.vector_owned(id).iter().zip(m.vector_by_id(id)) {
+                    assert!((got - want).abs() <= tol, "{q:?} row {id}");
+                }
+            }
+        }
+        // None is the identity: storage stays dense and borrowable.
+        let same = m.clone().quantized(Quantization::None);
+        assert_eq!(same.quantization(), Quantization::None);
+        assert_eq!(same.matrix(), m.matrix());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantized")]
+    fn borrowing_the_matrix_of_a_quantized_model_panics() {
+        let (m, _) = toy_model();
+        let qm = m.quantized(Quantization::F16);
+        let _ = qm.matrix();
     }
 
     #[test]

@@ -36,8 +36,9 @@
 //! the corrected schedule (and only by it).
 
 use crate::corpus::{build_corpus, Corpus, CorpusOptions};
-use crate::model::CellEmbedding;
-use crate::vocab::AliasTable;
+use crate::model::{CellEmbedding, Quantization};
+use crate::stream::{build_pair_stream, StreamOptions};
+use crate::vocab::{AliasTable, Vocab};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -67,6 +68,23 @@ pub struct EmbeddingConfig {
     pub include_column_sentences: bool,
     /// RNG seed (initialisation, negative sampling, corpus subsample).
     pub seed: u64,
+    /// Minimum corpus occurrence count for a token to enter the vocabulary
+    /// (counted like the materialized corpus: every cell visit, so ×2 when
+    /// column sentences are on). Pruned cells resolve to `NO_TOKEN` in the
+    /// token plane, which selection already skips. `0` (the default) and
+    /// `1` keep everything — and keep preprocess output byte-identical.
+    #[serde(default)]
+    pub min_count: u64,
+    /// Word2Vec frequency-subsampling threshold `t`: an occurrence of a
+    /// token with corpus frequency `f` is kept with probability
+    /// `min(1, sqrt(t/f) + t/f)` under a deterministic seeded hash.
+    /// `0.0` (the default) disables subsampling. Typical: 1e-3 .. 1e-5.
+    #[serde(default)]
+    pub subsample_t: f64,
+    /// Post-training storage format of the embedding matrix; see
+    /// [`Quantization`]. The default keeps the full-precision f32 matrix.
+    #[serde(default)]
+    pub quantize: Quantization,
     /// Worker threads for the sharded trainer. `0` uses all available
     /// cores; `1` (the default) trains on a single thread.
     pub threads: usize,
@@ -91,6 +109,9 @@ impl Default for EmbeddingConfig {
             max_column_sentence_len: 64,
             include_column_sentences: true,
             seed: 42,
+            min_count: 0,
+            subsample_t: 0.0,
+            quantize: Quantization::None,
             threads: 1,
             deterministic: true,
         }
@@ -107,6 +128,18 @@ impl EmbeddingConfig {
         }
     }
 
+    fn stream_options(&self) -> StreamOptions {
+        StreamOptions {
+            max_sentences: self.max_sentences,
+            max_column_sentence_len: self.max_column_sentence_len,
+            include_column_sentences: self.include_column_sentences,
+            seed: self.seed,
+            window: self.window,
+            min_count: self.min_count,
+            subsample_t: self.subsample_t,
+        }
+    }
+
     /// The worker count after resolving `threads = 0` to the machine's
     /// available parallelism.
     pub fn effective_threads(&self) -> usize {
@@ -119,17 +152,44 @@ impl EmbeddingConfig {
     }
 }
 
-/// Trains cell embeddings for a binned table: builds the tabular-sentence
-/// corpus and runs SGNS over it. This is the expensive half of SubTab's
-/// pre-processing phase.
+/// Trains cell embeddings for a binned table. This is the expensive half of
+/// SubTab's pre-processing phase.
+///
+/// The pair stream is built directly from the columnar code planes
+/// ([`build_pair_stream`]) — no materialized sentence corpus — honouring the
+/// config's `min_count` / `subsample_t` pruning knobs; with the knobs at
+/// their defaults the stream, and therefore the trained model, is
+/// byte-identical to [`train_embedding_materialized`].
 pub fn train_embedding(binned: &BinnedTable, config: &EmbeddingConfig) -> CellEmbedding {
+    let stream = build_pair_stream(binned, &config.stream_options());
+    train_pairs(&stream.vocab, &stream.pairs, config)
+}
+
+/// The pre-streaming preprocess pipeline, preserved as the pinned reference
+/// twin: materialize the sentence corpus, then flatten and train. Ignores
+/// `min_count` / `subsample_t` (the materialized builder has no pruning);
+/// the equivalence suite and the `scale-preprocess-legacy` bench comparator
+/// run through here.
+pub fn train_embedding_materialized(
+    binned: &BinnedTable,
+    config: &EmbeddingConfig,
+) -> CellEmbedding {
     let corpus = build_corpus(binned, &config.corpus_options());
     train_on_corpus(&corpus, config)
 }
 
 /// Trains SGNS on an already-built corpus (exposed for ablation benches).
 pub fn train_on_corpus(corpus: &Corpus, config: &EmbeddingConfig) -> CellEmbedding {
-    let vocab_size = corpus.vocab.len();
+    let pairs = flatten_pairs(corpus, config.window);
+    train_pairs(&corpus.vocab, &pairs, config)
+}
+
+/// Trains SGNS over a flat `(center, context)` pair buffer and its
+/// vocabulary — the shared back half of the streaming and materialized
+/// entry points. The weight matrices are allocated once, sized from the
+/// (possibly pruned) vocabulary.
+pub fn train_pairs(vocab: &Vocab, pairs: &[[u32; 2]], config: &EmbeddingConfig) -> CellEmbedding {
+    let vocab_size = vocab.len();
     let dim = config.dim.max(1);
     let mut rng = StdRng::seed_from_u64(config.seed);
     if vocab_size == 0 {
@@ -144,18 +204,17 @@ pub fn train_on_corpus(corpus: &Corpus, config: &EmbeddingConfig) -> CellEmbeddi
         .collect();
     let mut w_out: Vec<f32> = vec![0.0; vocab_size * dim];
 
-    let pairs = flatten_pairs(corpus, config.window);
     if !pairs.is_empty() {
         let threads = config.effective_threads().max(1).min(pairs.len());
         match (threads, config.deterministic) {
-            (1, true) => train_reference(corpus, config, &pairs, &mut w_in, &mut w_out, &mut rng),
-            (1, false) => train_fast_sequential(corpus, config, &pairs, &mut w_in, &mut w_out),
-            (n, true) => train_sharded_averaged(corpus, config, &pairs, n, &mut w_in, &mut w_out),
-            (n, false) => train_hogwild(corpus, config, &pairs, n, &mut w_in, &mut w_out),
+            (1, true) => train_reference(vocab, config, pairs, &mut w_in, &mut w_out, &mut rng),
+            (1, false) => train_fast_sequential(vocab, config, pairs, &mut w_in, &mut w_out),
+            (n, true) => train_sharded_averaged(vocab, config, pairs, n, &mut w_in, &mut w_out),
+            (n, false) => train_hogwild(vocab, config, pairs, n, &mut w_in, &mut w_out),
         }
     }
 
-    CellEmbedding::from_flat(dim, corpus.vocab.tokens().to_vec(), w_in)
+    CellEmbedding::from_flat(dim, vocab.tokens().to_vec(), w_in).quantized(config.quantize)
 }
 
 // ---------------------------------------------------------------------------
@@ -224,7 +283,7 @@ fn count_pairs(corpus: &Corpus, window: Option<usize>) -> usize {
 /// sampling, one RNG stream continuing from initialisation. Golden
 /// embeddings are validated against this path.
 fn train_reference(
-    corpus: &Corpus,
+    vocab: &Vocab,
     config: &EmbeddingConfig,
     pairs: &[[u32; 2]],
     w_in: &mut [f32],
@@ -251,7 +310,7 @@ fn train_reference(
                 let (target, label) = if neg == 0 {
                     (context, 1.0f32)
                 } else {
-                    (corpus.vocab.sample_negative(rng), 0.0f32)
+                    (vocab.sample_negative(rng), 0.0f32)
                 };
                 if label == 0.0 && target == context {
                     continue;
@@ -874,7 +933,7 @@ unsafe fn shard_kernel_dyn(
 /// weight access — reproducible run to run, but not bit-compatible with the
 /// reference path (table sigmoid, alias draws).
 fn train_fast_sequential(
-    corpus: &Corpus,
+    vocab: &Vocab,
     config: &EmbeddingConfig,
     pairs: &[[u32; 2]],
     w_in: &mut [f32],
@@ -883,7 +942,7 @@ fn train_fast_sequential(
     let dim = config.dim.max(1);
     let epochs = config.epochs.max(1);
     let sig = SigmoidTable::new();
-    let alias = corpus.vocab.alias_table();
+    let alias = vocab.alias_table();
     let mut a_in = AlignedBuf::from_slice(w_in);
     let mut a_out = AlignedBuf::from_slice(w_out);
     let w = WeightsPtr::new(a_in.as_mut_slice(), a_out.as_mut_slice(), dim);
@@ -911,7 +970,7 @@ fn train_fast_sequential(
 /// no synchronisation at all (scoped threads, racy f32 updates). Fastest
 /// mode; repeated runs differ in the low bits whenever shards truly race.
 fn train_hogwild(
-    corpus: &Corpus,
+    vocab: &Vocab,
     config: &EmbeddingConfig,
     pairs: &[[u32; 2]],
     threads: usize,
@@ -921,7 +980,7 @@ fn train_hogwild(
     let dim = config.dim.max(1);
     let epochs = config.epochs.max(1);
     let sig = &SigmoidTable::new();
-    let alias = corpus.vocab.alias_table();
+    let alias = vocab.alias_table();
     let shards = shard_pairs(pairs, threads);
     let mut a_in = AlignedBuf::from_slice(w_in);
     let mut a_out = AlignedBuf::from_slice(w_out);
@@ -959,7 +1018,7 @@ fn train_hogwild(
 /// shard, replica and RNG stream — never on scheduling — so repeated runs
 /// are bit-identical even at high thread counts.
 fn train_sharded_averaged(
-    corpus: &Corpus,
+    vocab: &Vocab,
     config: &EmbeddingConfig,
     pairs: &[[u32; 2]],
     threads: usize,
@@ -969,7 +1028,7 @@ fn train_sharded_averaged(
     let dim = config.dim.max(1);
     let epochs = config.epochs.max(1);
     let sig = &SigmoidTable::new();
-    let alias = corpus.vocab.alias_table();
+    let alias = vocab.alias_table();
     let shards = shard_pairs(pairs, threads);
     let n = shards.len();
 

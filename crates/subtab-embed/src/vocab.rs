@@ -131,6 +131,31 @@ impl Vocab {
     /// distribution).
     const SAMPLING_TABLE_SIZE: usize = 1 << 16;
 
+    /// Builds a vocabulary from pre-counted tokens, preserving the given id
+    /// order and counts — the constructor the streaming corpus builder uses
+    /// after it has histogrammed the code planes (where [`Vocab::add`] would
+    /// reset every count to one insertion at a time). The caller must still
+    /// run [`Vocab::build_sampling_table`] before sampling.
+    ///
+    /// # Panics
+    /// Panics if `tokens` and `counts` differ in length or `tokens` contains
+    /// a duplicate.
+    pub fn from_tokens_and_counts(tokens: Vec<String>, counts: Vec<u64>) -> Self {
+        assert_eq!(tokens.len(), counts.len(), "tokens/counts length mismatch");
+        let mut index = HashMap::with_capacity(tokens.len());
+        for (id, token) in tokens.iter().enumerate() {
+            let prev = index.insert(token.clone(), id as u32);
+            assert!(prev.is_none(), "duplicate token {token:?}");
+        }
+        Vocab {
+            tokens,
+            index,
+            counts,
+            sampling_table: Vec::new(),
+            alias: AliasTable::default(),
+        }
+    }
+
     /// Interns a token, returning its id and incrementing its count.
     pub fn add(&mut self, token: &str) -> u32 {
         match self.index.get(token) {

@@ -1,0 +1,343 @@
+//! Dequantizing accumulators for compact embedding storage: add an f16- or
+//! i8-encoded embedding row into an f32 accumulator in one pass.
+//!
+//! `subtab-embed` can store a trained embedding matrix as IEEE half floats
+//! (16 bits per weight) or as signed bytes with one f32 scale per row
+//! (8 bits per weight plus 4 bytes per row). The hot path over that storage
+//! is the cell-vector gather — sum a handful of matrix rows into a scratch
+//! accumulator, then divide — so the kernel surface is exactly that
+//! accumulation step, fused with the decode.
+//!
+//! # Bit-compatibility contract
+//!
+//! Both kernels are elementwise: lane `i` of the output depends only on
+//! `dst[i]` and `src[i]`. The f16 decode is exact (every half float is
+//! representable as an f32), and the i8 path rounds the product before the
+//! add on every tier (multiply then add, never a fused multiply-add), so the
+//! vector tiers are bit-identical to the pinned scalar twins by
+//! construction. The equivalence tests below pin that across tiers.
+//!
+//! The half-float codecs themselves ([`f16_to_f32`], [`f32_to_f16`]) are
+//! plain bit manipulation with round-to-nearest-even, exhaustively
+//! round-trip tested over all 65 536 half patterns.
+
+use crate::dispatch::{self, Isa};
+
+/// Decode one IEEE 754 binary16 value to f32. Exact for every input,
+/// including subnormals, infinities and NaN (payload preserved, quiet bit
+/// set).
+#[inline(always)]
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let man = (h & 0x03ff) as u32;
+    f32::from_bits(match (exp, man) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal half: value = m * 2^-24 with m in 1..=0x3ff.
+            // Normalise the most significant bit of m into the implicit bit.
+            let p = 31 - m.leading_zeros(); // MSB position, 0..=9
+            let e = p + 103; // (p - 24) + 127
+            sign | (e << 23) | ((m << (23 - p)) & 0x007f_ffff)
+        }
+        (31, 0) => sign | 0x7f80_0000,
+        (31, m) => sign | 0x7fc0_0000 | (m << 13),
+        (e, m) => sign | ((e + 112) << 23) | (m << 13),
+    })
+}
+
+/// Encode an f32 as IEEE 754 binary16 with round-to-nearest-even.
+///
+/// Values above the half range become infinity; values below the smallest
+/// subnormal half round to (signed) zero; NaN stays NaN with the payload
+/// truncated and the quiet bit set.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 0xff {
+        return if man == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00 | ((man >> 13) as u16 & 0x03ff)
+        };
+    }
+    let unbiased = exp - 127;
+    if unbiased >= 16 {
+        return sign | 0x7c00;
+    }
+    if unbiased >= -14 {
+        // Normal half: drop 13 mantissa bits with round-to-nearest-even.
+        let mut m = man >> 13;
+        let rest = man & 0x1fff;
+        if rest > 0x1000 || (rest == 0x1000 && m & 1 == 1) {
+            m += 1;
+        }
+        let mut e = (unbiased + 15) as u32;
+        if m == 0x400 {
+            m = 0;
+            e += 1;
+            if e >= 31 {
+                return sign | 0x7c00;
+            }
+        }
+        return sign | ((e as u16) << 10) | m as u16;
+    }
+    if unbiased >= -25 {
+        // Subnormal half: shift the full significand (implicit bit included)
+        // right, rounding to nearest-even. A carry out of the top reaches
+        // the smallest normal half, whose bit pattern is still `m`.
+        let full = man | 0x0080_0000;
+        let shift = (13 - 14 - unbiased) as u32;
+        let mut m = full >> shift;
+        let rest = full & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        if rest > half || (rest == half && m & 1 == 1) {
+            m += 1;
+        }
+        return sign | m as u16;
+    }
+    sign
+}
+
+/// Pinned scalar twin of [`add_assign_f16`]: `dst[i] += decode(src[i])`.
+pub fn add_assign_f16_scalar(dst: &mut [f32], src: &[u16]) {
+    assert_eq!(dst.len(), src.len(), "dst/src length mismatch");
+    for (d, &h) in dst.iter_mut().zip(src) {
+        *d += f16_to_f32(h);
+    }
+}
+
+/// Pinned scalar twin of [`add_assign_i8`]: `dst[i] += codes[i] * scale`,
+/// with the product rounded before the add (no fused multiply-add).
+pub fn add_assign_i8_scalar(dst: &mut [f32], codes: &[i8], scale: f32) {
+    assert_eq!(dst.len(), codes.len(), "dst/codes length mismatch");
+    for (d, &c) in dst.iter_mut().zip(codes) {
+        *d += c as f32 * scale;
+    }
+}
+
+/// Add a half-float row into an f32 accumulator, dispatching on the best
+/// available ISA tier (honours `SUBTAB_FORCE_SCALAR_KERNELS`).
+pub fn add_assign_f16(dst: &mut [f32], src: &[u16]) {
+    add_assign_f16_with_isa(dispatch::detect(), dst, src)
+}
+
+/// [`add_assign_f16`] with an explicit ISA tier, for equivalence tests.
+///
+/// The vector tiers additionally require the `f16c` CPU flag (present on
+/// every AVX2 part this workspace targets) and fall back to the scalar twin
+/// without it — the result is bit-identical either way.
+pub fn add_assign_f16_with_isa(isa: Isa, dst: &mut [f32], src: &[u16]) {
+    assert_eq!(dst.len(), src.len(), "dst/src length mismatch");
+    match isa {
+        Isa::Scalar => add_assign_f16_scalar(dst, src),
+        Isa::Avx2Fma | Isa::Avx512 => {
+            #[cfg(target_arch = "x86_64")]
+            if is_x86_feature_detected!("avx") && is_x86_feature_detected!("f16c") {
+                // SAFETY: `avx` and `f16c` were just detected.
+                unsafe { add_assign_f16_f16c(dst, src) };
+                return;
+            }
+            add_assign_f16_scalar(dst, src)
+        }
+    }
+}
+
+/// Add a scaled i8 row into an f32 accumulator, dispatching on the best
+/// available ISA tier (honours `SUBTAB_FORCE_SCALAR_KERNELS`).
+pub fn add_assign_i8(dst: &mut [f32], codes: &[i8], scale: f32) {
+    add_assign_i8_with_isa(dispatch::detect(), dst, codes, scale)
+}
+
+/// [`add_assign_i8`] with an explicit ISA tier, for equivalence tests.
+pub fn add_assign_i8_with_isa(isa: Isa, dst: &mut [f32], codes: &[i8], scale: f32) {
+    assert_eq!(dst.len(), codes.len(), "dst/codes length mismatch");
+    match isa {
+        Isa::Scalar => add_assign_i8_scalar(dst, codes, scale),
+        Isa::Avx2Fma | Isa::Avx512 => {
+            #[cfg(target_arch = "x86_64")]
+            if Isa::Avx2Fma.available() {
+                // SAFETY: the AVX2 tier was just confirmed available.
+                unsafe { add_assign_i8_avx2(dst, codes, scale) };
+                return;
+            }
+            add_assign_i8_scalar(dst, codes, scale)
+        }
+    }
+}
+
+/// Eight halves decoded per iteration via `vcvtph2ps` (exact, same bits as
+/// the scalar decode) plus one vector add; the tail runs the scalar twin.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx,f16c")]
+unsafe fn add_assign_f16_f16c(dst: &mut [f32], src: &[u16]) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let h = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+        let v = _mm256_cvtph_ps(h);
+        let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_add_ps(d, v));
+        i += 8;
+    }
+    for k in i..n {
+        dst[k] += f16_to_f32(src[k]);
+    }
+}
+
+/// Eight codes sign-extended and converted per iteration; multiply and add
+/// stay separate instructions so the rounding sequence matches the scalar
+/// twin exactly.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_assign_i8_avx2(dst: &mut [f32], codes: &[i8], scale: f32) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let s = _mm256_set1_ps(scale);
+    let mut i = 0;
+    while i + 8 <= n {
+        let c = _mm_loadl_epi64(codes.as_ptr().add(i) as *const __m128i);
+        let w = _mm256_cvtepi8_epi32(c);
+        let v = _mm256_cvtepi32_ps(w);
+        let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+        _mm256_storeu_ps(
+            dst.as_mut_ptr().add(i),
+            _mm256_add_ps(d, _mm256_mul_ps(v, s)),
+        );
+        i += 8;
+    }
+    for k in i..n {
+        dst[k] += codes[k] as f32 * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_round_trip_is_exhaustively_exact() {
+        for h in 0..=u16::MAX {
+            let f = f16_to_f32(h);
+            let back = f32_to_f16(f);
+            if f.is_nan() {
+                // NaN encodes back to *a* NaN with the same sign/payload.
+                assert_eq!(back & 0x7c00, 0x7c00);
+                assert_ne!(back & 0x03ff, 0);
+            } else {
+                assert_eq!(
+                    back, h,
+                    "half 0x{h:04x} decoded to {f} re-encoded to 0x{back:04x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f16_encode_known_values() {
+        assert_eq!(f32_to_f16(0.0), 0x0000);
+        assert_eq!(f32_to_f16(-0.0), 0x8000);
+        assert_eq!(f32_to_f16(1.0), 0x3c00);
+        assert_eq!(f32_to_f16(0.5), 0x3800);
+        assert_eq!(f32_to_f16(-2.0), 0xc000);
+        assert_eq!(f32_to_f16(65504.0), 0x7bff); // largest finite half
+        assert_eq!(f32_to_f16(65520.0), 0x7c00); // rounds to +inf
+        assert_eq!(f32_to_f16(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16(f32::NEG_INFINITY), 0xfc00);
+        assert_eq!(f32_to_f16(5.960_464_5e-8), 0x0001); // smallest subnormal
+        assert_eq!(f32_to_f16(1.0e-10), 0x0000); // underflows to zero
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_encode_rounds_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 0x3c00 and 0x3c01 -> even.
+        let halfway_low = 1.0f32 + (2.0f32).powi(-11);
+        assert_eq!(f32_to_f16(halfway_low), 0x3c00);
+        // 1 + 3 * 2^-11 is halfway between 0x3c01 and 0x3c02 -> even (0x3c02).
+        let halfway_high = 1.0f32 + 3.0 * (2.0f32).powi(-11);
+        assert_eq!(f32_to_f16(halfway_high), 0x3c02);
+        // Just above the low halfway point rounds up.
+        assert_eq!(
+            f32_to_f16(1.0f32 + (2.0f32).powi(-11) + (2.0f32).powi(-20)),
+            0x3c01
+        );
+    }
+
+    fn lcg_f32(state: &mut u64) -> f32 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((*state >> 33) as i32) as f32) * 1.0e-8
+    }
+
+    #[test]
+    fn f16_add_assign_tiers_are_bit_identical() {
+        let mut state = 7u64;
+        for n in [0usize, 1, 7, 8, 9, 31, 32, 64, 67] {
+            let src: Vec<u16> = (0..n).map(|_| f32_to_f16(lcg_f32(&mut state))).collect();
+            let base: Vec<f32> = (0..n).map(|_| lcg_f32(&mut state)).collect();
+            let mut want = base.clone();
+            add_assign_f16_scalar(&mut want, &src);
+            for isa in [Isa::Avx2Fma, Isa::Avx512] {
+                let mut got = base.clone();
+                add_assign_f16_with_isa(isa, &mut got, &src);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "n={n} isa={isa:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i8_add_assign_tiers_are_bit_identical() {
+        let mut state = 11u64;
+        for n in [0usize, 1, 7, 8, 9, 31, 32, 64, 67] {
+            let codes: Vec<i8> = (0..n)
+                .map(|_| ((lcg_f32(&mut state) * 1.0e10) as i64 % 128) as i8)
+                .collect();
+            let base: Vec<f32> = (0..n).map(|_| lcg_f32(&mut state)).collect();
+            let scale = 0.0123f32;
+            let mut want = base.clone();
+            add_assign_i8_scalar(&mut want, &codes, scale);
+            for isa in [Isa::Avx2Fma, Isa::Avx512] {
+                let mut got = base.clone();
+                add_assign_i8_with_isa(isa, &mut got, &codes, scale);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "n={n} isa={isa:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_scalar_pins_default_dispatch() {
+        // Whatever tier `detect()` lands on, the default entry points must
+        // match the scalar twin bit-for-bit (the contract CI relies on when
+        // it re-runs the suite under SUBTAB_FORCE_SCALAR_KERNELS).
+        let src: Vec<u16> = (0..37).map(|i| f32_to_f16(i as f32 * 0.37 - 5.0)).collect();
+        let codes: Vec<i8> = (0..37).map(|i| (i * 7 % 255 - 127) as i8).collect();
+        let base: Vec<f32> = (0..37).map(|i| i as f32 * 0.01).collect();
+
+        let mut want = base.clone();
+        add_assign_f16_scalar(&mut want, &src);
+        let mut got = base.clone();
+        add_assign_f16(&mut got, &src);
+        assert_eq!(
+            want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+
+        let mut want = base.clone();
+        add_assign_i8_scalar(&mut want, &codes, 0.05);
+        let mut got = base;
+        add_assign_i8(&mut got, &codes, 0.05);
+        assert_eq!(
+            want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -42,11 +42,16 @@
 //! config); it is never selected by default.
 
 pub mod aligned;
+pub mod dequant;
 pub mod dispatch;
 pub mod distance;
 pub mod scan;
 
 pub use aligned::AlignedBuf;
+pub use dequant::{
+    add_assign_f16, add_assign_f16_with_isa, add_assign_i8, add_assign_i8_with_isa, f16_to_f32,
+    f32_to_f16,
+};
 pub use dispatch::{detect, fma_select, has_avx2_fma, has_avx512f, Isa};
 pub use distance::{euclidean, nearest_centroid_scalar, squared_euclidean, CentroidScan};
 pub use scan::{
